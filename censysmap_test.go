@@ -1,0 +1,113 @@
+package censysmap
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// smallSystem builds a fast system for facade tests.
+func smallSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := NewSystem(Options{
+		Universe: netip.MustParsePrefix("10.0.0.0/22"),
+		Seed:     7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	sys := smallSystem(t)
+	sys.Run(26 * time.Hour)
+
+	services := sys.Services()
+	if len(services) == 0 {
+		t.Fatal("no services mapped")
+	}
+
+	// Search.
+	n, err := sys.Count(`services.protocol: HTTP`)
+	if err != nil || n == 0 {
+		t.Fatalf("Count = %d, err=%v", n, err)
+	}
+
+	// Host lookup.
+	h, ok := sys.Host(services[0].Addr)
+	if !ok || len(h.ActiveServices()) == 0 {
+		t.Fatalf("Host lookup failed for %v", services[0].Addr)
+	}
+
+	// History.
+	if len(sys.History(services[0].Addr)) == 0 {
+		t.Fatal("no history")
+	}
+
+	// Time travel: state as of an hour ago exists.
+	if _, ok := sys.HostAt(services[0].Addr, sys.Now().Add(-time.Hour)); !ok {
+		// The host may genuinely not have existed an hour in; current must.
+		if _, ok := sys.HostAt(services[0].Addr, sys.Now()); !ok {
+			t.Fatal("HostAt(now) failed")
+		}
+	}
+}
+
+func TestSystemRESTAPI(t *testing.T) {
+	sys := smallSystem(t)
+	sys.Run(26 * time.Hour)
+	services := sys.Services()
+	if len(services) == 0 {
+		t.Fatal("no services")
+	}
+	srv := httptest.NewServer(sys.APIHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/v2/hosts/" + services[0].Addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	var h Host
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.IP != services[0].Addr {
+		t.Fatalf("host = %v", h.IP)
+	}
+}
+
+func TestSystemDeterministic(t *testing.T) {
+	build := func() int {
+		sys, err := NewSystem(Options{
+			Universe: netip.MustParsePrefix("10.0.0.0/23"),
+			Seed:     3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Run(24 * time.Hour)
+		return len(sys.Services())
+	}
+	if a, b := build(), build(); a != b {
+		t.Fatalf("non-deterministic: %d vs %d services", a, b)
+	}
+}
+
+func TestDefaultUniverse(t *testing.T) {
+	sys, err := NewSystem(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Internet().Hosts() == 0 {
+		t.Fatal("empty default universe")
+	}
+	if !sys.Now().Equal(sys.Clock().Now()) {
+		t.Fatal("clock mismatch")
+	}
+}

@@ -1,0 +1,87 @@
+// Command benchtables regenerates every table and figure of the paper's
+// evaluation against the synthetic universe and prints them in the paper's
+// layout. Run it with no flags for the full set, or select one:
+//
+//	benchtables                 # everything (builds one shared lab)
+//	benchtables -table 2        # just Table 2
+//	benchtables -figure 3       # just Figure 3
+//	benchtables -quick          # small universe (seconds instead of minutes)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"censysmap/internal/engines"
+	"censysmap/internal/eval"
+)
+
+func main() {
+	table := flag.Int("table", 0, "render only this table (1-5)")
+	figure := flag.Int("figure", 0, "render only this figure (2-5)")
+	quick := flag.Bool("quick", false, "use the small/fast lab configuration")
+	seed := flag.Uint64("seed", 1, "universe seed")
+	flag.Parse()
+
+	cfg := eval.DefaultLabConfig()
+	if *quick {
+		cfg = eval.QuickLabConfig()
+	}
+	cfg.Seed = *seed
+
+	fmt.Fprintf(os.Stderr, "building lab: universe %v, %d-day warmup (simulated)...\n",
+		cfg.Prefix, cfg.WarmupDays)
+	start := time.Now()
+	lab, err := eval.NewLab(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lab:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "lab ready in %v: %d hosts, %d live services, %d in map\n\n",
+		time.Since(start).Round(time.Millisecond), lab.Net.Hosts(),
+		len(lab.GroundTruth()), len(lab.Censys.Records()))
+
+	want := func(t, f int) bool {
+		if *table == 0 && *figure == 0 {
+			return true
+		}
+		return (t != 0 && t == *table) || (f != 0 && f == *figure)
+	}
+
+	if want(1, 0) {
+		fmt.Println(eval.Table1(lab).Render())
+	}
+	if want(2, 0) {
+		fmt.Println(eval.RenderTable2(eval.Table2(lab)))
+	}
+	if want(3, 0) {
+		fmt.Println(eval.Table3(lab).Render())
+	}
+	if want(4, 0) {
+		fmt.Println(eval.Table4(lab).Render())
+	}
+	if want(0, 2) {
+		fmt.Println(eval.Figure2(lab).Render())
+	}
+	if want(0, 3) {
+		fmt.Println(eval.Figure3(lab).Render())
+	}
+	if want(0, 4) {
+		fmt.Println(eval.Figure4(lab).Render())
+	}
+	if want(0, 5) {
+		fmt.Println(eval.Figure5(lab, lab.Engines()[1], 300).Render())
+	}
+	if want(5, 0) {
+		// Table 5 mutates the lab (injects honeypots, advances weeks), so
+		// it runs last.
+		ttd := eval.DefaultTTDConfig()
+		if *quick {
+			ttd.Honeypots = 25
+			ttd.ObserveFor = 8 * 24 * time.Hour
+		}
+		fmt.Println(eval.Table5(lab, ttd, []engines.Engine{lab.Censys, lab.Baselines[0]}).Render())
+	}
+}

@@ -1,0 +1,79 @@
+// Command censysd runs the full pipeline against a synthetic Internet and
+// serves the lookup REST API:
+//
+//	censysd -universe 10.0.0.0/20 -days 3 -listen :8181
+//
+// It fast-forwards the simulated clock through the warmup, then keeps
+// advancing simulated time in the background (1 simulated minute per real
+// second by default) while serving queries:
+//
+//	curl localhost:8181/v2/hosts/10.0.1.7
+//	curl localhost:8181/v2/hosts/10.0.1.7/history
+//	curl localhost:8181/v2/certificates/<sha256>/hosts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"os"
+	"time"
+
+	"censysmap"
+)
+
+func main() {
+	universe := flag.String("universe", "10.0.0.0/20", "IPv4 universe prefix")
+	days := flag.Int("days", 2, "simulated days to warm up before serving")
+	listen := flag.String("listen", ":8181", "REST API listen address")
+	seed := flag.Uint64("seed", 1, "universe seed")
+	rate := flag.Duration("rate", time.Minute, "simulated time advanced per real second")
+	flag.Parse()
+
+	prefix, err := netip.ParsePrefix(*universe)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bad -universe:", err)
+		os.Exit(2)
+	}
+	sys, err := censysmap.NewSystem(censysmap.Options{Universe: prefix, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("universe %v: %d hosts; warming up %d simulated days...\n",
+		prefix, sys.Internet().Hosts(), *days)
+	start := time.Now()
+	sys.Run(time.Duration(*days) * 24 * time.Hour)
+	fmt.Printf("warmup done in %v: %d services mapped, %d web properties, sim time %v\n",
+		time.Since(start).Round(time.Millisecond), len(sys.Services()),
+		len(sys.WebProperties()), sys.Now().Format(time.RFC3339))
+
+	// Keep simulated time flowing while serving.
+	go func() {
+		for range time.Tick(time.Second) {
+			sys.Run(*rate)
+		}
+	}()
+
+	mux := http.NewServeMux()
+	mux.Handle("/v2/", sys.APIHandler())
+	mux.HandleFunc("GET /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query().Get("q")
+		hosts, err := sys.Search(q)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		fmt.Fprintf(w, "%d hosts\n", len(hosts))
+		for _, h := range hosts {
+			fmt.Fprintf(w, "%s\n", h.IP)
+		}
+	})
+	fmt.Printf("serving on %s\n", *listen)
+	if err := http.ListenAndServe(*listen, mux); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,131 @@
+// Attack surface management (paper §7.2): monitor an organization's address
+// space, inventory its Internet exposure, flag risky services and known
+// CVEs, and detect new assets appearing over time — the workflow that drives
+// most commercial usage of the map.
+//
+//	go run ./examples/attacksurface
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"censysmap"
+)
+
+// The "organization" owns two prefixes of the universe (one on-prem block
+// and one cloud block — companies typically have both).
+var orgPrefixes = []netip.Prefix{
+	netip.MustParsePrefix("10.0.0.0/26"), // cloud project
+	netip.MustParsePrefix("10.0.4.0/24"), // on-prem range
+}
+
+func ownedBy(addr netip.Addr) bool {
+	for _, p := range orgPrefixes {
+		if p.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+func main() {
+	sys, err := censysmap.NewSystem(censysmap.Options{
+		Universe: netip.MustParsePrefix("10.0.0.0/20"),
+		Seed:     7,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("building the map (3 simulated days)...")
+	sys.Run(3 * 24 * time.Hour)
+
+	// Inventory: everything exposed in the org's ranges.
+	inventory := snapshot(sys)
+	fmt.Printf("\n== Exposure inventory: %d services on org prefixes ==\n", len(inventory))
+	risky := 0
+	for loc, svc := range inventory {
+		risk := riskOf(svc)
+		if risk != "" {
+			risky++
+			fmt.Printf("  [%s] %-18s %-8s %s\n", risk, loc, svc.Protocol, svc.Banner)
+		}
+	}
+	fmt.Printf("%d of %d services flagged\n", risky, len(inventory))
+
+	// CVE exposure via enrichment-derived software labels.
+	fmt.Println("\n== Vulnerability exposure ==")
+	for _, p := range orgPrefixes {
+		for addr := p.Masked().Addr(); p.Contains(addr); addr = addr.Next() {
+			h, ok := sys.Host(addr)
+			if !ok || len(h.Vulns) == 0 {
+				continue
+			}
+			fmt.Printf("  %v: %v (software: %v)\n", h.IP, h.Vulns, products(h))
+		}
+	}
+
+	// Continuous monitoring: diff the perimeter a week later.
+	fmt.Println("\n== Monitoring: one simulated week later ==")
+	sys.Run(7 * 24 * time.Hour)
+	current := snapshot(sys)
+	newAssets, gone := 0, 0
+	for loc, svc := range current {
+		if _, known := inventory[loc]; !known {
+			newAssets++
+			fmt.Printf("  NEW   %-18s %-8s first_seen=%s\n", loc, svc.Protocol,
+				svc.FirstSeen.Format("Jan 02 15:04"))
+		}
+	}
+	for loc := range inventory {
+		if _, still := current[loc]; !still {
+			gone++
+		}
+	}
+	fmt.Printf("%d new exposures, %d services removed\n", newAssets, gone)
+}
+
+// snapshot returns the org's current exposure keyed "ip port/transport".
+func snapshot(sys *censysmap.System) map[string]*censysmap.Service {
+	out := map[string]*censysmap.Service{}
+	for _, rec := range sys.Services() {
+		if !ownedBy(rec.Addr) {
+			continue
+		}
+		h, ok := sys.Host(rec.Addr)
+		if !ok {
+			continue
+		}
+		for _, svc := range h.ActiveServices() {
+			out[fmt.Sprintf("%v %s", rec.Addr, svc.Key())] = svc
+		}
+	}
+	return out
+}
+
+// riskOf applies a small exposure policy, the kind ASM products ship.
+func riskOf(svc *censysmap.Service) string {
+	switch svc.Protocol {
+	case "RDP", "TELNET", "VNC":
+		return "HIGH "
+	case "MODBUS", "S7", "BACNET", "DNP3", "FOX", "EIP", "ATG", "CODESYS", "FINS", "IEC104":
+		return "CRIT "
+	case "MYSQL", "REDIS":
+		return "MED  "
+	case "FTP":
+		return "LOW  "
+	}
+	if svc.Protocol == "HTTP" && !svc.TLS && svc.Attributes["http.www_authenticate"] != "" {
+		return "MED  " // basic-auth admin panel in the clear
+	}
+	return ""
+}
+
+func products(h *censysmap.Host) []string {
+	var out []string
+	for _, sw := range h.Software {
+		out = append(out, sw.Product)
+	}
+	return out
+}

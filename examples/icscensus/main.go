@@ -1,0 +1,106 @@
+// ICS census (paper §6.3 and §7.2 "Critical Infrastructure Monitoring"):
+// enumerate Internet-exposed industrial control systems, show why
+// handshake-verified labeling matters, and reproduce the EPA-style workflow
+// of finding exposed water-utility HMIs.
+//
+//	go run ./examples/icscensus
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"censysmap"
+	"censysmap/internal/protocols"
+	"censysmap/internal/simnet"
+)
+
+func main() {
+	sys, err := censysmap.NewSystem(censysmap.Options{
+		Universe: netip.MustParsePrefix("10.0.0.0/20"),
+		Seed:     2025,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Plant the §6.3 trap: HTTP services on the CODESYS port whose pages
+	// contain the keywords naive engines match on. A handshake-verified
+	// map must not count them.
+	for i := 0; i < 5; i++ {
+		sys.Internet().AddHost(&simnet.Host{
+			Addr: netip.MustParseAddr(fmt.Sprintf("10.0.9.%d", 10+i)), Country: "US",
+			Slots: []*simnet.Slot{{
+				Port: 2455, Transport: "tcp",
+				Spec: protocols.Spec{Protocol: "HTTP",
+					Title: "operating system management console"},
+				Birth: sys.Now(),
+			}},
+		})
+	}
+	// And a few exposed water-utility HMIs (HTTP panels titled like SCADA
+	// water systems).
+	for i := 0; i < 3; i++ {
+		sys.Internet().AddHost(&simnet.Host{
+			Addr: netip.MustParseAddr(fmt.Sprintf("10.0.9.%d", 100+i)), Country: "US",
+			Slots: []*simnet.Slot{{
+				Port: 8080, Transport: "tcp",
+				Spec: protocols.Spec{Protocol: "HTTP",
+					Title: "Water Treatment HMI — Pump Station"},
+				Birth: sys.Now(),
+			}},
+		})
+	}
+
+	fmt.Println("mapping the universe (3 simulated days)...")
+	sys.Run(3 * 24 * time.Hour)
+
+	// Census: verified ICS services by protocol.
+	fmt.Println("\n== Verified ICS exposure by protocol ==")
+	icsProtos := []string{"MODBUS", "S7", "BACNET", "DNP3", "FOX", "EIP",
+		"ATG", "CODESYS", "FINS", "IEC104"}
+	total := 0
+	for _, proto := range icsProtos {
+		n, err := sys.Count(fmt.Sprintf(`services.service_name=%q`, proto))
+		if err != nil {
+			panic(err)
+		}
+		if n > 0 {
+			fmt.Printf("  %-8s %d hosts\n", proto, n)
+			total += n
+		}
+	}
+	fmt.Printf("  total: %d hosts expose verified control systems\n", total)
+
+	// The trap: services on the CODESYS port vs verified CODESYS.
+	onPort, _ := sys.Count(`services.port: 2455`)
+	verified, _ := sys.Count(`services.service_name="CODESYS"`)
+	fmt.Printf("\n== Port 2455: %d hosts listening, %d verified CODESYS ==\n", onPort, verified)
+	fmt.Println("   (a port/keyword-labeling engine would report all of them as CODESYS)")
+
+	// EPA workflow: find exposed water HMIs, produce the notification list.
+	fmt.Println("\n== Exposed water-utility HMIs (unauthenticated HTTP) ==")
+	hmis, err := sys.Search(`services.protocol: HTTP and services.http.title: "water"`)
+	if err != nil {
+		panic(err)
+	}
+	for _, h := range hmis {
+		asn := ""
+		if h.AS != nil {
+			asn = h.AS.Org
+		}
+		fmt.Printf("  %-15s %-20s labels=%v\n", h.IP, asn, h.Labels)
+	}
+	fmt.Printf("%d utilities to notify\n", len(hmis))
+
+	// Remediation tracking: utilities pull their HMIs offline; the daily
+	// refresh prunes them within the 72h eviction window.
+	fmt.Println("\n== After remediation (5 simulated days later) ==")
+	for _, h := range hmis {
+		sys.Internet().RemoveHost(h.IP)
+	}
+	sys.Run(5 * 24 * time.Hour)
+	left, _ := sys.Count(`services.protocol: HTTP and services.http.title: "water"`)
+	fmt.Printf("remaining exposed HMIs in the map: %d\n", left)
+}

@@ -1,0 +1,68 @@
+// Quickstart: build a map of a small synthetic Internet, let the pipeline
+// scan for two simulated days, and query it every way the system supports.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"censysmap"
+)
+
+func main() {
+	// 1. Build a system: a /21 universe (2048 addresses, ~200 hosts) and
+	//    the full pipeline — discovery, interrogation, CQRS storage,
+	//    enrichment, search.
+	sys, err := censysmap.NewSystem(censysmap.Options{
+		Universe: netip.MustParsePrefix("10.0.0.0/21"),
+		Seed:     42,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// 2. Run two simulated days of continuous scanning (finishes in
+	//    seconds of real time).
+	fmt.Println("scanning for 2 simulated days...")
+	sys.Run(48 * time.Hour)
+	services := sys.Services()
+	fmt.Printf("mapped %d services on %d web properties + hosts\n\n",
+		len(services), len(sys.WebProperties()))
+
+	// 3. Search with the Lucene-like query language.
+	for _, q := range []string{
+		`services.protocol: SSH`,
+		`services.tls: true and location.country: DE`,
+		`labels: ics`,
+		`services.http.title: "Welcome to nginx"`,
+		`services.port: [8000 TO 9000]`,
+	} {
+		n, err := sys.Count(q)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%4d hosts match %s\n", n, q)
+	}
+
+	// 4. Look up one host: current state, enriched with geo/ASN/software.
+	addr := services[0].Addr
+	host, _ := sys.Host(addr)
+	fmt.Printf("\nhost %v (%s, AS%d):\n", host.IP, host.Location.Country, host.AS.Number)
+	for _, svc := range host.ActiveServices() {
+		fmt.Printf("  %-10s %-8s banner=%q\n", svc.Key(), svc.Protocol, svc.Banner)
+	}
+	if len(host.Software) > 0 {
+		fmt.Printf("  software: %s\n", host.Software[0].CPE())
+	}
+
+	// 5. Time travel: the same host as it looked a day ago, replayed from
+	//    the delta journal.
+	past, ok := sys.HostAt(addr, sys.Now().Add(-24*time.Hour))
+	if ok {
+		fmt.Printf("  24h ago it exposed %d services; history has %d events\n",
+			len(past.ActiveServices()), len(sys.History(addr)))
+	}
+}

@@ -1,0 +1,119 @@
+// Threat hunting (paper §7.2): pivot across the map to uncover related
+// adversary infrastructure. Starting from one known C2 server, the hunt
+// pivots on the certificate fingerprint and the JA4S fingerprint to find
+// sibling servers, then watches for new infrastructure coming online.
+//
+//	go run ./examples/threathunt
+package main
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"censysmap"
+	"censysmap/internal/protocols"
+	"censysmap/internal/simnet"
+	"censysmap/internal/x509lite"
+)
+
+func main() {
+	sys, err := censysmap.NewSystem(censysmap.Options{
+		Universe: netip.MustParsePrefix("10.0.0.0/21"),
+		Seed:     99,
+	})
+	if err != nil {
+		panic(err)
+	}
+
+	// Plant adversary infrastructure: four C2 servers sharing a self-signed
+	// certificate, on scattered addresses and odd ports — exactly the
+	// fingerprint-reuse mistake hunts exploit.
+	c2Cert := selfSignedC2Cert(sys)
+	c2Addrs := []string{"10.0.2.77", "10.0.5.13", "10.0.6.200"}
+	for _, a := range c2Addrs {
+		plantC2(sys, netip.MustParseAddr(a), 8443, c2Cert)
+	}
+
+	fmt.Println("mapping the universe (3 simulated days)...")
+	sys.Run(3 * 24 * time.Hour)
+
+	// The hunt starts from a single tip: one known-bad server.
+	tip := netip.MustParseAddr(c2Addrs[0])
+	host, ok := sys.Host(tip)
+	if !ok {
+		panic("tip host not mapped")
+	}
+	var fingerprint, ja4s string
+	for _, svc := range host.ActiveServices() {
+		if svc.CertSHA256 != "" {
+			fingerprint = svc.CertSHA256
+			ja4s = svc.Attributes["tls.ja4s"]
+		}
+	}
+	fmt.Printf("\ntip: %v presents cert %s (JA4S %s)\n", tip, fingerprint[:16], ja4s)
+
+	// Pivot 1: what other hosts present the same certificate?
+	fmt.Println("\n== Pivot: certificate fingerprint ==")
+	for _, loc := range sys.CertHosts(fingerprint) {
+		fmt.Printf("  %s\n", loc)
+	}
+
+	// Pivot 2: search for the same JA4S fingerprint (catches re-keyed
+	// servers with identical TLS stacks).
+	fmt.Println("\n== Pivot: JA4S fingerprint ==")
+	hosts, err := sys.Search(fmt.Sprintf(`services.tls.ja4s: %q`, ja4s))
+	if err != nil {
+		panic(err)
+	}
+	for _, h := range hosts {
+		fmt.Printf("  %v\n", h.IP)
+	}
+
+	// Watch: new infrastructure coming online is caught by the continuous
+	// pipeline; check the map again after the actor expands.
+	fmt.Println("\n== Actor deploys a fourth server; pipeline keeps scanning ==")
+	plantC2(sys, netip.MustParseAddr("10.0.7.142"), 4443, c2Cert)
+	sys.Run(36 * time.Hour)
+	locs := sys.CertHosts(fingerprint)
+	fmt.Printf("cert now seen on %d servers:\n", len(locs))
+	for _, loc := range locs {
+		fmt.Printf("  %s\n", loc)
+	}
+
+	// The journal shows exactly when each server appeared — timeline
+	// evidence for the incident report.
+	fmt.Println("\n== Timeline (journal history of the new server) ==")
+	for _, ev := range sys.History(netip.MustParseAddr("10.0.7.142")) {
+		fmt.Printf("  %s %s\n", ev.Time.Format("Jan 02 15:04"), ev.Kind)
+	}
+}
+
+// selfSignedC2Cert builds the shared self-signed certificate.
+func selfSignedC2Cert(sys *censysmap.System) *x509lite.Certificate {
+	name := x509lite.Name{CommonName: "update-cdn.invalid"}
+	cert := &x509lite.Certificate{
+		Serial: 31337, Subject: name, Issuer: name, KeyID: 0xC2C2,
+		NotBefore: sys.Now().Add(-24 * time.Hour),
+		NotAfter:  sys.Now().Add(365 * 24 * time.Hour),
+		DNSNames:  []string{"update-cdn.invalid"},
+	}
+	cert.Sign(0xC2C2)
+	return cert
+}
+
+// plantC2 injects a TLS HTTP "C2" host into the synthetic Internet.
+func plantC2(sys *censysmap.System, addr netip.Addr, port uint16, cert *x509lite.Certificate) {
+	sys.Internet().AddHost(&simnet.Host{
+		Addr: addr, Country: "NL",
+		Slots: []*simnet.Slot{{
+			Port: port, Transport: "tcp",
+			Spec: protocols.Spec{
+				Protocol: "HTTP", Product: "nginx", Version: "1.18.0",
+				Title: "404 Not Found", TLS: true,
+				CertDER: cert.Encode(), CertSHA256: cert.FingerprintSHA256(),
+			},
+			Birth: sys.Now(),
+		}},
+	})
+}

@@ -1,0 +1,3 @@
+module censysmap
+
+go 1.24

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"censysmap/internal/entity"
+	"censysmap/internal/journal"
+	"censysmap/internal/lookup"
+	"censysmap/internal/search"
+	"censysmap/internal/simclock"
+	"censysmap/internal/simnet"
+	"censysmap/internal/snapshot"
+	"censysmap/internal/webprop"
+)
+
+// This file is the Map's query surface: the read-side APIs of paper §5.3.
+
+// Clock returns the simulated clock the Map runs on.
+func (m *Map) Clock() *simclock.Sim { return m.clock }
+
+// Net returns the underlying synthetic Internet.
+func (m *Map) Net() *simnet.Internet { return m.net }
+
+// Stats returns pipeline counters.
+func (m *Map) Stats() RunStats { return m.stats }
+
+// Search runs a query against the interactive search index.
+func (m *Map) Search(query string) ([]*entity.Host, error) {
+	return m.index.SearchHosts(query)
+}
+
+// Count returns the number of hosts matching a query.
+func (m *Map) Count(query string) (int, error) {
+	return m.index.Count(query)
+}
+
+// Index exposes the search index (for advanced callers).
+func (m *Map) Index() *search.Index { return m.index }
+
+// Lookup exposes the fast lookup API (also usable as an http.Handler).
+func (m *Map) Lookup() *lookup.Service { return m.lookupSvc }
+
+// Host returns the host record at a timestamp (zero = now), enriched.
+func (m *Map) Host(addr netip.Addr, at time.Time) (*entity.Host, bool) {
+	return m.lookupSvc.Host(addr, at)
+}
+
+// HostCurrent returns the write side's materialized current state for an
+// address (with live refresh bookkeeping), enriched. It is the cheap
+// cached-current-state path of the lookup API.
+func (m *Map) HostCurrent(addr netip.Addr) (*entity.Host, bool) {
+	h := m.processor.CurrentState(addr.String())
+	if h == nil || len(h.Services) == 0 || m.pseudoHosts[addr] {
+		return nil, false
+	}
+	m.enricher.Enrich(h)
+	return h, true
+}
+
+// History returns the journaled change history for an address.
+func (m *Map) History(addr netip.Addr) []journal.Event {
+	return m.reader.History(addr.String())
+}
+
+// Analytics exposes the daily-snapshot store (longitudinal queries, bulk
+// export).
+func (m *Map) Analytics() *snapshot.Store { return m.analytics }
+
+// Certs exposes the certificate store.
+func (m *Map) Certs() *CertStore { return m.certs }
+
+// CertHosts returns service locators currently presenting a certificate.
+func (m *Map) CertHosts(fingerprint string) []string {
+	return m.certIdx.Locations(fingerprint)
+}
+
+// WebProperties exposes the web property pipeline.
+func (m *Map) WebProperties() *webprop.Pipeline { return m.webProps }
+
+// ServiceRecord is one row of the dataset export: the Avro-snapshot /
+// BigQuery view of §5.3, used by the evaluation harness.
+type ServiceRecord struct {
+	Addr      netip.Addr
+	Port      uint16
+	Transport entity.Transport
+	Protocol  string
+	Verified  bool
+	TLS       bool
+	Method    entity.DetectionMethod
+	LastSeen  time.Time
+	Pending   bool
+}
+
+// CurrentServices exports every service currently in the dataset, sorted.
+// Services pending removal are excluded unless includePending is set — the
+// "pending_removal_since is null" filter of the paper's own evaluation
+// query (Appendix E).
+func (m *Map) CurrentServices(includePending bool) []ServiceRecord {
+	var out []ServiceRecord
+	for _, id := range m.processor.EntityIDs() {
+		addr, err := netip.ParseAddr(id)
+		if err != nil || m.pseudoHosts[addr] {
+			continue
+		}
+		h := m.processor.CurrentState(id)
+		if h == nil {
+			continue
+		}
+		for _, svc := range h.AllServices() {
+			if svc.PendingRemovalSince != nil && !includePending {
+				continue
+			}
+			out = append(out, ServiceRecord{
+				Addr: addr, Port: svc.Port, Transport: svc.Transport,
+				Protocol: svc.Protocol, Verified: svc.Verified, TLS: svc.TLS,
+				Method: svc.Method, LastSeen: svc.LastSeen,
+				Pending: svc.PendingRemovalSince != nil,
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr.Less(out[j].Addr)
+		}
+		if out[i].Port != out[j].Port {
+			return out[i].Port < out[j].Port
+		}
+		return out[i].Transport < out[j].Transport
+	})
+	return out
+}
+
+// Journal exposes the raw event journal (read-only use).
+func (m *Map) Journal() *journal.Store { return m.processor.Journal() }
+
+// JournalStats exposes storage counters for the ablation benches.
+func (m *Map) JournalStats() journal.Stats { return m.processor.Journal().Stats() }
+
+// WriteStats exposes (observations, unchanged-refresh) counters: the
+// fraction of refreshes that journal nothing is the delta-encoding win.
+func (m *Map) WriteStats() (observations, noChange uint64) { return m.processor.Stats() }
+
+// PseudoHosts reports how many hosts the pseudo filter has flagged.
+func (m *Map) PseudoHosts() int { return len(m.pseudoHosts) }

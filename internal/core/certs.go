@@ -1,0 +1,138 @@
+package core
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"censysmap/internal/x509lite"
+)
+
+// CertRecord is the stored state of one certificate (paper §4.4): parsed
+// fields plus validation, lint findings, and revocation status, which are
+// recomputed daily because they change with time even when the certificate
+// does not.
+type CertRecord struct {
+	Cert        *x509lite.Certificate
+	Fingerprint string
+	// Sources records how the certificate was seen: "scan", "ct".
+	Sources   []string
+	FirstSeen time.Time
+	// Status is the latest validation outcome.
+	Status x509lite.ValidationStatus
+	// LintFindings are stable lint identifiers.
+	LintFindings  []string
+	LastValidated time.Time
+}
+
+// CRLSource wraps a fetched CRL.
+type CRLSource struct {
+	CRL *x509lite.CRL
+}
+
+// CertStore indexes every certificate the pipeline has observed, from TLS
+// handshakes and CT log polling.
+type CertStore struct {
+	mu    sync.RWMutex
+	roots *x509lite.RootStore
+	byFP  map[string]*CertRecord
+}
+
+// NewCertStore creates an empty store validating against roots.
+func NewCertStore(roots *x509lite.RootStore) *CertStore {
+	return &CertStore{roots: roots, byFP: make(map[string]*CertRecord)}
+}
+
+// ObserveDER ingests an encoded certificate from the given source.
+func (cs *CertStore) ObserveDER(der []byte, source string, now time.Time) (*CertRecord, error) {
+	cert, err := x509lite.Parse(der)
+	if err != nil {
+		return nil, err
+	}
+	return cs.Observe(cert, source, now), nil
+}
+
+// Observe ingests a parsed certificate: new certificates are validated and
+// linted immediately; known ones just accrue sources.
+func (cs *CertStore) Observe(cert *x509lite.Certificate, source string, now time.Time) *CertRecord {
+	fp := cert.FingerprintSHA256()
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	rec := cs.byFP[fp]
+	if rec == nil {
+		rec = &CertRecord{
+			Cert: cert, Fingerprint: fp, FirstSeen: now,
+			Status:        x509lite.Validate(cert, cs.roots, nil, now),
+			LintFindings:  x509lite.Lint(cert),
+			LastValidated: now,
+		}
+		cs.byFP[fp] = rec
+	}
+	for _, s := range rec.Sources {
+		if s == source {
+			return rec
+		}
+	}
+	rec.Sources = append(rec.Sources, source)
+	sort.Strings(rec.Sources)
+	return rec
+}
+
+// PollCT ingests new CT entries since the given cursor, returning the new
+// cursor.
+func (cs *CertStore) PollCT(log *x509lite.CTLog, cursor uint64, now time.Time) uint64 {
+	entries := log.Entries(cursor, 0)
+	for _, e := range entries {
+		cs.Observe(e.Cert, "ct", now)
+	}
+	return cursor + uint64(len(entries))
+}
+
+// RevalidateAll recomputes validation and revocation for every certificate
+// against the current CRLs — the daily refresh of §4.6.
+func (cs *CertStore) RevalidateAll(crls []*CRLSource, now time.Time) int {
+	cs.mu.Lock()
+	defer cs.mu.Unlock()
+	changed := 0
+	for _, rec := range cs.byFP {
+		var crl *x509lite.CRL
+		for _, src := range crls {
+			if src.CRL != nil && src.CRL.Issuer == rec.Cert.Issuer {
+				crl = src.CRL
+				break
+			}
+		}
+		status := x509lite.Validate(rec.Cert, cs.roots, crl, now)
+		if status != rec.Status {
+			changed++
+		}
+		rec.Status = status
+		rec.LastValidated = now
+	}
+	return changed
+}
+
+// Get returns the record for a fingerprint, or nil.
+func (cs *CertStore) Get(fingerprint string) *CertRecord {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return cs.byFP[fingerprint]
+}
+
+// Len reports the number of stored certificates.
+func (cs *CertStore) Len() int {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	return len(cs.byFP)
+}
+
+// ByStatus counts certificates per validation status.
+func (cs *CertStore) ByStatus() map[x509lite.ValidationStatus]int {
+	cs.mu.RLock()
+	defer cs.mu.RUnlock()
+	out := make(map[x509lite.ValidationStatus]int)
+	for _, rec := range cs.byFP {
+		out[rec.Status]++
+	}
+	return out
+}

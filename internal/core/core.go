@@ -1,0 +1,573 @@
+// Package core assembles the complete map pipeline — the paper's system as a
+// whole. A Map wires together:
+//
+//	discovery (Phase 1)  -> interrogation (Phase 2) -> CQRS write side
+//	     |                        ^                        |
+//	     v                        |                        v
+//	predictive engine ------------+            journal + snapshots
+//	  + re-injection                                       |
+//	                                                       v
+//	refresh & eviction  <---- current state ----> read side + enrichment
+//	                                                       |
+//	web properties (CT/redirect/pDNS)            search index, lookup API,
+//	certificate store (validate/lint/CRL)        cert->host index
+//
+// Run drives everything off a simulated clock at a fixed tick, so months of
+// continuous operation execute in seconds and experiments are reproducible.
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"censysmap/internal/cqrs"
+	"censysmap/internal/discovery"
+	"censysmap/internal/enrich"
+	"censysmap/internal/entity"
+	"censysmap/internal/interro"
+	"censysmap/internal/journal"
+	"censysmap/internal/lookup"
+	"censysmap/internal/predict"
+	"censysmap/internal/search"
+	"censysmap/internal/simclock"
+	"censysmap/internal/simnet"
+	"censysmap/internal/snapshot"
+	"censysmap/internal/webprop"
+)
+
+// Config assembles a Map.
+type Config struct {
+	// ScannerID identifies the engine to networks.
+	ScannerID string
+	// SourceIPs is the source pool size (blocking model input).
+	SourceIPs int
+	// Tick is the scheduling quantum.
+	Tick time.Duration
+	// RefreshEvery is the per-service re-interrogation cadence (daily).
+	RefreshEvery time.Duration
+	// BackgroundPortsPerIPPerDay budgets the 65K background class.
+	BackgroundPortsPerIPPerDay int
+	// PredictBudgetPerTick bounds predictive probes per tick.
+	PredictBudgetPerTick int
+	// SeedScanFraction is the fraction of addresses given a one-time
+	// all-65K-port seed scan when the map starts — the GPS-style training
+	// sample the predictive models learn deployment patterns from.
+	SeedScanFraction float64
+	// CloudBlocks passes the universe's cloud region to the cloud class.
+	CloudBlocks int
+	// PseudoServiceThreshold flags hosts with more found services than
+	// this as pseudo-hosts and stops interrogating them.
+	PseudoServiceThreshold int
+	// Excluded prefixes are never scanned (opt-out list).
+	Excluded []netip.Prefix
+	// WirePackets runs discovery through the userspace packet stack.
+	WirePackets bool
+	// DisablePrediction turns the predictive engine off (ablation).
+	DisablePrediction bool
+	// DisableReinjection turns evicted-service re-injection off (ablation).
+	DisableReinjection bool
+	// EvictAfter overrides the 72h eviction grace window (ablation).
+	EvictAfter time.Duration
+	// SnapshotEvery overrides journal snapshot cadence (ablation).
+	SnapshotEvery int
+}
+
+// DefaultConfig returns the production-like configuration.
+func DefaultConfig() Config {
+	return Config{
+		ScannerID:                  "censysmap",
+		SourceIPs:                  256,
+		Tick:                       time.Hour,
+		RefreshEvery:               24 * time.Hour,
+		BackgroundPortsPerIPPerDay: 100,
+		PredictBudgetPerTick:       400,
+		SeedScanFraction:           0.02,
+		CloudBlocks:                24,
+		PseudoServiceThreshold:     48,
+		EvictAfter:                 72 * time.Hour,
+		SnapshotEvery:              16,
+	}
+}
+
+// slotKey identifies one service slot globally.
+type slotKey struct {
+	addr      netip.Addr
+	port      uint16
+	transport entity.Transport
+}
+
+// Map is the running system.
+type Map struct {
+	cfg   Config
+	net   *simnet.Internet
+	clock *simclock.Sim
+
+	disc      *discovery.Engine
+	inter     map[string]*interro.Interrogator // per PoP
+	pops      []discovery.PoP
+	processor *cqrs.Processor
+	reader    *cqrs.Reader
+	certIdx   *cqrs.CertIndex
+	enricher  *enrich.Enricher
+	index     *search.Index
+	lookupSvc *lookup.Service
+	predictor *predict.Engine
+	webProps  *webprop.Pipeline
+	certs     *CertStore
+	analytics *snapshot.Store
+
+	// known tracks every service slot currently in the dataset with its
+	// last interrogation time (drives refresh and dedup).
+	known map[slotKey]time.Time
+	// udpProto remembers the identified protocol per UDP slot for refresh.
+	udpProto map[slotKey]string
+	// pseudoHosts are flagged and excluded from interrogation and search.
+	pseudoHosts map[netip.Addr]bool
+	// foundPerHost counts found services, for pseudo detection.
+	foundPerHost map[netip.Addr]int
+
+	// exclusions are active operator opt-outs (Appendix D).
+	exclusions []Exclusion
+
+	lastDaily time.Time
+	stopTick  func()
+
+	stats RunStats
+}
+
+// RunStats counts pipeline activity.
+type RunStats struct {
+	Ticks            uint64
+	Interrogations   uint64
+	RefreshScans     uint64
+	PredictiveProbes uint64
+	Reinjected       uint64
+	PseudoFiltered   uint64
+}
+
+// New builds a Map over a shared synthetic Internet. The Internet's clock
+// must be a *simclock.Sim (the Map schedules its own ticks on it).
+func New(cfg Config, net *simnet.Internet) (*Map, error) {
+	clk, ok := net.Clock().(*simclock.Sim)
+	if !ok {
+		return nil, fmt.Errorf("core: simnet must run on a simulated clock")
+	}
+	if cfg.Tick <= 0 {
+		cfg.Tick = time.Hour
+	}
+	if cfg.RefreshEvery <= 0 {
+		cfg.RefreshEvery = 24 * time.Hour
+	}
+
+	m := &Map{
+		cfg:          cfg,
+		net:          net,
+		clock:        clk,
+		known:        make(map[slotKey]time.Time),
+		udpProto:     make(map[slotKey]string),
+		pseudoHosts:  make(map[netip.Addr]bool),
+		foundPerHost: make(map[netip.Addr]int),
+	}
+
+	// A small fraction of networks blocklist even polite scanners (the
+	// paper's opt-out list covers 0.03% of address space; broader
+	// defensive blocking is somewhat higher).
+	scanner := simnet.Scanner{ID: cfg.ScannerID, SourceIPs: cfg.SourceIPs,
+		Country: "US", BlockedFrac: 0.02}
+
+	// Discovery: the three standard classes over the universe prefix.
+	classes, err := discovery.StandardClasses(net.Config().Prefix, cfg.CloudBlocks,
+		cfg.Tick, cfg.BackgroundPortsPerIPPerDay)
+	if err != nil {
+		return nil, err
+	}
+	m.pops = discovery.DefaultPoPs()
+	m.disc, err = discovery.New(discovery.Config{
+		Scanner:     scanner,
+		PoPs:        m.pops,
+		Classes:     classes,
+		Excluded:    cfg.Excluded,
+		Seed:        net.Config().Seed ^ 0xD15C,
+		WirePackets: cfg.WirePackets,
+	}, net)
+	if err != nil {
+		return nil, err
+	}
+
+	// One interrogator per PoP so retries genuinely change vantage point.
+	m.inter = make(map[string]*interro.Interrogator, len(m.pops))
+	for _, pop := range m.pops {
+		sc := scanner
+		sc.Country = pop.Country
+		m.inter[pop.Name] = interro.New(net, sc)
+	}
+
+	// Storage pipeline.
+	j := journal.NewStore()
+	m.processor = cqrs.NewProcessor(cqrs.Config{
+		EvictAfter: cfg.EvictAfter, SnapshotEvery: cfg.SnapshotEvery}, j)
+	m.enricher = enrich.New(buildGeoDB(net), buildASNDB(net))
+	m.reader = cqrs.NewReader(j, m.enricher)
+	m.certIdx = cqrs.NewCertIndex()
+	m.certIdx.Follow(m.processor)
+	m.index = search.NewIndex()
+	m.processor.Subscribe(m.consumeEvent)
+	m.lookupSvc = lookup.New(m.reader, m.certIdx, clk)
+
+	// Prediction & re-injection.
+	m.predictor = predict.New(predict.DefaultConfig())
+
+	// Web properties & certificates.
+	m.webProps = webprop.New(webprop.DefaultConfig(), net, scanner)
+	m.certs = NewCertStore(net.Roots)
+	m.analytics = snapshot.NewStore()
+
+	m.lastDaily = clk.Now()
+	return m, nil
+}
+
+// buildGeoDB assembles the "external" GeoIP feed: per-/24 country data
+// matching the universe (a perfect-accuracy commercial feed).
+func buildGeoDB(net *simnet.Internet) *enrich.GeoDB {
+	g := enrich.NewGeoDB()
+	seen := map[netip.Addr]bool{}
+	for _, a := range net.Addrs() {
+		b := a.As4()
+		b[3] = 0
+		base := netip.AddrFrom4(b)
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		h := net.HostAt(a)
+		g.Add(netip.PrefixFrom(base, 24), h.Country, "")
+	}
+	return g
+}
+
+// buildASNDB assembles the WHOIS/route feed from the universe's /20 blocks.
+func buildASNDB(net *simnet.Internet) *enrich.ASNDB {
+	db := enrich.NewASNDB()
+	seen := map[netip.Addr]bool{}
+	for _, a := range net.Addrs() {
+		b := a.As4()
+		b[2] &= 0xF0
+		b[3] = 0
+		base := netip.AddrFrom4(b)
+		if seen[base] {
+			continue
+		}
+		seen[base] = true
+		h := net.HostAt(a)
+		db.Add(netip.PrefixFrom(base, 20), h.ASN, fmt.Sprintf("AS%d", h.ASN), h.ASOrg)
+	}
+	return db
+}
+
+// Start schedules the Map's tick on the simulated clock. Advance the clock
+// (or call Run) to make progress.
+func (m *Map) Start() {
+	if m.stopTick != nil {
+		return
+	}
+	m.seedScan()
+	m.stopTick = m.clock.Every(m.cfg.Tick, m.Tick)
+}
+
+// seedScan gives a deterministic sample of addresses a one-time full-port
+// scan. Its results both enter the dataset and train the predictive models
+// (GPS trains on exactly such a sub-sampled all-port seed scan).
+func (m *Map) seedScan() {
+	if m.cfg.SeedScanFraction <= 0 || m.cfg.DisablePrediction {
+		return
+	}
+	now := m.clock.Now()
+	scanner := simnet.Scanner{ID: m.cfg.ScannerID, SourceIPs: m.cfg.SourceIPs,
+		Country: "US", BlockedFrac: 0.02}
+	prefix := m.net.Config().Prefix.Masked()
+	count := uint64(1) << (32 - prefix.Bits())
+	base := prefix.Addr().As4()
+	baseVal := uint64(base[0])<<24 | uint64(base[1])<<16 | uint64(base[2])<<8 | uint64(base[3])
+	for off := uint64(0); off < count; off++ {
+		// Deterministic sampling keyed on the address.
+		h := (off*0x9E3779B97F4A7C15 + m.net.Config().Seed) >> 11
+		if float64(h&0xFFFF)/65536 >= m.cfg.SeedScanFraction {
+			continue
+		}
+		v := uint32(baseVal + off)
+		addr := netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+		if m.excludedAddr(addr) {
+			continue
+		}
+		for port := 1; port <= 65535; port++ {
+			if m.net.ProbeTCP(scanner, addr, uint16(port)) != simnet.Open {
+				continue
+			}
+			c := discovery.Candidate{Addr: addr, Port: uint16(port),
+				Transport: entity.TCP, Method: entity.DetectBackgroundScan,
+				PoP: m.pops[0].Name, Time: now}
+			m.handleCandidate(c, now)
+		}
+	}
+	m.processor.Drain()
+}
+
+// Stop cancels the scheduled ticks.
+func (m *Map) Stop() {
+	if m.stopTick != nil {
+		m.stopTick()
+		m.stopTick = nil
+	}
+}
+
+// Run starts the Map and advances simulated time by d.
+func (m *Map) Run(d time.Duration) {
+	m.Start()
+	m.clock.Advance(d)
+}
+
+// Tick executes one scheduling quantum.
+func (m *Map) Tick(now time.Time) {
+	m.stats.Ticks++
+
+	// Phase 1: discovery. New candidates go straight to interrogation.
+	m.disc.Tick(now, func(c discovery.Candidate) {
+		m.handleCandidate(c, now)
+	})
+
+	// Refresh: re-interrogate known services on cadence, retrying from
+	// other PoPs before declaring failure (paper §4.6).
+	m.refreshDue(now)
+
+	// Predictive scanning + re-injection.
+	if !m.cfg.DisablePrediction {
+		m.runPrediction(now)
+	}
+	if !m.cfg.DisableReinjection {
+		m.runReinjection(now)
+	}
+
+	// Name-based scanning.
+	m.webProps.PollCT(m.net.CT, now)
+	m.webProps.Tick(now)
+
+	// Async event processing (read models, cert index, follow-ups).
+	m.processor.Drain()
+
+	// Daily housekeeping: cert revalidation, journal tier migration, and
+	// the daily analytics snapshot (§5.3's BigQuery export).
+	if now.Sub(m.lastDaily) >= 24*time.Hour {
+		m.lastDaily = now
+		m.certs.RevalidateAll(m.crls(), now)
+		m.processor.Journal().Migrate()
+		m.snapshotDaily(now)
+	}
+}
+
+// snapshotDaily appends today's full map state to the analytics store.
+func (m *Map) snapshotDaily(now time.Time) {
+	var hosts []*entity.Host
+	for _, id := range m.processor.EntityIDs() {
+		addr, err := netip.ParseAddr(id)
+		if err != nil || m.pseudoHosts[addr] {
+			continue
+		}
+		if h := m.processor.CurrentState(id); h != nil && len(h.Services) > 0 {
+			m.enricher.Enrich(h)
+			hosts = append(hosts, h)
+		}
+	}
+	_ = m.analytics.Add(snapshot.Daily{Date: now, Rows: snapshot.RowsFromHosts(now, hosts)})
+}
+
+// crls fetches current CRLs from the universe's CAs.
+func (m *Map) crls() []*CRLSource {
+	return []*CRLSource{
+		{CRL: m.net.TrustedCA(0).CRL()},
+		{CRL: m.net.TrustedCA(1).CRL()},
+	}
+}
+
+// handleCandidate dedupes and interrogates a Phase-1 candidate.
+func (m *Map) handleCandidate(c discovery.Candidate, now time.Time) {
+	key := slotKey{c.Addr, c.Port, c.Transport}
+	if m.pseudoHosts[c.Addr] {
+		m.stats.PseudoFiltered++
+		return
+	}
+	if last, ok := m.known[key]; ok && now.Sub(last) < m.cfg.RefreshEvery-2*time.Hour {
+		return // fresh enough; the refresh loop owns this slot
+	}
+	m.interrogate(c, now)
+}
+
+// interrogate runs Phase 2 from the candidate's PoP and applies the result.
+func (m *Map) interrogate(c discovery.Candidate, now time.Time) bool {
+	in := m.inter[c.PoP]
+	if in == nil {
+		in = m.inter[m.pops[0].Name]
+		c.PoP = m.pops[0].Name
+	}
+	m.stats.Interrogations++
+	obs := in.Interrogate(c, now)
+	m.apply(obs, c, now)
+	return obs.Success
+}
+
+// apply feeds an observation into the write side and the learning loops.
+func (m *Map) apply(obs cqrs.Observation, c discovery.Candidate, now time.Time) {
+	key := slotKey{c.Addr, c.Port, c.Transport}
+	if obs.Success {
+		m.known[key] = now
+		if c.Transport == entity.UDP && c.UDPProtocol != "" {
+			m.udpProto[key] = c.UDPProtocol
+		}
+		m.predictor.Observe(c.Addr, c.Port, c.Transport)
+		m.predictor.Resolve(c.Addr, c.Port, c.Transport)
+
+		// Pseudo-host detection: an implausible number of services on one
+		// host gets the host flagged and dropped (Censys' pseudo-service
+		// filtering).
+		m.foundPerHost[c.Addr]++
+		if m.cfg.PseudoServiceThreshold > 0 && m.foundPerHost[c.Addr] > m.cfg.PseudoServiceThreshold {
+			m.markPseudo(c.Addr, now)
+			return
+		}
+
+		// Certificates observed in TLS handshakes enter the cert pipeline.
+		if obs.Service != nil && obs.Service.CertSHA256 != "" {
+			if slot := m.net.SlotAt(c.Addr, c.Port, c.Transport); slot != nil && len(slot.Spec.CertDER) > 0 {
+				m.certs.ObserveDER(slot.Spec.CertDER, "scan", now)
+			}
+		}
+		// Redirects feed web property names.
+		if obs.Service != nil {
+			if loc := obs.Service.Attributes["http.location"]; loc != "" {
+				m.webProps.ObserveRedirect(loc, now)
+			}
+		}
+	}
+	_ = m.processor.Apply(obs)
+
+	// Eviction bookkeeping: when the write side removes the slot, queue
+	// re-injection and forget it.
+	if !obs.Success {
+		if state := m.processor.CurrentState(c.Addr.String()); state == nil ||
+			state.Service(entity.ServiceKey{Port: c.Port, Transport: c.Transport}) == nil {
+			if _, was := m.known[key]; was {
+				delete(m.known, key)
+				delete(m.udpProto, key)
+				if !m.cfg.DisableReinjection {
+					m.predictor.RecordEvicted(c.Addr, c.Port, c.Transport, now)
+				}
+				m.stats.Reinjected++ // queued for re-injection
+			}
+		}
+	}
+}
+
+// markPseudo flags a host and purges its services from the dataset.
+func (m *Map) markPseudo(addr netip.Addr, now time.Time) {
+	if m.pseudoHosts[addr] {
+		return
+	}
+	m.pseudoHosts[addr] = true
+	m.stats.PseudoFiltered++
+	for key := range m.known {
+		if key.addr == addr {
+			delete(m.known, key)
+		}
+	}
+	m.index.Remove(addr.String())
+}
+
+// refreshDue re-interrogates services whose refresh cadence has elapsed.
+func (m *Map) refreshDue(now time.Time) {
+	m.pruneExclusions(now)
+	for key, last := range m.known {
+		if now.Sub(last) < m.cfg.RefreshEvery {
+			continue
+		}
+		if m.excludedAddr(key.addr) {
+			continue
+		}
+		m.stats.RefreshScans++
+		m.refreshSlot(key, now)
+	}
+}
+
+// refreshSlot retries across PoPs: the slot only registers as failed if no
+// vantage point can reach it.
+func (m *Map) refreshSlot(key slotKey, now time.Time) {
+	cand := discovery.Candidate{
+		Addr: key.addr, Port: key.port, Transport: key.transport,
+		Method: entity.DetectRefresh, Time: now,
+		UDPProtocol: m.udpProto[key],
+	}
+	for _, pop := range m.pops {
+		cand.PoP = pop.Name
+		in := m.inter[pop.Name]
+		m.stats.Interrogations++
+		obs := in.Interrogate(cand, now)
+		if obs.Success {
+			m.apply(obs, cand, now)
+			return
+		}
+	}
+	// All PoPs failed: record the failure (starts/advances eviction).
+	cand.PoP = m.pops[0].Name
+	obs := m.inter[cand.PoP].Interrogate(cand, now)
+	m.apply(obs, cand, now)
+}
+
+// runPrediction probes model-recommended locations.
+func (m *Map) runPrediction(now time.Time) {
+	targets := m.predictor.Recommend(now, m.cfg.PredictBudgetPerTick)
+	scanner := simnet.Scanner{ID: m.cfg.ScannerID, SourceIPs: m.cfg.SourceIPs,
+		Country: "US", BlockedFrac: 0.02}
+	for _, t := range targets {
+		if m.excludedAddr(t.Addr) {
+			continue
+		}
+		m.stats.PredictiveProbes++
+		if m.net.ProbeTCP(scanner, t.Addr, t.Port) != simnet.Open {
+			continue
+		}
+		c := discovery.Candidate{Addr: t.Addr, Port: t.Port, Transport: t.Transport,
+			Method: entity.DetectPredicted, PoP: m.pops[0].Name, Time: now}
+		m.handleCandidate(c, now)
+	}
+}
+
+// runReinjection retries recently evicted services.
+func (m *Map) runReinjection(now time.Time) {
+	for _, t := range m.predictor.Reinjections(now) {
+		c := discovery.Candidate{Addr: t.Addr, Port: t.Port, Transport: t.Transport,
+			Method: entity.DetectReinjected, PoP: m.pops[0].Name, Time: now,
+			UDPProtocol: m.udpProto[slotKey{t.Addr, t.Port, t.Transport}]}
+		m.interrogate(c, now)
+	}
+}
+
+// consumeEvent maintains the search index from write-side events.
+func (m *Map) consumeEvent(ev cqrs.OutEvent) {
+	addr, err := netip.ParseAddr(ev.Entity)
+	if err != nil {
+		return
+	}
+	if m.pseudoHosts[addr] {
+		return
+	}
+	h := m.processor.CurrentState(ev.Entity)
+	if h == nil {
+		m.index.Remove(ev.Entity)
+		return
+	}
+	m.enricher.Enrich(h)
+	if len(h.Services) == 0 {
+		m.index.Remove(ev.Entity)
+		return
+	}
+	m.index.Upsert(h)
+}

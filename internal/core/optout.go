@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"censysmap/internal/cqrs"
+	"censysmap/internal/entity"
+)
+
+// This file implements the operator opt-out workflow of the paper's
+// Appendix D: operators who verify ownership of a prefix can have it
+// excluded from scanning. Exclusions expire after one year (the paper's
+// policy) and can be rescinded. Excluding a prefix also retires the data
+// already collected for it.
+
+// Exclusion is one active opt-out.
+type Exclusion struct {
+	Prefix    netip.Prefix
+	Requester string
+	Since     time.Time
+	Expires   time.Time
+}
+
+// exclusionTTL matches the paper: "we expire exclusion requests after one
+// year".
+const exclusionTTL = 365 * 24 * time.Hour
+
+// AddExclusion registers a verified opt-out request for a prefix: scanning
+// stops immediately, services already mapped inside the prefix are removed
+// from the dataset, and the exclusion expires after one year.
+func (m *Map) AddExclusion(prefix netip.Prefix, requester string) (Exclusion, error) {
+	if !prefix.Addr().Is4() {
+		return Exclusion{}, fmt.Errorf("core: exclusions are IPv4 prefixes")
+	}
+	now := m.clock.Now()
+	ex := Exclusion{Prefix: prefix.Masked(), Requester: requester,
+		Since: now, Expires: now.Add(exclusionTTL)}
+	m.exclusions = append(m.exclusions, ex)
+	m.syncExclusions()
+
+	// Retire already-collected data: journal removal events for every
+	// known slot in the prefix, then drop the slots from the live set.
+	for key := range m.known {
+		if !prefix.Contains(key.addr) {
+			continue
+		}
+		obs := cqrs.Observation{Addr: key.addr, Port: key.port,
+			Transport: key.transport, Time: now, Method: entity.DetectRefresh}
+		// Two failure applications straddling the eviction window force
+		// immediate removal through the normal state machine.
+		_ = m.processor.Apply(obs)
+		obs.Time = now.Add(m.cfg.EvictAfter)
+		_ = m.processor.Apply(obs)
+		delete(m.known, key)
+		delete(m.udpProto, key)
+		m.index.Remove(key.addr.String())
+	}
+	m.processor.Drain()
+	return ex, nil
+}
+
+// RemoveExclusion rescinds an opt-out (operators often do once they
+// understand the scanning's intent, per Appendix D); scanning resumes on the
+// next discovery pass.
+func (m *Map) RemoveExclusion(prefix netip.Prefix) bool {
+	masked := prefix.Masked()
+	for i, ex := range m.exclusions {
+		if ex.Prefix == masked {
+			m.exclusions = append(m.exclusions[:i], m.exclusions[i+1:]...)
+			m.syncExclusions()
+			return true
+		}
+	}
+	return false
+}
+
+// Exclusions returns the active opt-outs, pruning expired ones.
+func (m *Map) Exclusions() []Exclusion {
+	m.pruneExclusions(m.clock.Now())
+	out := make([]Exclusion, len(m.exclusions))
+	copy(out, m.exclusions)
+	return out
+}
+
+// pruneExclusions drops expired entries (checked lazily and each tick).
+func (m *Map) pruneExclusions(now time.Time) {
+	kept := m.exclusions[:0]
+	changed := false
+	for _, ex := range m.exclusions {
+		if now.After(ex.Expires) {
+			changed = true
+			continue
+		}
+		kept = append(kept, ex)
+	}
+	m.exclusions = kept
+	if changed {
+		m.syncExclusions()
+	}
+}
+
+// syncExclusions pushes the active set (static config + dynamic opt-outs)
+// into the discovery engine.
+func (m *Map) syncExclusions() {
+	prefixes := append([]netip.Prefix(nil), m.cfg.Excluded...)
+	for _, ex := range m.exclusions {
+		prefixes = append(prefixes, ex.Prefix)
+	}
+	m.disc.SetExcluded(prefixes)
+}
+
+// excludedAddr reports whether addr is currently opted out (used by the
+// refresh and prediction paths, which do not go through discovery).
+func (m *Map) excludedAddr(addr netip.Addr) bool {
+	for _, p := range m.cfg.Excluded {
+		if p.Contains(addr) {
+			return true
+		}
+	}
+	for _, ex := range m.exclusions {
+		if ex.Prefix.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}

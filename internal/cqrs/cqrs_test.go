@@ -1,0 +1,321 @@
+package cqrs
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"censysmap/internal/entity"
+	"censysmap/internal/journal"
+)
+
+var (
+	addr  = netip.MustParseAddr("10.0.0.1")
+	epoch = time.Date(2024, 8, 20, 0, 0, 0, 0, time.UTC)
+)
+
+func at(h int) time.Time { return epoch.Add(time.Duration(h) * time.Hour) }
+
+func newPipeline() (*Processor, *Reader) {
+	j := journal.NewStore()
+	p := NewProcessor(DefaultConfig(), j)
+	return p, NewReader(j, nil)
+}
+
+func obsHTTP(t time.Time, banner string) Observation {
+	return Observation{
+		Addr: addr, Port: 80, Transport: entity.TCP, Time: t, PoP: "chi",
+		Method: entity.DetectPriorityScan, Success: true,
+		Service: &entity.Service{Port: 80, Transport: entity.TCP,
+			Protocol: "HTTP", Banner: banner, Verified: true},
+	}
+}
+
+func failObs(t time.Time) Observation {
+	return Observation{Addr: addr, Port: 80, Transport: entity.TCP, Time: t,
+		Method: entity.DetectRefresh}
+}
+
+func TestFoundJournalsAndReconstructs(t *testing.T) {
+	p, r := newPipeline()
+	if err := p.Apply(obsHTTP(at(0), "HTTP/1.1 200 OK")); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := r.HostAt(addr.String(), at(1))
+	if !ok {
+		t.Fatal("host not found")
+	}
+	svc := h.Service(entity.ServiceKey{Port: 80, Transport: entity.TCP})
+	if svc == nil || svc.Protocol != "HTTP" || !svc.FirstSeen.Equal(at(0)) {
+		t.Fatalf("svc = %+v", svc)
+	}
+}
+
+func TestUnchangedRefreshJournalsNothing(t *testing.T) {
+	p, _ := newPipeline()
+	p.Apply(obsHTTP(at(0), "same"))
+	for i := 1; i <= 5; i++ {
+		p.Apply(obsHTTP(at(i), "same"))
+	}
+	evs := p.Journal().Events(addr.String())
+	if len(evs) != 1 {
+		t.Fatalf("journal has %d events, want 1 (delta encoding)", len(evs))
+	}
+	obs, noChange := p.Stats()
+	if obs != 6 || noChange != 5 {
+		t.Fatalf("stats = %d/%d", obs, noChange)
+	}
+	// Liveness still tracked without journaling.
+	seen, ok := p.LastSeen(addr.String(), entity.ServiceKey{Port: 80, Transport: entity.TCP})
+	if !ok || !seen.Equal(at(5)) {
+		t.Fatalf("lastSeen = %v ok=%v", seen, ok)
+	}
+}
+
+func TestChangedConfigJournalsDelta(t *testing.T) {
+	p, r := newPipeline()
+	p.Apply(obsHTTP(at(0), "v1"))
+	p.Apply(obsHTTP(at(1), "v2"))
+	evs := p.Journal().Events(addr.String())
+	if len(evs) != 2 || evs[1].Kind != KindServiceChanged {
+		t.Fatalf("events = %+v", evs)
+	}
+	// Time travel: state at hour 0 shows v1; at hour 2 shows v2.
+	h0, _ := r.HostAt(addr.String(), at(0))
+	h2, _ := r.HostAt(addr.String(), at(2))
+	key := entity.ServiceKey{Port: 80, Transport: entity.TCP}
+	if h0.Service(key).Banner != "v1" || h2.Service(key).Banner != "v2" {
+		t.Fatalf("history wrong: %q / %q", h0.Service(key).Banner, h2.Service(key).Banner)
+	}
+}
+
+func TestEvictionStateMachine(t *testing.T) {
+	p, r := newPipeline()
+	key := entity.ServiceKey{Port: 80, Transport: entity.TCP}
+	p.Apply(obsHTTP(at(0), "x"))
+
+	// First failure: pending, not removed.
+	p.Apply(failObs(at(24)))
+	h, _ := r.HostAt(addr.String(), at(25))
+	if h.Service(key) == nil || h.Service(key).PendingRemovalSince == nil {
+		t.Fatal("service not marked pending after failed refresh")
+	}
+	if len(h.ActiveServices()) != 0 {
+		t.Fatal("pending service counted active")
+	}
+
+	// Failures inside the 72h window do not evict.
+	p.Apply(failObs(at(48)))
+	h, _ = r.HostAt(addr.String(), at(49))
+	if h.Service(key) == nil {
+		t.Fatal("service evicted inside grace window")
+	}
+
+	// Failure after 72h evicts.
+	p.Apply(failObs(at(24 + 73)))
+	h, ok := r.HostAt(addr.String(), at(100))
+	if !ok {
+		t.Fatal("host record should still exist")
+	}
+	if h.Service(key) != nil {
+		t.Fatal("service not evicted after 72h")
+	}
+	// History preserves the full lifecycle.
+	kinds := []string{}
+	for _, ev := range r.History(addr.String()) {
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []string{KindServiceFound, KindServicePending, KindServiceRemoved}
+	if len(kinds) != 3 {
+		t.Fatalf("history kinds = %v", kinds)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("history kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestPendingServiceRestored(t *testing.T) {
+	p, r := newPipeline()
+	key := entity.ServiceKey{Port: 80, Transport: entity.TCP}
+	p.Apply(obsHTTP(at(0), "x"))
+	p.Apply(failObs(at(24)))
+	p.Apply(obsHTTP(at(48), "x")) // transient outage over; same config
+
+	evs := p.Journal().Events(addr.String())
+	if evs[len(evs)-1].Kind != KindServiceRestored {
+		t.Fatalf("last event = %s, want restored", evs[len(evs)-1].Kind)
+	}
+	h, _ := r.HostAt(addr.String(), at(49))
+	svc := h.Service(key)
+	if svc == nil || svc.PendingRemovalSince != nil {
+		t.Fatalf("svc = %+v, want pending cleared", svc)
+	}
+	if len(h.ActiveServices()) != 1 {
+		t.Fatal("restored service not active")
+	}
+}
+
+func TestFailedScanOfUnknownSlotIgnored(t *testing.T) {
+	p, _ := newPipeline()
+	if err := p.Apply(failObs(at(0))); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Journal().Events(addr.String())) != 0 {
+		t.Fatal("failure on unknown slot journaled")
+	}
+}
+
+func TestSnapshotCadenceBoundsReplay(t *testing.T) {
+	j := journal.NewStore()
+	p := NewProcessor(Config{EvictAfter: 72 * time.Hour, SnapshotEvery: 4}, j)
+	for i := 0; i < 20; i++ {
+		p.Apply(obsHTTP(at(i), "v"+string(rune('a'+i))))
+	}
+	if j.EventsSinceSnapshot(addr.String()) >= 4 {
+		t.Fatalf("replay length %d not bounded by snapshot cadence", j.EventsSinceSnapshot(addr.String()))
+	}
+	st := j.Stats()
+	if st.Snapshots == 0 {
+		t.Fatal("no snapshots journaled")
+	}
+	// Reconstruction through snapshots must equal write-side state.
+	r := NewReader(j, nil)
+	h, _ := r.HostAt(addr.String(), at(30))
+	ws := p.CurrentState(addr.String())
+	key := entity.ServiceKey{Port: 80, Transport: entity.TCP}
+	if h.Service(key).Banner != ws.Service(key).Banner {
+		t.Fatalf("read-side %q != write-side %q", h.Service(key).Banner, ws.Service(key).Banner)
+	}
+}
+
+func TestMultipleServicesPerHost(t *testing.T) {
+	p, r := newPipeline()
+	p.Apply(obsHTTP(at(0), "web"))
+	p.Apply(Observation{Addr: addr, Port: 22, Transport: entity.TCP, Time: at(0),
+		Success: true, Service: &entity.Service{Port: 22, Transport: entity.TCP, Protocol: "SSH", Verified: true}})
+	h, _ := r.HostAt(addr.String(), at(1))
+	if len(h.ActiveServices()) != 2 {
+		t.Fatalf("services = %d, want 2", len(h.ActiveServices()))
+	}
+}
+
+func TestEnricherRunsAtReadTime(t *testing.T) {
+	j := journal.NewStore()
+	p := NewProcessor(DefaultConfig(), j)
+	p.Apply(obsHTTP(at(0), "x"))
+	r := NewReader(j, EnricherFunc(func(h *entity.Host) {
+		h.Location = &entity.Location{Country: "DE"}
+	}))
+	h, _ := r.HostAt(addr.String(), at(1))
+	if h.Location == nil || h.Location.Country != "DE" {
+		t.Fatal("enrichment not applied")
+	}
+	// Enrichment never touches the journal.
+	for _, ev := range j.Events(addr.String()) {
+		if ev.Kind == journal.SnapshotKind {
+			snap, _ := DecodeHostSnapshot(ev.Payload)
+			if snap.Location != nil {
+				t.Fatal("derived context leaked into journal")
+			}
+		}
+	}
+}
+
+func TestDrainDispatchesSubscribers(t *testing.T) {
+	p, _ := newPipeline()
+	var got []OutEvent
+	p.Subscribe(func(ev OutEvent) { got = append(got, ev) })
+	p.Apply(obsHTTP(at(0), "x"))
+	if p.QueueLen() != 1 {
+		t.Fatalf("QueueLen = %d", p.QueueLen())
+	}
+	if n := p.Drain(); n != 1 {
+		t.Fatalf("Drain = %d", n)
+	}
+	if len(got) != 1 || got[0].Kind != KindServiceFound {
+		t.Fatalf("subscriber got %+v", got)
+	}
+	if p.Drain() != 0 {
+		t.Fatal("second drain re-delivered")
+	}
+}
+
+func TestCertIndexFollowsEvents(t *testing.T) {
+	p, _ := newPipeline()
+	ci := NewCertIndex()
+	ci.Follow(p)
+
+	svc := &entity.Service{Port: 443, Transport: entity.TCP, Protocol: "HTTP",
+		TLS: true, CertSHA256: "fp-one", Verified: true}
+	p.Apply(Observation{Addr: addr, Port: 443, Transport: entity.TCP,
+		Time: at(0), Success: true, Service: svc})
+	p.Drain()
+	locs := ci.Locations("fp-one")
+	if len(locs) != 1 || locs[0] != "10.0.0.1 443/tcp" {
+		t.Fatalf("Locations = %v", locs)
+	}
+
+	// Cert rotation moves the locator.
+	svc2 := svc.Clone()
+	svc2.CertSHA256 = "fp-two"
+	p.Apply(Observation{Addr: addr, Port: 443, Transport: entity.TCP,
+		Time: at(1), Success: true, Service: svc2})
+	p.Drain()
+	if len(ci.Locations("fp-one")) != 0 {
+		t.Fatal("stale fingerprint locator kept after rotation")
+	}
+	if len(ci.Locations("fp-two")) != 1 {
+		t.Fatal("new fingerprint not indexed")
+	}
+
+	// Eviction clears the index.
+	p.Apply(Observation{Addr: addr, Port: 443, Transport: entity.TCP, Time: at(2)})
+	p.Apply(Observation{Addr: addr, Port: 443, Transport: entity.TCP, Time: at(2 + 80)})
+	p.Drain()
+	if ci.Fingerprints() != 0 {
+		t.Fatalf("fingerprints after eviction = %d", ci.Fingerprints())
+	}
+}
+
+func TestReadSideMatchesWriteSideAfterChurn(t *testing.T) {
+	// Fuzz-ish consistency: a random-ish sequence of observations must
+	// leave read-side reconstruction equal to write-side state.
+	j := journal.NewStore()
+	p := NewProcessor(Config{EvictAfter: 10 * time.Hour, SnapshotEvery: 3}, j)
+	r := NewReader(j, nil)
+	banners := []string{"a", "b", "a", "a", "c"}
+	hour := 0
+	for round := 0; round < 30; round++ {
+		hour++
+		if round%7 == 3 {
+			p.Apply(failObs(at(hour)))
+			continue
+		}
+		p.Apply(obsHTTP(at(hour), banners[round%len(banners)]))
+	}
+	ws := p.CurrentState(addr.String())
+	rs, ok := r.HostAt(addr.String(), at(hour))
+	if !ok {
+		t.Fatal("read side missing host")
+	}
+	key := entity.ServiceKey{Port: 80, Transport: entity.TCP}
+	wsvc, rsvc := ws.Service(key), rs.Service(key)
+	if (wsvc == nil) != (rsvc == nil) {
+		t.Fatalf("presence mismatch: write=%v read=%v", wsvc, rsvc)
+	}
+	if wsvc != nil && !wsvc.ConfigEqual(rsvc) {
+		t.Fatalf("config mismatch: %+v vs %+v", wsvc, rsvc)
+	}
+}
+
+func TestHostAtBadEntityID(t *testing.T) {
+	j := journal.NewStore()
+	j.Append("not-an-ip", at(0), KindServiceFound,
+		EncodeServiceEvent(&entity.Service{Port: 1, Transport: entity.TCP, Protocol: "X"}))
+	r := NewReader(j, nil)
+	if _, ok := r.HostAt("not-an-ip", at(1)); ok {
+		t.Fatal("bad entity id reconstructed")
+	}
+}

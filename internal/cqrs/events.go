@@ -1,0 +1,113 @@
+// Package cqrs implements the Command Query Responsibility Segregation
+// pipeline of paper §5.2: inbound scans are commands that update entity
+// state; state changes are journaled as delta events; read-side queries
+// reconstruct entities from snapshot + replay and attach derived context.
+//
+// The write and read sides share only the journal, so they scale
+// independently — essential for a system whose write rate (5B events/day at
+// Censys' scale) rivals its read rate.
+package cqrs
+
+import (
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"censysmap/internal/entity"
+	"censysmap/internal/journal"
+)
+
+// Event kinds journaled by the write side. Each is a delta touching one
+// service slot; full host state appears only in snapshots.
+const (
+	KindServiceFound    = "service_found"
+	KindServiceChanged  = "service_changed"
+	KindServicePending  = "service_pending"  // refresh failed; eviction timer started
+	KindServiceRestored = "service_restored" // pending service answered again
+	KindServiceRemoved  = "service_removed"  // evicted after the grace window
+)
+
+// servicePayload is the JSON body of found/changed/restored events.
+type servicePayload struct {
+	Service *entity.Service `json:"service"`
+}
+
+// keyPayload is the JSON body of pending/removed events.
+type keyPayload struct {
+	Port      uint16           `json:"port"`
+	Transport entity.Transport `json:"transport"`
+	Since     time.Time        `json:"since,omitempty"`
+}
+
+// EncodeServiceEvent serializes a found/changed/restored delta.
+func EncodeServiceEvent(svc *entity.Service) []byte {
+	b, err := json.Marshal(servicePayload{Service: svc})
+	if err != nil {
+		panic("cqrs: marshal cannot fail: " + err.Error())
+	}
+	return b
+}
+
+// EncodeKeyEvent serializes a pending/removed delta.
+func EncodeKeyEvent(key entity.ServiceKey, since time.Time) []byte {
+	b, err := json.Marshal(keyPayload{Port: key.Port, Transport: key.Transport, Since: since})
+	if err != nil {
+		panic("cqrs: marshal cannot fail: " + err.Error())
+	}
+	return b
+}
+
+// EncodeHostSnapshot serializes full host state for snapshot events.
+func EncodeHostSnapshot(h *entity.Host) []byte {
+	b, err := json.Marshal(h)
+	if err != nil {
+		panic("cqrs: marshal cannot fail: " + err.Error())
+	}
+	return b
+}
+
+// DecodeHostSnapshot parses a snapshot payload.
+func DecodeHostSnapshot(payload []byte) (*entity.Host, error) {
+	var h entity.Host
+	if err := json.Unmarshal(payload, &h); err != nil {
+		return nil, fmt.Errorf("cqrs: snapshot decode: %w", err)
+	}
+	return &h, nil
+}
+
+// ApplyEvent applies one journaled delta to a host record, the reducer used
+// by read-side replay. Unknown kinds are ignored (forward compatibility).
+func ApplyEvent(h *entity.Host, ev journal.Event) error {
+	switch ev.Kind {
+	case KindServiceFound, KindServiceChanged, KindServiceRestored:
+		var p servicePayload
+		if err := json.Unmarshal(ev.Payload, &p); err != nil {
+			return fmt.Errorf("cqrs: apply %s: %w", ev.Kind, err)
+		}
+		if p.Service == nil {
+			return fmt.Errorf("cqrs: %s event without service", ev.Kind)
+		}
+		h.SetService(p.Service)
+	case KindServicePending:
+		var p keyPayload
+		if err := json.Unmarshal(ev.Payload, &p); err != nil {
+			return fmt.Errorf("cqrs: apply pending: %w", err)
+		}
+		if svc := h.Service(entity.ServiceKey{Port: p.Port, Transport: p.Transport}); svc != nil {
+			since := p.Since
+			svc.PendingRemovalSince = &since
+		}
+	case KindServiceRemoved:
+		var p keyPayload
+		if err := json.Unmarshal(ev.Payload, &p); err != nil {
+			return fmt.Errorf("cqrs: apply removed: %w", err)
+		}
+		h.RemoveService(entity.ServiceKey{Port: p.Port, Transport: p.Transport})
+	case journal.SnapshotKind:
+		// Snapshots are handled by the replay driver, not the reducer.
+	}
+	if ev.Time.After(h.LastUpdated) {
+		h.LastUpdated = ev.Time
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package cqrs
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"censysmap/internal/entity"
+	"censysmap/internal/journal"
+)
+
+// Observation is the write-side command: the outcome of one service
+// interrogation (or refresh attempt).
+type Observation struct {
+	Addr      netip.Addr
+	Port      uint16
+	Transport entity.Transport
+	Time      time.Time
+	PoP       string
+	Method    entity.DetectionMethod
+	// Success reports the interrogation reached a service. Service holds
+	// the structured record when Success is true.
+	Success bool
+	Service *entity.Service
+}
+
+// Key returns the service slot the observation addresses.
+func (o *Observation) Key() entity.ServiceKey {
+	return entity.ServiceKey{Port: o.Port, Transport: o.Transport}
+}
+
+// OutEvent is an update emitted to the async processing queue after the
+// journal append — the trigger for read-model updates, follow-up scans, and
+// downstream applications.
+type OutEvent struct {
+	Entity  string
+	Kind    string
+	Time    time.Time
+	Service *entity.Service // set for found/changed/restored
+	Key     entity.ServiceKey
+}
+
+// Config tunes the write side.
+type Config struct {
+	// EvictAfter is how long a service stays pending-removal before it is
+	// evicted (the paper's 72-hour compromise, §4.6).
+	EvictAfter time.Duration
+	// SnapshotEvery bounds replay length: a snapshot is journaled after
+	// this many delta events per entity.
+	SnapshotEvery int
+}
+
+// DefaultConfig matches the paper's production choices.
+func DefaultConfig() Config {
+	return Config{EvictAfter: 72 * time.Hour, SnapshotEvery: 16}
+}
+
+// Processor is the write side: it turns observations into journaled deltas
+// and maintains the authoritative current state used for diffing.
+type Processor struct {
+	mu      sync.Mutex
+	cfg     Config
+	journal *journal.Store
+	// state is the write-side current state per entity; it is exactly what
+	// snapshot+replay reconstructs, kept materialized for O(1) diffing.
+	state map[string]*entity.Host
+	// sinceSnap counts deltas since each entity's last snapshot.
+	sinceSnap map[string]int
+	// lastSeen tracks per-slot refresh liveness without journaling it:
+	// "last time Censys saw the service" changes every scan and would
+	// defeat delta encoding if journaled.
+	lastSeen map[string]map[string]time.Time
+
+	queue       []OutEvent
+	subscribers []func(OutEvent)
+
+	// Counters for evaluation.
+	observations uint64
+	noChange     uint64
+}
+
+// NewProcessor creates a write-side processor over the given journal.
+func NewProcessor(cfg Config, j *journal.Store) *Processor {
+	if cfg.EvictAfter <= 0 {
+		cfg.EvictAfter = 72 * time.Hour
+	}
+	if cfg.SnapshotEvery <= 0 {
+		cfg.SnapshotEvery = 16
+	}
+	return &Processor{
+		cfg:       cfg,
+		journal:   j,
+		state:     make(map[string]*entity.Host),
+		sinceSnap: make(map[string]int),
+		lastSeen:  make(map[string]map[string]time.Time),
+	}
+}
+
+// Journal returns the underlying event journal.
+func (p *Processor) Journal() *journal.Store { return p.journal }
+
+// Subscribe registers an async consumer of write-side events. Subscribers
+// run when Drain is called, mirroring the paper's queue-decoupled
+// asynchronous event processing.
+func (p *Processor) Subscribe(fn func(OutEvent)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.subscribers = append(p.subscribers, fn)
+}
+
+// Apply processes one observation: retrieve state, diff, journal the delta,
+// enqueue the event (the four write-side steps of §5.2).
+func (p *Processor) Apply(obs Observation) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.observations++
+
+	id := obs.Addr.String()
+	h := p.state[id]
+	if h == nil {
+		h = entity.NewHost(obs.Addr)
+		p.state[id] = h
+	}
+	key := obs.Key()
+	existing := h.Service(key)
+
+	switch {
+	case obs.Success && obs.Service != nil:
+		p.touch(id, key, obs.Time)
+		svc := obs.Service.Clone()
+		svc.LastSeen = obs.Time
+		svc.SourcePoP = obs.PoP
+		if existing == nil {
+			svc.FirstSeen = obs.Time
+			svc.Method = obs.Method
+			return p.emit(h, obs.Time, KindServiceFound, svc)
+		}
+		svc.FirstSeen = existing.FirstSeen
+		svc.Method = existing.Method
+		wasPending := existing.PendingRemovalSince != nil
+		if existing.ConfigEqual(svc) && !wasPending {
+			// Stable record: refresh confirmed the same configuration.
+			// Nothing is journaled; only liveness bookkeeping moves.
+			existing.LastSeen = obs.Time
+			existing.SourcePoP = obs.PoP
+			p.noChange++
+			return nil
+		}
+		svc.PendingRemovalSince = nil
+		kind := KindServiceChanged
+		if wasPending && existing.ConfigEqual(svc) {
+			kind = KindServiceRestored
+		}
+		return p.emit(h, obs.Time, kind, svc)
+
+	case !obs.Success && existing != nil:
+		if existing.PendingRemovalSince == nil {
+			// First failed refresh: start the eviction timer.
+			since := obs.Time
+			existing.PendingRemovalSince = &since
+			return p.emitKey(h, obs.Time, KindServicePending, key, since)
+		}
+		if obs.Time.Sub(*existing.PendingRemovalSince) >= p.cfg.EvictAfter {
+			h.RemoveService(key)
+			return p.emitKey(h, obs.Time, KindServiceRemoved, key, *existing.PendingRemovalSince)
+		}
+		return nil // still inside the grace window
+
+	default:
+		return nil // failed scan of an unknown slot: nothing to record
+	}
+}
+
+func (p *Processor) touch(id string, key entity.ServiceKey, t time.Time) {
+	m := p.lastSeen[id]
+	if m == nil {
+		m = make(map[string]time.Time)
+		p.lastSeen[id] = m
+	}
+	m[key.String()] = t
+}
+
+// emit journals a service-carrying delta and updates write-side state.
+func (p *Processor) emit(h *entity.Host, t time.Time, kind string, svc *entity.Service) error {
+	if _, err := p.journal.Append(h.ID(), t, kind, EncodeServiceEvent(svc)); err != nil {
+		return err
+	}
+	h.SetService(svc)
+	if t.After(h.LastUpdated) {
+		h.LastUpdated = t
+	}
+	p.afterAppend(h, t)
+	p.queue = append(p.queue, OutEvent{Entity: h.ID(), Kind: kind, Time: t, Service: svc, Key: svc.Key()})
+	return nil
+}
+
+// emitKey journals a key-only delta (pending/removed).
+func (p *Processor) emitKey(h *entity.Host, t time.Time, kind string, key entity.ServiceKey, since time.Time) error {
+	if _, err := p.journal.Append(h.ID(), t, kind, EncodeKeyEvent(key, since)); err != nil {
+		return err
+	}
+	if t.After(h.LastUpdated) {
+		h.LastUpdated = t
+	}
+	p.afterAppend(h, t)
+	p.queue = append(p.queue, OutEvent{Entity: h.ID(), Kind: kind, Time: t, Key: key})
+	return nil
+}
+
+// afterAppend maintains snapshot cadence.
+func (p *Processor) afterAppend(h *entity.Host, t time.Time) {
+	id := h.ID()
+	p.sinceSnap[id]++
+	if p.sinceSnap[id] >= p.cfg.SnapshotEvery {
+		if _, err := p.journal.AppendSnapshot(id, t, EncodeHostSnapshot(h)); err == nil {
+			p.sinceSnap[id] = 0
+		}
+	}
+}
+
+// Drain dispatches queued events to subscribers and returns how many were
+// processed.
+func (p *Processor) Drain() int {
+	p.mu.Lock()
+	events := p.queue
+	p.queue = nil
+	subs := make([]func(OutEvent), len(p.subscribers))
+	copy(subs, p.subscribers)
+	p.mu.Unlock()
+	for _, ev := range events {
+		for _, fn := range subs {
+			fn(ev)
+		}
+	}
+	return len(events)
+}
+
+// QueueLen reports pending async events.
+func (p *Processor) QueueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// CurrentState returns the write side's materialized state for an entity
+// (cloned), or nil. This backs the fast current-state lookup path.
+func (p *Processor) CurrentState(id string) *entity.Host {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.state[id].Clone()
+}
+
+// LastSeen reports the most recent successful observation of a slot.
+func (p *Processor) LastSeen(id string, key entity.ServiceKey) (time.Time, bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	t, ok := p.lastSeen[id][key.String()]
+	return t, ok
+}
+
+// EntityIDs lists entities with materialized state, in map order.
+func (p *Processor) EntityIDs() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]string, 0, len(p.state))
+	for id := range p.state {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stats reports write-side counters: total observations and how many were
+// no-change refreshes (the delta-encoding win).
+func (p *Processor) Stats() (observations, noChange uint64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.observations, p.noChange
+}

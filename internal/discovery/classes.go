@@ -1,0 +1,96 @@
+package discovery
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"censysmap/internal/cyclic"
+	"censysmap/internal/entity"
+)
+
+// allPorts enumerates 1..65535 for the background class.
+func allPorts() []uint16 {
+	ports := make([]uint16, 65535)
+	for i := range ports {
+		ports[i] = uint16(i + 1)
+	}
+	return ports
+}
+
+// StandardClasses builds the paper's three scan classes for a universe:
+//
+//   - priority ports over the whole prefix, one full pass per day;
+//   - cloud networks (the first cloudBlocks /24s) on the wider cloud port
+//     set, one full pass per day;
+//   - background 65K over the whole prefix at backgroundPortsPerIPPerDay
+//     random ports per address per day (the paper's 100).
+//
+// tick is the scheduler quantum the engine will be driven at.
+func StandardClasses(prefix netip.Prefix, cloudBlocks int, tick time.Duration, backgroundPortsPerIPPerDay int) ([]ClassConfig, error) {
+	if !prefix.Addr().Is4() {
+		return nil, fmt.Errorf("discovery: IPv4 prefix required")
+	}
+	ticksPerDay := int(24 * time.Hour / tick)
+	if ticksPerDay < 1 {
+		ticksPerDay = 1
+	}
+	hosts := uint64(1) << (32 - prefix.Bits())
+
+	prioSpace, err := cyclic.NewPrefixSpace(prefix, PriorityPorts())
+	if err != nil {
+		return nil, err
+	}
+	classes := []ClassConfig{{
+		Name:          "priority",
+		Method:        entity.DetectPriorityScan,
+		Space:         prioSpace,
+		ProbesPerTick: perTick(prioSpace.Size(), ticksPerDay),
+		Restart:       true,
+	}}
+
+	if cloudBlocks > 0 {
+		cloudHosts := uint64(cloudBlocks) * 256
+		if cloudHosts > hosts {
+			cloudHosts = hosts
+		}
+		cloudSpace, err := cyclic.NewSpace(prefix.Masked().Addr(), cloudHosts, CloudPorts())
+		if err != nil {
+			return nil, err
+		}
+		classes = append(classes, ClassConfig{
+			Name:          "cloud",
+			Method:        entity.DetectCloudScan,
+			Space:         cloudSpace,
+			ProbesPerTick: perTick(cloudSpace.Size(), ticksPerDay),
+			Restart:       true,
+		})
+	}
+
+	if backgroundPortsPerIPPerDay > 0 {
+		bgSpace, err := cyclic.NewPrefixSpace(prefix, allPorts())
+		if err != nil {
+			return nil, err
+		}
+		daily := hosts * uint64(backgroundPortsPerIPPerDay)
+		classes = append(classes, ClassConfig{
+			Name:          "background65k",
+			Method:        entity.DetectBackgroundScan,
+			Space:         bgSpace,
+			ProbesPerTick: perTick(daily, ticksPerDay),
+			Restart:       true,
+		})
+	}
+	return classes, nil
+}
+
+func perTick(perDay uint64, ticksPerDay int) int {
+	n := perDay / uint64(ticksPerDay)
+	if perDay%uint64(ticksPerDay) != 0 {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return int(n)
+}

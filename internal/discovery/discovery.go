@@ -1,0 +1,337 @@
+// Package discovery implements Phase 1 of two-phase scanning (paper §4.1):
+// continuous, stateless L4 discovery of potential service locations. It runs
+// the paper's three scan classes —
+//
+//   - Common Ports and Protocols: the most responsive ports plus
+//     IANA-assigned ports of interest, covered daily;
+//   - Dense, High-Churn Networks: known cloud prefixes on a wide port set,
+//     at least daily;
+//   - Background 65K: every port on every address, slowly and continuously,
+//     feeding the predictive engine and surfacing long-lived services on
+//     unusual ports —
+//
+// from multiple points of presence, with traffic spread evenly across time
+// (continuous operation rather than timed runs) and across a pool of source
+// addresses. L4-responsive targets are never published: they are candidates
+// queued for Phase 2 interrogation.
+package discovery
+
+import (
+	"fmt"
+	"net/netip"
+	"time"
+
+	"censysmap/internal/cyclic"
+	"censysmap/internal/entity"
+	"censysmap/internal/protocols"
+	"censysmap/internal/simnet"
+	"censysmap/internal/wire"
+)
+
+// PoP is a scanning point of presence (paper §4.5).
+type PoP struct {
+	// Name identifies the PoP, e.g. "chi", "fra", "hkg".
+	Name string
+	// Country is the vantage point's location (geoblocking input).
+	Country string
+	// SourceAddr is the address probes originate from (wire mode).
+	SourceAddr netip.Addr
+}
+
+// DefaultPoPs mirrors the paper's deployment: Chicago, Frankfurt, Hong Kong.
+func DefaultPoPs() []PoP {
+	return []PoP{
+		{Name: "chi", Country: "US", SourceAddr: netip.MustParseAddr("192.0.2.1")},
+		{Name: "fra", Country: "DE", SourceAddr: netip.MustParseAddr("192.0.2.2")},
+		{Name: "hkg", Country: "HK", SourceAddr: netip.MustParseAddr("192.0.2.3")},
+	}
+}
+
+// Candidate is a potential service location discovered in Phase 1.
+type Candidate struct {
+	Addr      netip.Addr
+	Port      uint16
+	Transport entity.Transport
+	// Method records which scan class (or engine) produced the candidate.
+	Method entity.DetectionMethod
+	// PoP is the vantage point that saw the response.
+	PoP string
+	// Time is when the response was observed.
+	Time time.Time
+	// UDPProtocol names the protocol whose probe elicited a UDP reply.
+	UDPProtocol string
+}
+
+// ClassConfig sizes one scan class.
+type ClassConfig struct {
+	// Name labels the class in stats.
+	Name string
+	// Method tags candidates found by this class.
+	Method entity.DetectionMethod
+	// Space is the (address × port) target space the class covers.
+	Space *cyclic.Space
+	// ProbesPerTick is the class's per-tick probe budget (bandwidth
+	// allocation).
+	ProbesPerTick int
+	// Restart restarts coverage from a fresh pseudorandom order when the
+	// space is exhausted (continuous scanning).
+	Restart bool
+}
+
+// Config assembles a discovery engine.
+type Config struct {
+	// Scanner identifies this engine to networks (blocking model).
+	Scanner simnet.Scanner
+	// PoPs are the vantage points; probes rotate across them.
+	PoPs []PoP
+	// Classes are the scan classes to run.
+	Classes []ClassConfig
+	// Excluded prefixes are never probed (opt-out list, paper §8/App. D).
+	Excluded []netip.Prefix
+	// Seed drives iteration order.
+	Seed uint64
+	// WirePackets routes probes through full packet encode/decode (the
+	// userspace network stack) instead of the fast path. Identical
+	// semantics, ~5x the CPU; used where wire fidelity matters.
+	WirePackets bool
+}
+
+// Stats counts engine activity.
+type Stats struct {
+	ProbesSent     uint64
+	OpenResponses  uint64
+	ClosedResponse uint64
+	Dropped        uint64
+	Excluded       uint64
+	CyclesComplete uint64
+}
+
+// Engine drives discovery scanning over the synthetic Internet.
+type Engine struct {
+	cfg     Config
+	net     *simnet.Internet
+	classes []*classState
+	prober  *wire.Prober
+	popIdx  int
+	stats   Stats
+	// udpProbes caches protocol-specific UDP payloads by port.
+	udpProbes map[uint16]udpProbe
+}
+
+type udpProbe struct {
+	protocol string
+	payload  []byte
+}
+
+type classState struct {
+	cfg  ClassConfig
+	iter *cyclic.Iterator
+	gen  uint64 // reseed counter across restarts
+}
+
+// New creates a discovery engine.
+func New(cfg Config, net *simnet.Internet) (*Engine, error) {
+	if len(cfg.PoPs) == 0 {
+		return nil, fmt.Errorf("discovery: at least one PoP required")
+	}
+	e := &Engine{
+		cfg:       cfg,
+		net:       net,
+		prober:    wire.NewProber(cfg.Seed, 40000),
+		udpProbes: make(map[uint16]udpProbe),
+	}
+	for _, cc := range cfg.Classes {
+		if cc.Space == nil || cc.ProbesPerTick <= 0 {
+			return nil, fmt.Errorf("discovery: class %q misconfigured", cc.Name)
+		}
+		it, err := cyclic.NewIterator(cc.Space, cfg.Seed^strSeed(cc.Name))
+		if err != nil {
+			return nil, fmt.Errorf("discovery: class %q: %w", cc.Name, err)
+		}
+		e.classes = append(e.classes, &classState{cfg: cc, iter: it})
+	}
+	// Precompute UDP probes for ports whose conventional protocol is
+	// UDP-based.
+	for _, p := range protocols.All() {
+		if p.Transport != entity.UDP {
+			continue
+		}
+		payload := protocols.FirstProbe(p.Name)
+		if payload == nil {
+			continue
+		}
+		for _, port := range p.DefaultPorts {
+			e.udpProbes[port] = udpProbe{protocol: p.Name, payload: payload}
+		}
+	}
+	return e, nil
+}
+
+func strSeed(s string) uint64 {
+	h := uint64(1469598103934665603)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// SetExcluded replaces the engine's opt-out list (dynamic exclusions).
+func (e *Engine) SetExcluded(prefixes []netip.Prefix) {
+	e.cfg.Excluded = append([]netip.Prefix(nil), prefixes...)
+}
+
+// excluded reports whether addr is in the opt-out list.
+func (e *Engine) excluded(addr netip.Addr) bool {
+	for _, p := range e.cfg.Excluded {
+		if p.Contains(addr) {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick runs one scheduling quantum: each class spends its probe budget, and
+// responsive targets are passed to emit. Probes rotate over PoPs so traffic
+// is spread across vantage points.
+func (e *Engine) Tick(now time.Time, emit func(Candidate)) {
+	for _, cs := range e.classes {
+		for i := 0; i < cs.cfg.ProbesPerTick; i++ {
+			addr, port, ok := cs.iter.Next()
+			if !ok {
+				e.stats.CyclesComplete++
+				if !cs.cfg.Restart {
+					break
+				}
+				cs.gen++
+				it, err := cyclic.NewIterator(cs.cfg.Space, e.cfg.Seed^strSeed(cs.cfg.Name)^cs.gen)
+				if err != nil {
+					break
+				}
+				cs.iter = it
+				addr, port, ok = cs.iter.Next()
+				if !ok {
+					break
+				}
+			}
+			if e.excluded(addr) {
+				e.stats.Excluded++
+				continue
+			}
+			e.probe(now, cs.cfg.Method, addr, port, emit)
+		}
+	}
+}
+
+// probe sends one TCP SYN (plus a protocol-specific UDP probe when the port
+// conventionally carries a UDP protocol) from the next PoP in rotation.
+func (e *Engine) probe(now time.Time, method entity.DetectionMethod, addr netip.Addr, port uint16, emit func(Candidate)) {
+	pop := e.cfg.PoPs[e.popIdx%len(e.cfg.PoPs)]
+	e.popIdx++
+	sc := e.cfg.Scanner
+	sc.Country = pop.Country
+
+	e.stats.ProbesSent++
+	var outcome simnet.Outcome
+	if e.cfg.WirePackets {
+		outcome = e.wireProbeTCP(sc, pop, addr, port)
+	} else {
+		outcome = e.net.ProbeTCP(sc, addr, port)
+	}
+	switch outcome {
+	case simnet.Open:
+		e.stats.OpenResponses++
+		emit(Candidate{Addr: addr, Port: port, Transport: entity.TCP,
+			Method: method, PoP: pop.Name, Time: now})
+	case simnet.Closed:
+		e.stats.ClosedResponse++
+	default:
+		e.stats.Dropped++
+	}
+
+	if up, ok := e.udpProbes[port]; ok {
+		e.stats.ProbesSent++
+		var resp []byte
+		var uout simnet.Outcome
+		if e.cfg.WirePackets {
+			resp, uout = e.wireProbeUDP(sc, pop, addr, port, up.payload)
+		} else {
+			resp, uout = e.net.ProbeUDP(sc, addr, port, up.payload)
+		}
+		if uout == simnet.Open && len(resp) > 0 {
+			e.stats.OpenResponses++
+			emit(Candidate{Addr: addr, Port: port, Transport: entity.UDP,
+				Method: method, PoP: pop.Name, Time: now, UDPProtocol: up.protocol})
+		} else {
+			e.stats.Dropped++
+		}
+	}
+}
+
+// wireProbeTCP sends the probe as a crafted SYN packet through the full
+// userspace network stack.
+func (e *Engine) wireProbeTCP(sc simnet.Scanner, pop PoP, addr netip.Addr, port uint16) simnet.Outcome {
+	pkt, err := e.prober.SYN(pop.SourceAddr, addr, port)
+	if err != nil {
+		return simnet.Dropped
+	}
+	resp := e.net.HandlePacket(sc, pkt)
+	if resp == nil {
+		return simnet.Dropped
+	}
+	parsed, ok := e.prober.ParseResponse(pop.SourceAddr, resp)
+	if !ok {
+		return simnet.Dropped
+	}
+	switch parsed.Kind {
+	case wire.ResponseOpen:
+		return simnet.Open
+	case wire.ResponseClosed:
+		return simnet.Closed
+	}
+	return simnet.Dropped
+}
+
+// wireProbeUDP sends the probe as a crafted UDP packet.
+func (e *Engine) wireProbeUDP(sc simnet.Scanner, pop PoP, addr netip.Addr, port uint16, payload []byte) ([]byte, simnet.Outcome) {
+	pkt, err := e.prober.UDPProbe(pop.SourceAddr, addr, port, payload)
+	if err != nil {
+		return nil, simnet.Dropped
+	}
+	resp := e.net.HandlePacket(sc, pkt)
+	if resp == nil {
+		return nil, simnet.Dropped
+	}
+	parsed, ok := e.prober.ParseResponse(pop.SourceAddr, resp)
+	if !ok || parsed.Kind != wire.ResponseUDPReply {
+		return nil, simnet.Dropped
+	}
+	return parsed.Payload, simnet.Open
+}
+
+// Stats returns cumulative counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// PriorityPorts returns the ~top responsive ports plus IANA-assigned ports
+// of interest that the Common Ports class covers daily (a scaled-down
+// version of the paper's ~200).
+func PriorityPorts() []uint16 {
+	return []uint16{
+		80, 443, 22, 7547, 21, 25, 8080, 3389, 53, 23,
+		5060, 587, 3306, 8443, 123, 161, 8000, 5900, 2222, 6379,
+		445, 1883, 8888, 2082, 110, 143, 465, 993, 995, 5901,
+		// IANA-assigned protocols of interest (incl. ICS):
+		502, 102, 20000, 47808, 9600, 1911, 4911, 44818, 10001, 2455,
+		2404, 18245, 789, 1962, 20547, 5094, 17185,
+		81, 8081, 9000, 10000,
+	}
+}
+
+// CloudPorts returns the wider port set used on dense cloud networks
+// (scaled-down version of the paper's 300).
+func CloudPorts() []uint16 {
+	ports := append([]uint16(nil), PriorityPorts()...)
+	extra := []uint16{82, 8089, 9090, 49152, 60000, 500, 3000, 5000, 5432,
+		27017, 9200, 11211, 4443, 8834, 9443, 8500, 2379, 6443, 10250, 30000}
+	return append(ports, extra...)
+}

@@ -1,0 +1,263 @@
+package discovery
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"censysmap/internal/cyclic"
+	"censysmap/internal/entity"
+	"censysmap/internal/simclock"
+	"censysmap/internal/simnet"
+)
+
+func quietConfig() simnet.Config {
+	cfg := simnet.DefaultConfig()
+	cfg.Prefix = netip.MustParsePrefix("10.0.0.0/22")
+	cfg.CloudBlocks = 1
+	cfg.WebProperties = 10
+	cfg.BaseLoss = 0
+	cfg.OutageRate = 0
+	cfg.GeoblockRate = 0
+	return cfg
+}
+
+func censysLike() simnet.Scanner {
+	return simnet.Scanner{ID: "censys", SourceIPs: 256, Country: "US"}
+}
+
+func newEngine(t *testing.T, net *simnet.Internet, classes []ClassConfig, wirePackets bool) *Engine {
+	t.Helper()
+	e, err := New(Config{
+		Scanner:     censysLike(),
+		PoPs:        DefaultPoPs(),
+		Classes:     classes,
+		Seed:        7,
+		WirePackets: wirePackets,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func priorityClass(t *testing.T, prefix netip.Prefix, budget int) ClassConfig {
+	t.Helper()
+	space, err := cyclic.NewPrefixSpace(prefix, PriorityPorts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ClassConfig{Name: "priority", Method: entity.DetectPriorityScan,
+		Space: space, ProbesPerTick: budget, Restart: true}
+}
+
+func TestDiscoveryFindsLiveServices(t *testing.T) {
+	clk := simclock.New()
+	net := simnet.New(quietConfig(), clk)
+	cls := priorityClass(t, quietConfig().Prefix, 1<<20)
+	e := newEngine(t, net, []ClassConfig{cls}, false)
+
+	found := map[[2]any]bool{}
+	e.Tick(clk.Now(), func(c Candidate) {
+		found[[2]any{c.Addr, c.Port}] = true
+	})
+
+	// Every live TCP service on a priority port must be discovered in a
+	// full lossless pass.
+	missed := 0
+	total := 0
+	prio := map[uint16]bool{}
+	for _, p := range PriorityPorts() {
+		prio[p] = true
+	}
+	for _, s := range net.LiveServices(clk.Now(), false) {
+		if s.Transport != entity.TCP || !prio[s.Port] {
+			continue
+		}
+		total++
+		if !found[[2]any{s.Addr, s.Port}] {
+			missed++
+		}
+	}
+	if total == 0 {
+		t.Fatal("no services on priority ports in universe")
+	}
+	if missed != 0 {
+		t.Fatalf("missed %d/%d services in a lossless full pass", missed, total)
+	}
+}
+
+func TestDiscoveryEmitsUDPCandidates(t *testing.T) {
+	clk := simclock.New()
+	net := simnet.New(quietConfig(), clk)
+	cls := priorityClass(t, quietConfig().Prefix, 1<<20)
+	e := newEngine(t, net, []ClassConfig{cls}, false)
+
+	udp := 0
+	e.Tick(clk.Now(), func(c Candidate) {
+		if c.Transport == entity.UDP {
+			udp++
+			if c.UDPProtocol == "" {
+				t.Fatal("UDP candidate without protocol")
+			}
+		}
+	})
+	wantUDP := 0
+	for _, s := range net.LiveServices(clk.Now(), false) {
+		if s.Transport == entity.UDP {
+			wantUDP++
+		}
+	}
+	if wantUDP == 0 {
+		t.Skip("no UDP services generated in small universe")
+	}
+	if udp == 0 {
+		t.Fatal("no UDP candidates discovered")
+	}
+}
+
+func TestWirePathMatchesFastPath(t *testing.T) {
+	cfgA := quietConfig()
+	clkA := simclock.New()
+	netA := simnet.New(cfgA, clkA)
+	eA := newEngine(t, netA, []ClassConfig{priorityClass(t, cfgA.Prefix, 1<<20)}, false)
+
+	clkB := simclock.New()
+	netB := simnet.New(cfgA, clkB)
+	eB := newEngine(t, netB, []ClassConfig{priorityClass(t, cfgA.Prefix, 1<<20)}, true)
+
+	fast := map[Candidate]bool{}
+	eA.Tick(clkA.Now(), func(c Candidate) { fast[c] = true })
+	wirePath := map[Candidate]bool{}
+	eB.Tick(clkB.Now(), func(c Candidate) { wirePath[c] = true })
+
+	if len(fast) == 0 || len(fast) != len(wirePath) {
+		t.Fatalf("fast path found %d, wire path %d", len(fast), len(wirePath))
+	}
+	for c := range fast {
+		if !wirePath[c] {
+			t.Fatalf("wire path missed %+v", c)
+		}
+	}
+}
+
+func TestExclusionListHonored(t *testing.T) {
+	clk := simclock.New()
+	cfg := quietConfig()
+	net := simnet.New(cfg, clk)
+	excluded := netip.MustParsePrefix("10.0.1.0/24")
+	e, err := New(Config{
+		Scanner:  censysLike(),
+		PoPs:     DefaultPoPs(),
+		Classes:  []ClassConfig{priorityClass(t, cfg.Prefix, 1<<20)},
+		Excluded: []netip.Prefix{excluded},
+		Seed:     7,
+	}, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Tick(clk.Now(), func(c Candidate) {
+		if excluded.Contains(c.Addr) {
+			t.Fatalf("excluded address %v probed", c.Addr)
+		}
+	})
+	if e.Stats().Excluded == 0 {
+		t.Fatal("no probes skipped for excluded prefix")
+	}
+}
+
+func TestContinuousRestartCoversAgain(t *testing.T) {
+	clk := simclock.New()
+	cfg := quietConfig()
+	net := simnet.New(cfg, clk)
+	space, _ := cyclic.NewPrefixSpace(cfg.Prefix, []uint16{80})
+	cls := ClassConfig{Name: "tiny", Method: entity.DetectPriorityScan,
+		Space: space, ProbesPerTick: int(space.Size()) + 10, Restart: true}
+	e := newEngine(t, net, []ClassConfig{cls}, false)
+	e.Tick(clk.Now(), func(Candidate) {})
+	if e.Stats().CyclesComplete == 0 {
+		t.Fatal("cycle did not complete")
+	}
+	sent := e.Stats().ProbesSent
+	e.Tick(clk.Now(), func(Candidate) {})
+	if e.Stats().ProbesSent <= sent {
+		t.Fatal("engine stopped probing after cycle completion")
+	}
+}
+
+func TestProbesRotateAcrossPoPs(t *testing.T) {
+	clk := simclock.New()
+	cfg := quietConfig()
+	net := simnet.New(cfg, clk)
+	e := newEngine(t, net, []ClassConfig{priorityClass(t, cfg.Prefix, 1<<20)}, false)
+	pops := map[string]int{}
+	e.Tick(clk.Now(), func(c Candidate) { pops[c.PoP]++ })
+	if len(pops) != 3 {
+		t.Fatalf("candidates from %d PoPs, want 3: %v", len(pops), pops)
+	}
+}
+
+func TestStandardClassesBudgets(t *testing.T) {
+	prefix := netip.MustParsePrefix("10.0.0.0/20")
+	classes, err := StandardClasses(prefix, 2, time.Hour, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(classes) != 3 {
+		t.Fatalf("classes = %d, want 3", len(classes))
+	}
+	byName := map[string]ClassConfig{}
+	for _, c := range classes {
+		byName[c.Name] = c
+	}
+	prio := byName["priority"]
+	// A day's ticks must cover the whole priority space.
+	if uint64(prio.ProbesPerTick)*24 < prio.Space.Size() {
+		t.Fatalf("priority budget %d/tick cannot cover %d targets daily",
+			prio.ProbesPerTick, prio.Space.Size())
+	}
+	bg := byName["background65k"]
+	hosts := uint64(1) << 12
+	wantDaily := hosts * 100
+	gotDaily := uint64(bg.ProbesPerTick) * 24
+	if gotDaily < wantDaily || gotDaily > wantDaily+24 {
+		t.Fatalf("background daily budget = %d, want ~%d", gotDaily, wantDaily)
+	}
+	if bg.Space.Size() != hosts*65535 {
+		t.Fatalf("background space = %d", bg.Space.Size())
+	}
+	cloud := byName["cloud"]
+	if cloud.Space.Hosts() != 512 {
+		t.Fatalf("cloud hosts = %d, want 512", cloud.Space.Hosts())
+	}
+}
+
+func TestStandardClassesErrors(t *testing.T) {
+	if _, err := StandardClasses(netip.MustParsePrefix("::/64"), 0, time.Hour, 0); err == nil {
+		t.Fatal("IPv6 prefix accepted")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	clk := simclock.New()
+	net := simnet.New(quietConfig(), clk)
+	if _, err := New(Config{Scanner: censysLike()}, net); err == nil {
+		t.Fatal("engine without PoPs accepted")
+	}
+	if _, err := New(Config{Scanner: censysLike(), PoPs: DefaultPoPs(),
+		Classes: []ClassConfig{{Name: "bad"}}}, net); err == nil {
+		t.Fatal("misconfigured class accepted")
+	}
+}
+
+func TestPriorityPortsIncludeICS(t *testing.T) {
+	ports := map[uint16]bool{}
+	for _, p := range PriorityPorts() {
+		ports[p] = true
+	}
+	for _, ics := range []uint16{502, 102, 20000, 47808} {
+		if !ports[ics] {
+			t.Fatalf("ICS port %d missing from priority scan", ics)
+		}
+	}
+}

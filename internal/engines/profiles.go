@@ -1,0 +1,79 @@
+package engines
+
+import "time"
+
+// Port lists used by comparator profiles. All include the ICS default ports
+// (every engine in Table 4 reports ICS results); they differ in breadth.
+func topPorts(n int) []uint16 {
+	all := []uint16{
+		80, 443, 22, 7547, 21, 25, 8080, 3389, 53, 23,
+		5060, 587, 3306, 8443, 123, 161, 8000, 5900, 2222, 6379,
+		445, 1883, 8888, 2082, 110, 143, 465, 993, 995, 5901,
+		81, 82, 8081, 8089, 9000, 9090, 10000, 49152, 60000, 500,
+		3000, 5000, 5432, 27017, 9200, 11211, 4443, 8834, 9443, 8500,
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	return append(append([]uint16(nil), all[:n]...), icsPorts()...)
+}
+
+func icsPorts() []uint16 {
+	return []uint16{502, 102, 20000, 47808, 9600, 1911, 4911, 44818, 10001, 2455,
+		2404, 18245, 789, 1962, 20547, 5094, 17185}
+}
+
+// ShodanProfile: broad popular-port coverage, ~weekly sweeps, deduped
+// records, never evicts, keyword labeling, modest source pool. The paper
+// measures Shodan at ~68% accuracy, 100% uniqueness, 2-4 day old data, and
+// multi-order ICS over-reporting.
+func ShodanProfile() Policy {
+	return Policy{
+		Name: "shodan", Country: "US", SourceIPs: 16, BlockedFrac: 0.14,
+		// 37 cuts the list just before 49152/60000/500 — the ports the
+		// paper's honeypot experiment shows Shodan never scanned.
+		Ports:         topPorts(37),
+		SweepDuration: 6 * 24 * time.Hour,
+		RetainFor:     0, // keep stale data forever
+	}
+}
+
+// FofaProfile: wide port list, ~10-day sweeps, keeps duplicate records
+// (paper: 65% unique), keyword labeling, CN vantage.
+func FofaProfile() Policy {
+	return Policy{
+		Name: "fofa", Country: "CN", SourceIPs: 16, BlockedFrac: 0.30,
+		Ports:          topPorts(50),
+		SweepDuration:  10 * 24 * time.Hour,
+		KeepDuplicates: true,
+		RetainFor:      45 * 24 * time.Hour, // duplicates pile up within the window
+	}
+}
+
+// ZoomEyeProfile: monthly+ sweeps and years of retention (paper: 10%
+// accuracy, data up to 3 years old), mostly deduped (99% unique).
+func ZoomEyeProfile() Policy {
+	return Policy{
+		Name: "zoomeye", Country: "CN", SourceIPs: 8, BlockedFrac: 0.16,
+		Ports:         topPorts(30),
+		SweepDuration: 35 * 24 * time.Hour,
+		RetainFor:     0,
+	}
+}
+
+// NetlasProfile: a month per sweep (the paper quotes Netlas' own statement),
+// narrow ports, duplicates kept (63% unique), smallest pool.
+func NetlasProfile() Policy {
+	return Policy{
+		Name: "netlas", Country: "AM", SourceIPs: 8, BlockedFrac: 0.32,
+		Ports:          topPorts(20),
+		SweepDuration:  30 * 24 * time.Hour,
+		KeepDuplicates: true,
+		RetainFor:      60 * 24 * time.Hour,
+	}
+}
+
+// AllBaselineProfiles returns the four comparator profiles.
+func AllBaselineProfiles() []Policy {
+	return []Policy{ShodanProfile(), FofaProfile(), ZoomEyeProfile(), NetlasProfile()}
+}

@@ -1,0 +1,101 @@
+package enrich
+
+import (
+	"censysmap/internal/entity"
+	"censysmap/internal/fingerdsl"
+)
+
+// BuiltinFingerprints returns the static fingerprint table. The production
+// system checks over 10K of these (first- and third-party, Recog-style);
+// this table carries one per product in the simulation's catalogs plus a few
+// behavioural ones, which is full coverage of the synthetic universe.
+func BuiltinFingerprints() []Fingerprint {
+	sw := func(vendor, product, version, part string) *entity.Software {
+		return &entity.Software{Vendor: vendor, Product: product, Version: version, Part: part}
+	}
+	return []Fingerprint{
+		// --- HTTP servers (declarative, server-header keyed) ---
+		{Name: "nginx", Field: "http.server", Contains: "nginx",
+			Software: sw("F5", "nginx", "", "a"), Labels: []string{"web"}},
+		{Name: "apache-httpd", Field: "http.server", Contains: "Apache httpd",
+			Software: sw("Apache", "Apache httpd", "", "a"), Labels: []string{"web"}},
+		{Name: "iis", Field: "http.server", Contains: "Microsoft-IIS",
+			Software: sw("Microsoft", "IIS", "", "a"), Labels: []string{"web"}},
+		{Name: "jetty", Field: "http.server", Contains: "Jetty",
+			Software: sw("Eclipse", "Jetty", "", "a"), Labels: []string{"web"}},
+
+		// --- Version-pinned fingerprints via DSL ---
+		{Name: "apache-2.4.49", Expr: fingerdsl.MustParse(`(= http.server "Apache httpd/2.4.49")`),
+			Software: sw("Apache", "Apache httpd", "2.4.49", "a")},
+		{Name: "moveit", Expr: fingerdsl.MustParse(`(contains http.title "MOVEit Transfer")`),
+			Software: sw("Progress", "MOVEit Transfer", "2023.0.1", "a"),
+			Labels:   []string{"file-transfer", "web"}},
+		{Name: "openssh-7.4", Expr: fingerdsl.MustParse(`(prefix ssh.version "SSH-2.0-OpenSSH_7.4")`),
+			Software: sw("OpenBSD", "OpenSSH", "7.4", "a")},
+		{Name: "mysql-5.7", Expr: fingerdsl.MustParse(`(prefix mysql.version "5.7")`),
+			Software: sw("Oracle", "MySQL", "5.7", "a"), Labels: []string{"database"}},
+
+		// --- Device fingerprints (the paper's html_title example style) ---
+		{Name: "zyxel-wac6552ds", Field: "http.title", Equals: "WAC6552D-S",
+			Software: sw("Zyxel", "WAC6552D-S", "", "h"), Labels: []string{"network-device"}},
+		{Name: "routeros", Field: "http.title", Contains: "RouterOS",
+			Software: sw("MikroTik", "RouterOS", "", "o"), Labels: []string{"network-device", "router"}},
+		{Name: "fortigate", Expr: fingerdsl.MustParse(`(contains http.www_authenticate "FortiGate")`),
+			Software: sw("Fortinet", "FortiGate", "", "h"), Labels: []string{"network-device", "vpn"}},
+		{Name: "hikvision-cam", Expr: fingerdsl.MustParse(`(or (contains http.www_authenticate "Hikvision") (= http.title "Network Camera"))`),
+			Software: sw("Hikvision", "Network Camera", "", "h"), Labels: []string{"camera", "iot"}},
+		{Name: "grafana", Field: "http.title", Contains: "Grafana",
+			Software: sw("Grafana", "Grafana", "", "a"), Labels: []string{"dashboard", "web"}},
+		{Name: "prometheus", Field: "http.title", Contains: "Prometheus",
+			Software: sw("Prometheus", "Prometheus", "", "a"), Labels: []string{"dashboard", "web"}},
+
+		// --- Banner-keyed (non-HTTP) ---
+		{Name: "openssh", Expr: fingerdsl.MustParse(`(contains ssh.version "OpenSSH")`),
+			Software: sw("OpenBSD", "OpenSSH", "", "a"), Labels: []string{"remote-access"}},
+		{Name: "dropbear", Expr: fingerdsl.MustParse(`(contains ssh.version "dropbear")`),
+			Software: sw("Dropbear", "dropbear", "", "a"), Labels: []string{"remote-access", "iot"}},
+		{Name: "postfix", Expr: fingerdsl.MustParse(`(contains smtp.banner "Postfix")`),
+			Software: sw("Postfix", "Postfix", "", "a"), Labels: []string{"mail"}},
+		{Name: "exim", Expr: fingerdsl.MustParse(`(contains smtp.banner "Exim")`),
+			Software: sw("Exim", "Exim", "", "a"), Labels: []string{"mail"}},
+		{Name: "vsftpd", Expr: fingerdsl.MustParse(`(contains ftp.banner "vsFTPd")`),
+			Software: sw("vsFTPd", "vsFTPd", "", "a")},
+		{Name: "proftpd", Expr: fingerdsl.MustParse(`(contains ftp.banner "ProFTPD")`),
+			Software: sw("ProFTPD", "ProFTPD", "", "a")},
+		{Name: "bind", Expr: fingerdsl.MustParse(`(contains dns.version_bind "BIND")`),
+			Software: sw("ISC", "BIND", "", "a"), Labels: []string{"dns"}},
+		{Name: "dnsmasq", Expr: fingerdsl.MustParse(`(contains dns.version_bind "dnsmasq")`),
+			Software: sw("Thekelleys", "dnsmasq", "", "a"), Labels: []string{"dns", "iot"}},
+		{Name: "telnet-busybox", Expr: fingerdsl.MustParse(`(contains telnet.banner "BusyBox")`),
+			Software: sw("Busybox", "BusyBox", "", "a"), Labels: []string{"iot"}},
+		{Name: "redis", Expr: fingerdsl.MustParse(`(exists redis.version)`),
+			Software: sw("Redis", "Redis", "", "a"), Labels: []string{"database"}},
+		{Name: "open-redis", Expr: fingerdsl.MustParse(`(and (= protocol "REDIS") (not (exists redis.auth_required)))`),
+			Labels: []string{"exposed-database"}},
+
+		// --- ICS device identities ---
+		{Name: "siemens-s7", Expr: fingerdsl.MustParse(`(prefix s7.module "6ES7")`),
+			Software: sw("Siemens", "SIMATIC S7", "", "h"), Labels: []string{"plc"}},
+		{Name: "schneider-modbus", Expr: fingerdsl.MustParse(`(contains modbus.vendor "Schneider")`),
+			Software: sw("Schneider Electric", "Modicon", "", "h"), Labels: []string{"plc"}},
+		{Name: "niagara-fox", Expr: fingerdsl.MustParse(`(exists fox.station)`),
+			Software: sw("Tridium", "Niagara", "", "a"), Labels: []string{"building-automation"}},
+		{Name: "tank-gauge", Expr: fingerdsl.MustParse(`(= protocol "ATG")`),
+			Software: sw("Veeder-Root", "TLS-350", "", "h"), Labels: []string{"fuel-monitoring"}},
+		{Name: "scada-hmi-water", Expr: fingerdsl.MustParse(`(and (= protocol "HTTP") (contains (lower http.title) "water"))`),
+			Labels: []string{"hmi", "water-utility"}},
+	}
+}
+
+// BuiltinCVEs returns the vulnerability table matched against derived
+// software labels. IDs are real CVEs for the products the catalogs emit.
+func BuiltinCVEs() []CVERule {
+	return []CVERule{
+		{ID: "CVE-2021-41773", Vendor: "Apache", Product: "Apache httpd", Versions: []string{"2.4.49"}},
+		{ID: "CVE-2023-34362", Vendor: "Progress", Product: "MOVEit Transfer"},
+		{ID: "CVE-2018-15473", Vendor: "OpenBSD", Product: "OpenSSH", Versions: []string{"7.4"}},
+		{ID: "CVE-2016-6662", Vendor: "Oracle", Product: "MySQL", Versions: []string{"5.7"}},
+		{ID: "CVE-2018-14847", Vendor: "MikroTik", Product: "RouterOS"},
+		{ID: "CVE-2017-7921", Vendor: "Hikvision", Product: "Network Camera"},
+	}
+}

@@ -1,0 +1,268 @@
+// Package journal implements the backend event journal of the CQRS pipeline
+// (paper §5.2): an append-only log of delta-encoded events per entity, keyed
+// by (EntityID, SequenceNumber), with periodic state snapshots and migration
+// of pre-snapshot history from fast (SSD) to cheap (HDD) storage.
+//
+// The design mirrors the paper's Bigtable layout:
+//
+//   - journal events are deltas, not full records, because most refresh
+//     scans change nothing or very little;
+//   - reconstructing an entity replays events since the latest snapshot, so
+//     snapshot cadence bounds worst-case read amplification;
+//   - the current state is always reachable from SSD, while the bulk of
+//     history lives on HDD (500 TB/year at Censys' scale).
+package journal
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is one journal row.
+type Event struct {
+	// Entity is the row key, e.g. an IP address or certificate fingerprint.
+	Entity string
+	// Seq is the entity's monotonic sequence number, assigned by Append.
+	Seq uint64
+	// Time is the event's logical timestamp. Appends for one entity must be
+	// time-ordered.
+	Time time.Time
+	// Kind tags the event type (e.g. "service_found", "snapshot").
+	Kind string
+	// Payload is the serialized delta (or full state for snapshots).
+	Payload []byte
+}
+
+// SnapshotKind marks full-state snapshot events.
+const SnapshotKind = "snapshot"
+
+// ErrOutOfOrder is returned when an append is timestamped before the
+// entity's newest event.
+var ErrOutOfOrder = errors.New("journal: append out of time order")
+
+// Stats describes storage and access counters, used by the tiering and
+// delta-encoding ablations.
+type Stats struct {
+	Entities     int
+	SSDEvents    int
+	HDDEvents    int
+	SSDBytes     int64
+	HDDBytes     int64
+	SSDReads     uint64
+	HDDReads     uint64
+	Appends      uint64
+	Snapshots    uint64
+	MaxReplayLen int
+}
+
+type row struct {
+	ssd []Event // events at or after the latest snapshot (plus unsnapshotted prefix)
+	hdd []Event // migrated history, strictly before the latest snapshot
+	// lastSnap is the index in ssd of the newest snapshot, or -1.
+	lastSnap int
+	nextSeq  uint64
+}
+
+// Store is an in-memory two-tier event journal. It is safe for concurrent
+// use.
+type Store struct {
+	mu   sync.RWMutex
+	rows map[string]*row
+
+	ssdBytes, hddBytes int64
+	ssdReads, hddReads uint64
+	appends, snaps     uint64
+}
+
+// NewStore creates an empty journal.
+func NewStore() *Store {
+	return &Store{rows: make(map[string]*row)}
+}
+
+func (s *Store) row(entity string) *row {
+	r, ok := s.rows[entity]
+	if !ok {
+		r = &row{lastSnap: -1}
+		s.rows[entity] = r
+	}
+	return r
+}
+
+// Append adds a delta event for entity and returns its sequence number.
+func (s *Store) Append(entity string, t time.Time, kind string, payload []byte) (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r := s.row(entity)
+	if n := len(r.ssd); n > 0 && t.Before(r.ssd[n-1].Time) {
+		return 0, ErrOutOfOrder
+	}
+	if len(r.ssd) == 0 && len(r.hdd) > 0 && t.Before(r.hdd[len(r.hdd)-1].Time) {
+		return 0, ErrOutOfOrder
+	}
+	seq := r.nextSeq
+	r.nextSeq++
+	ev := Event{Entity: entity, Seq: seq, Time: t, Kind: kind, Payload: payload}
+	r.ssd = append(r.ssd, ev)
+	if kind == SnapshotKind {
+		r.lastSnap = len(r.ssd) - 1
+		s.snaps++
+	}
+	s.ssdBytes += int64(len(payload))
+	s.appends++
+	return seq, nil
+}
+
+// AppendSnapshot records a full-state snapshot for entity.
+func (s *Store) AppendSnapshot(entity string, t time.Time, payload []byte) (uint64, error) {
+	return s.Append(entity, t, SnapshotKind, payload)
+}
+
+// EventsSinceSnapshot reports how many delta events follow the entity's
+// latest snapshot (the replay length for a current-state read).
+func (s *Store) EventsSinceSnapshot(entity string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rows[entity]
+	if !ok {
+		return 0
+	}
+	if r.lastSnap < 0 {
+		return len(r.ssd) + len(r.hdd)
+	}
+	return len(r.ssd) - r.lastSnap - 1
+}
+
+// Replay returns the newest snapshot at or before asOf (zero Event, ok=false
+// if none) and every delta event after that snapshot up to and including
+// asOf, in order. Callers apply the deltas to the snapshot to reconstruct
+// entity state at asOf — the paper's read-side lookup path.
+func (s *Store) Replay(entity string, asOf time.Time) (snapshot Event, deltas []Event, found bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.rows[entity]
+	if !ok {
+		return Event{}, nil, false
+	}
+
+	// Search SSD first; fall back to HDD for historical reads.
+	all := r.hdd
+	hddLen := len(all)
+	if len(r.ssd) > 0 {
+		all = append(append([]Event(nil), r.hdd...), r.ssd...)
+	}
+	if len(all) == 0 {
+		return Event{}, nil, false
+	}
+	// Find the last event with Time <= asOf.
+	hi := sort.Search(len(all), func(i int) bool { return all[i].Time.After(asOf) })
+	if hi == 0 {
+		return Event{}, nil, false
+	}
+	window := all[:hi]
+	// Find the newest snapshot in the window.
+	snapIdx := -1
+	for i := len(window) - 1; i >= 0; i-- {
+		if window[i].Kind == SnapshotKind {
+			snapIdx = i
+			break
+		}
+		s.countRead(i < hddLen)
+	}
+	if snapIdx >= 0 {
+		s.countRead(snapIdx < hddLen)
+		snapshot = window[snapIdx]
+		found = true
+		deltas = append(deltas, window[snapIdx+1:]...)
+		return snapshot, deltas, true
+	}
+	// No snapshot: replay everything from genesis.
+	deltas = append(deltas, window...)
+	return Event{}, deltas, true
+}
+
+func (s *Store) countRead(hdd bool) {
+	if hdd {
+		s.hddReads++
+	} else {
+		s.ssdReads++
+	}
+}
+
+// Events returns every event for entity (HDD then SSD), for diagnostics and
+// history queries.
+func (s *Store) Events(entity string) []Event {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	r, ok := s.rows[entity]
+	if !ok {
+		return nil
+	}
+	out := make([]Event, 0, len(r.hdd)+len(r.ssd))
+	out = append(out, r.hdd...)
+	return append(out, r.ssd...)
+}
+
+// Entities returns all row keys, sorted.
+func (s *Store) Entities() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.rows))
+	for k := range s.rows {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Migrate moves events strictly older than each entity's latest snapshot
+// from SSD to HDD, keeping current-state reads on fast storage while the
+// bulk of history ages onto cheap disks. It returns the number of events
+// moved.
+func (s *Store) Migrate() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	moved := 0
+	for _, r := range s.rows {
+		if r.lastSnap <= 0 {
+			continue
+		}
+		old := r.ssd[:r.lastSnap]
+		for _, ev := range old {
+			s.ssdBytes -= int64(len(ev.Payload))
+			s.hddBytes += int64(len(ev.Payload))
+		}
+		r.hdd = append(r.hdd, old...)
+		rest := make([]Event, len(r.ssd)-r.lastSnap)
+		copy(rest, r.ssd[r.lastSnap:])
+		r.ssd = rest
+		r.lastSnap = 0
+		moved += len(old)
+	}
+	return moved
+}
+
+// Stats returns storage and access counters.
+func (s *Store) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	st := Stats{
+		Entities: len(s.rows),
+		SSDBytes: s.ssdBytes, HDDBytes: s.hddBytes,
+		SSDReads: s.ssdReads, HDDReads: s.hddReads,
+		Appends: s.appends, Snapshots: s.snaps,
+	}
+	for _, r := range s.rows {
+		st.SSDEvents += len(r.ssd)
+		st.HDDEvents += len(r.hdd)
+		replay := len(r.ssd) + len(r.hdd)
+		if r.lastSnap >= 0 {
+			replay = len(r.ssd) - r.lastSnap - 1
+		}
+		if replay > st.MaxReplayLen {
+			st.MaxReplayLen = replay
+		}
+	}
+	return st
+}

@@ -1,0 +1,136 @@
+// Package lookup implements the Fast Lookup API of paper §5.3: a REST
+// surface over the read-side storage for high-throughput lookups by entity
+// ID and timestamp ("what did IP A look like at time B?", "what IPs has
+// certificate X been seen on?"). It is backed directly by the journal, so
+// requests are cheap point reads.
+package lookup
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/netip"
+	"strings"
+	"time"
+
+	"censysmap/internal/cqrs"
+	"censysmap/internal/entity"
+	"censysmap/internal/simclock"
+)
+
+// Service answers lookups; it is both a Go API and an http.Handler.
+type Service struct {
+	reader *cqrs.Reader
+	certs  *cqrs.CertIndex
+	clock  simclock.Clock
+	mux    *http.ServeMux
+}
+
+// New creates a lookup service. certs may be nil.
+func New(reader *cqrs.Reader, certs *cqrs.CertIndex, clock simclock.Clock) *Service {
+	s := &Service{reader: reader, certs: certs, clock: clock}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v2/hosts/{ip}", s.handleHost)
+	mux.HandleFunc("GET /v2/hosts/{ip}/history", s.handleHistory)
+	mux.HandleFunc("GET /v2/certificates/{fp}/hosts", s.handleCertHosts)
+	s.mux = mux
+	return s
+}
+
+// Host returns the host record as of the given time (zero time = now).
+func (s *Service) Host(ip netip.Addr, at time.Time) (*entity.Host, bool) {
+	if at.IsZero() {
+		at = s.clock.Now()
+	}
+	return s.reader.HostAt(ip.String(), at)
+}
+
+// CertHosts returns "ip port/transport" locators currently presenting the
+// certificate fingerprint.
+func (s *Service) CertHosts(fingerprint string) []string {
+	if s.certs == nil {
+		return nil
+	}
+	return s.certs.Locations(fingerprint)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// parseAt reads the optional ?at= RFC3339 timestamp.
+func (s *Service) parseAt(r *http.Request) (time.Time, bool) {
+	q := r.URL.Query().Get("at")
+	if q == "" {
+		return s.clock.Now(), true
+	}
+	t, err := time.Parse(time.RFC3339, q)
+	if err != nil {
+		return time.Time{}, false
+	}
+	return t, true
+}
+
+func (s *Service) handleHost(w http.ResponseWriter, r *http.Request) {
+	ip, err := netip.ParseAddr(r.PathValue("ip"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"invalid ip"})
+		return
+	}
+	at, ok := s.parseAt(r)
+	if !ok {
+		writeJSON(w, http.StatusBadRequest, errorBody{"invalid at timestamp (RFC3339)"})
+		return
+	}
+	h, found := s.reader.HostAt(ip.String(), at)
+	if !found {
+		writeJSON(w, http.StatusNotFound, errorBody{"host not found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+// historyEntry is the wire form of one journaled change.
+type historyEntry struct {
+	Seq  uint64          `json:"seq"`
+	Time time.Time       `json:"time"`
+	Kind string          `json:"kind"`
+	Body json.RawMessage `json:"body,omitempty"`
+}
+
+func (s *Service) handleHistory(w http.ResponseWriter, r *http.Request) {
+	ip, err := netip.ParseAddr(r.PathValue("ip"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{"invalid ip"})
+		return
+	}
+	events := s.reader.History(ip.String())
+	out := make([]historyEntry, 0, len(events))
+	for _, ev := range events {
+		out = append(out, historyEntry{Seq: ev.Seq, Time: ev.Time, Kind: ev.Kind,
+			Body: json.RawMessage(ev.Payload)})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleCertHosts(w http.ResponseWriter, r *http.Request) {
+	fp := strings.ToLower(r.PathValue("fp"))
+	if fp == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{"missing fingerprint"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fingerprint": fp,
+		"hosts":       s.CertHosts(fp),
+	})
+}

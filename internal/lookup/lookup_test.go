@@ -1,0 +1,156 @@
+package lookup
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+	"time"
+
+	"censysmap/internal/cqrs"
+	"censysmap/internal/entity"
+	"censysmap/internal/journal"
+	"censysmap/internal/simclock"
+)
+
+func fixture(t *testing.T) (*Service, *simclock.Sim) {
+	t.Helper()
+	clk := simclock.New()
+	j := journal.NewStore()
+	p := cqrs.NewProcessor(cqrs.DefaultConfig(), j)
+	ci := cqrs.NewCertIndex()
+	ci.Follow(p)
+
+	addr := netip.MustParseAddr("10.0.0.1")
+	svc1 := &entity.Service{Port: 443, Transport: entity.TCP, Protocol: "HTTP",
+		TLS: true, CertSHA256: "fp1", Banner: "v1", Verified: true}
+	if err := p.Apply(cqrs.Observation{Addr: addr, Port: 443, Transport: entity.TCP,
+		Time: clk.Now(), Success: true, Service: svc1}); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(24 * time.Hour)
+	svc2 := svc1.Clone()
+	svc2.Banner = "v2"
+	if err := p.Apply(cqrs.Observation{Addr: addr, Port: 443, Transport: entity.TCP,
+		Time: clk.Now(), Success: true, Service: svc2}); err != nil {
+		t.Fatal(err)
+	}
+	p.Drain()
+	return New(cqrs.NewReader(j, nil), ci, clk), clk
+}
+
+func TestHostLookupCurrent(t *testing.T) {
+	s, _ := fixture(t)
+	h, ok := s.Host(netip.MustParseAddr("10.0.0.1"), time.Time{})
+	if !ok {
+		t.Fatal("not found")
+	}
+	if h.Service(entity.ServiceKey{Port: 443, Transport: entity.TCP}).Banner != "v2" {
+		t.Fatal("current state wrong")
+	}
+}
+
+func TestHostLookupAtTimestamp(t *testing.T) {
+	s, _ := fixture(t)
+	h, ok := s.Host(netip.MustParseAddr("10.0.0.1"), simclock.Epoch.Add(time.Hour))
+	if !ok {
+		t.Fatal("not found")
+	}
+	if h.Service(entity.ServiceKey{Port: 443, Transport: entity.TCP}).Banner != "v1" {
+		t.Fatal("historical state wrong")
+	}
+}
+
+func TestHTTPHostEndpoint(t *testing.T) {
+	s, _ := fixture(t)
+	req := httptest.NewRequest("GET", "/v2/hosts/10.0.0.1", nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	if rec.Code != 200 {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body)
+	}
+	var h entity.Host
+	if err := json.Unmarshal(rec.Body.Bytes(), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.IP.String() != "10.0.0.1" {
+		t.Fatalf("host = %+v", h)
+	}
+}
+
+func TestHTTPHostAtParam(t *testing.T) {
+	s, _ := fixture(t)
+	at := simclock.Epoch.Add(time.Hour).Format(time.RFC3339)
+	req := httptest.NewRequest("GET", "/v2/hosts/10.0.0.1?at="+at, nil)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var h entity.Host
+	json.Unmarshal(rec.Body.Bytes(), &h)
+	if h.Service(entity.ServiceKey{Port: 443, Transport: entity.TCP}).Banner != "v1" {
+		t.Fatal("at= not honored")
+	}
+}
+
+func TestHTTPErrors(t *testing.T) {
+	s, _ := fixture(t)
+	cases := []struct {
+		url  string
+		code int
+	}{
+		{"/v2/hosts/banana", 400},
+		{"/v2/hosts/10.0.0.1?at=notatime", 400},
+		{"/v2/hosts/10.9.9.9", 404},
+		{"/v2/hosts/banana/history", 400},
+	}
+	for _, c := range cases {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", c.url, nil))
+		if rec.Code != c.code {
+			t.Errorf("%s -> %d, want %d", c.url, rec.Code, c.code)
+		}
+	}
+}
+
+func TestHistoryEndpoint(t *testing.T) {
+	s, _ := fixture(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v2/hosts/10.0.0.1/history", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var entries []historyEntry
+	if err := json.Unmarshal(rec.Body.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 || entries[0].Kind != cqrs.KindServiceFound ||
+		entries[1].Kind != cqrs.KindServiceChanged {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestCertHostsEndpoint(t *testing.T) {
+	s, _ := fixture(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v2/certificates/fp1/hosts", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	var body struct {
+		Fingerprint string   `json:"fingerprint"`
+		Hosts       []string `json:"hosts"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if len(body.Hosts) != 1 || body.Hosts[0] != "10.0.0.1 443/tcp" {
+		t.Fatalf("hosts = %v", body.Hosts)
+	}
+}
+
+func TestCertHostsNilIndex(t *testing.T) {
+	clk := simclock.New()
+	s := New(cqrs.NewReader(journal.NewStore(), nil), nil, clk)
+	if got := s.CertHosts("x"); got != nil {
+		t.Fatalf("got %v", got)
+	}
+}

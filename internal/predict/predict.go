@@ -1,0 +1,293 @@
+// Package predict implements the predictive scan engine (paper §4.1):
+// probabilistic models that learn service deployment patterns from
+// interrogation results and recommend probable (address, port) locations to
+// probe, in the spirit of GPS (Izhikevich et al., SIGCOMM 2022). It also
+// implements the eviction re-injection queue of §4.6: services pruned from
+// the dataset are retried for 60 days so hard-to-find services that return
+// are recovered quickly.
+//
+// Two signals are learned online, continuously — the paper stresses that
+// operating over months on an evolving dataset is a different problem from
+// one-shot prediction:
+//
+//   - network locality: ports that appear within a /24 tend to appear on
+//     its other hosts (shared operator, shared images);
+//   - port co-occurrence: a host offering port q often offers port p
+//     (e.g. 80 & 443, ICS pairs, management consoles).
+package predict
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"censysmap/internal/entity"
+)
+
+// Target is a recommended probe location.
+type Target struct {
+	Addr      netip.Addr
+	Port      uint16
+	Transport entity.Transport
+	// Reason tags the model that produced the recommendation.
+	Reason string
+}
+
+// Config tunes the engine.
+type Config struct {
+	// Cooldown suppresses re-recommending a target.
+	Cooldown time.Duration
+	// ReinjectFor is how long evicted services stay in the retry queue
+	// (the paper's 60 days).
+	ReinjectFor time.Duration
+	// ReinjectEvery is the retry cadence for evicted services.
+	ReinjectEvery time.Duration
+	// TopK bounds how many co-occurring ports are considered per signal.
+	TopK int
+}
+
+// DefaultConfig matches the paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Cooldown:      24 * time.Hour,
+		ReinjectFor:   60 * 24 * time.Hour,
+		ReinjectEvery: 24 * time.Hour,
+		TopK:          8,
+	}
+}
+
+// Engine is the predictive model state.
+type Engine struct {
+	cfg Config
+
+	// net24Ports counts confirmed services per (/24, port).
+	net24Ports map[netip.Addr]map[uint16]int
+	// cooc counts hosts where ports q and p are both confirmed.
+	cooc map[uint16]map[uint16]int
+	// hostPorts tracks confirmed ports per host (model input).
+	hostPorts map[netip.Addr]map[uint16]entity.Transport
+	// suggested is the per-target cooldown clock.
+	suggested map[Target]time.Time
+	// evicted is the re-injection queue.
+	evicted map[Target]evictedEntry
+
+	cursor int // round-robin position over hosts for Recommend
+	hosts  []netip.Addr
+}
+
+type evictedEntry struct {
+	at        time.Time
+	lastRetry time.Time
+}
+
+// New creates an engine.
+func New(cfg Config) *Engine {
+	if cfg.TopK <= 0 {
+		cfg.TopK = 8
+	}
+	return &Engine{
+		cfg:        cfg,
+		net24Ports: make(map[netip.Addr]map[uint16]int),
+		cooc:       make(map[uint16]map[uint16]int),
+		hostPorts:  make(map[netip.Addr]map[uint16]entity.Transport),
+		suggested:  make(map[Target]time.Time),
+		evicted:    make(map[Target]evictedEntry),
+	}
+}
+
+// Observe feeds one confirmed service into the models. Call it for every
+// interrogation that verified a service (from any scan class).
+func (e *Engine) Observe(addr netip.Addr, port uint16, transport entity.Transport) {
+	n24 := net24(addr)
+	m := e.net24Ports[n24]
+	if m == nil {
+		m = make(map[uint16]int)
+		e.net24Ports[n24] = m
+	}
+	m[port]++
+
+	hp := e.hostPorts[addr]
+	if hp == nil {
+		hp = make(map[uint16]entity.Transport)
+		e.hostPorts[addr] = hp
+		e.hosts = append(e.hosts, addr)
+	}
+	if _, known := hp[port]; !known {
+		for q := range hp {
+			if q == port {
+				continue
+			}
+			e.bump(q, port)
+			e.bump(port, q)
+		}
+	}
+	hp[port] = transport
+}
+
+func (e *Engine) bump(q, p uint16) {
+	m := e.cooc[q]
+	if m == nil {
+		m = make(map[uint16]int)
+		e.cooc[q] = m
+	}
+	m[p]++
+}
+
+// KnownHosts reports how many hosts the model has seen.
+func (e *Engine) KnownHosts() int { return len(e.hosts) }
+
+// Recommend returns up to budget probable service locations not currently
+// known, rotating across learned hosts. Recommendations honour the cooldown.
+func (e *Engine) Recommend(now time.Time, budget int) []Target {
+	var out []Target
+	if len(e.hosts) == 0 || budget <= 0 {
+		return nil
+	}
+	scanned := 0
+	for scanned < len(e.hosts) && len(out) < budget {
+		addr := e.hosts[e.cursor%len(e.hosts)]
+		e.cursor++
+		scanned++
+		known := e.hostPorts[addr]
+
+		for _, cand := range e.candidatesFor(addr, known) {
+			if len(out) >= budget {
+				break
+			}
+			tgt := Target{Addr: addr, Port: cand.port, Transport: entity.TCP, Reason: cand.reason}
+			if _, dup := known[cand.port]; dup {
+				continue
+			}
+			if last, ok := e.suggested[tgt]; ok && now.Sub(last) < e.cfg.Cooldown {
+				continue
+			}
+			e.suggested[tgt] = now
+			out = append(out, tgt)
+		}
+	}
+	return out
+}
+
+type scored struct {
+	port   uint16
+	score  float64
+	reason string
+}
+
+// candidatesFor merges the network-locality and co-occurrence signals for
+// one host.
+func (e *Engine) candidatesFor(addr netip.Addr, known map[uint16]entity.Transport) []scored {
+	agg := map[uint16]*scored{}
+
+	// Network locality: popular ports within this /24.
+	if m := e.net24Ports[net24(addr)]; m != nil {
+		for _, pc := range topPorts(m, e.cfg.TopK) {
+			s := agg[pc.port]
+			if s == nil {
+				s = &scored{port: pc.port, reason: "net24"}
+				agg[pc.port] = s
+			}
+			s.score += float64(pc.count)
+		}
+	}
+
+	// Co-occurrence: ports that tend to accompany this host's known ports.
+	for q := range known {
+		if m := e.cooc[q]; m != nil {
+			for _, pc := range topPorts(m, e.cfg.TopK) {
+				s := agg[pc.port]
+				if s == nil {
+					s = &scored{port: pc.port, reason: "cooc"}
+					agg[pc.port] = s
+				}
+				s.score += float64(pc.count) * 2 // co-occurrence is the stronger signal
+			}
+		}
+	}
+
+	out := make([]scored, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].score != out[j].score {
+			return out[i].score > out[j].score
+		}
+		return out[i].port < out[j].port
+	})
+	if len(out) > e.cfg.TopK {
+		out = out[:e.cfg.TopK]
+	}
+	return out
+}
+
+type portCount struct {
+	port  uint16
+	count int
+}
+
+func topPorts(m map[uint16]int, k int) []portCount {
+	out := make([]portCount, 0, len(m))
+	for p, c := range m {
+		out = append(out, portCount{p, c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].count != out[j].count {
+			return out[i].count > out[j].count
+		}
+		return out[i].port < out[j].port
+	})
+	if len(out) > k {
+		out = out[:k]
+	}
+	return out
+}
+
+// RecordEvicted queues an evicted service for re-injection.
+func (e *Engine) RecordEvicted(addr netip.Addr, port uint16, transport entity.Transport, now time.Time) {
+	tgt := Target{Addr: addr, Port: port, Transport: transport, Reason: "reinject"}
+	e.evicted[tgt] = evictedEntry{at: now}
+	// The service is no longer known on the host model.
+	if hp := e.hostPorts[addr]; hp != nil {
+		delete(hp, port)
+	}
+}
+
+// Reinjections returns evicted services due for a retry: each is retried on
+// the ReinjectEvery cadence until ReinjectFor has elapsed since eviction.
+func (e *Engine) Reinjections(now time.Time) []Target {
+	var out []Target
+	for tgt, entry := range e.evicted {
+		if now.Sub(entry.at) > e.cfg.ReinjectFor {
+			delete(e.evicted, tgt)
+			continue
+		}
+		if !entry.lastRetry.IsZero() && now.Sub(entry.lastRetry) < e.cfg.ReinjectEvery {
+			continue
+		}
+		entry.lastRetry = now
+		e.evicted[tgt] = entry
+		out = append(out, tgt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr != out[j].Addr {
+			return out[i].Addr.Less(out[j].Addr)
+		}
+		return out[i].Port < out[j].Port
+	})
+	return out
+}
+
+// Resolve removes a target from the re-injection queue (it was found again).
+func (e *Engine) Resolve(addr netip.Addr, port uint16, transport entity.Transport) {
+	delete(e.evicted, Target{Addr: addr, Port: port, Transport: transport, Reason: "reinject"})
+}
+
+// PendingReinjections reports the queue size.
+func (e *Engine) PendingReinjections() int { return len(e.evicted) }
+
+func net24(a netip.Addr) netip.Addr {
+	b := a.As4()
+	b[3] = 0
+	return netip.AddrFrom4(b)
+}

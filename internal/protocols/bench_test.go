@@ -1,0 +1,51 @@
+package protocols
+
+import "testing"
+
+func BenchmarkScanHTTP(b *testing.B) {
+	spec := Spec{Protocol: "HTTP", Product: "nginx", Version: "1.24.0", Title: "Welcome"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := ScanHTTP(NewSessionConn(NewSession(spec)))
+		if err != nil || !res.Complete {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScanModbus(b *testing.B) {
+	spec := Spec{Protocol: "MODBUS", Vendor: "Schneider Electric", Product: "BMX P34 2020"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := ScanModbus(NewSessionConn(NewSession(spec)))
+		if err != nil || !res.Complete {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStartTLSAndScan(b *testing.B) {
+	spec := Spec{Protocol: "HTTP", Product: "nginx", TLS: true,
+		CertDER: []byte("cert-blob-for-benchmarking-1234567890")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		conn := NewSessionConn(NewSession(spec))
+		_, inner, _, err := StartTLS(conn)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ScanHTTP(inner); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkIdentify(b *testing.B) {
+	banner := []byte("SSH-2.0-OpenSSH_9.3\r\n")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if Identify(banner) != "SSH" {
+			b.Fatal("misidentified")
+		}
+	}
+}

@@ -1,0 +1,280 @@
+package protocols
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"censysmap/internal/entity"
+)
+
+// This file implements the binary TCP protocols: MySQL (server-first binary
+// handshake), Redis, RDP, and MQTT (client-first).
+
+func init() {
+	register(&Protocol{
+		Name:         "MYSQL",
+		Transport:    entity.TCP,
+		DefaultPorts: []uint16{3306},
+		Scan:         ScanMySQL,
+		NewSession:   func(s Spec) Session { return &mysqlSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			// Packet header: 3-byte length, sequence 0, protocol version 10.
+			return len(data) > 5 && data[3] == 0 && data[4] == 0x0A
+		},
+	})
+	register(&Protocol{
+		Name:         "REDIS",
+		Transport:    entity.TCP,
+		DefaultPorts: []uint16{6379},
+		Scan:         ScanRedis,
+		NewSession:   func(s Spec) Session { return &redisSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			s := string(data)
+			return strings.HasPrefix(s, "+PONG") || strings.HasPrefix(s, "-ERR") ||
+				strings.HasPrefix(s, "-NOAUTH") || strings.HasPrefix(s, "$")
+		},
+	})
+	register(&Protocol{
+		Name:         "RDP",
+		Transport:    entity.TCP,
+		DefaultPorts: []uint16{3389},
+		Scan:         ScanRDP,
+		NewSession:   func(s Spec) Session { return &rdpSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			// TPKT + X.224 Connection Confirm carrying an RDP_NEG_RSP (type 2).
+			return len(data) >= 12 && data[0] == 0x03 && data[1] == 0x00 &&
+				data[5] == 0xD0 && data[11] == 0x02
+		},
+	})
+	register(&Protocol{
+		Name:         "MQTT",
+		Transport:    entity.TCP,
+		DefaultPorts: []uint16{1883, 8883},
+		Scan:         ScanMQTT,
+		NewSession:   func(s Spec) Session { return &mqttSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			return len(data) >= 4 && data[0] == 0x20 && data[1] == 0x02
+		},
+	})
+}
+
+// ---- MySQL ----
+
+// ScanMySQL parses the server's initial handshake packet (protocol 10).
+func ScanMySQL(rw io.ReadWriter) (*Result, error) {
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 6 || data[3] != 0 || data[4] != 0x0A {
+		return &Result{Protocol: "MYSQL", Banner: truncate(firstLine(string(data)))}, ErrUnexpected
+	}
+	payload := data[4:]
+	nul := bytes.IndexByte(payload[1:], 0)
+	if nul < 0 {
+		return &Result{Protocol: "MYSQL"}, ErrUnexpected
+	}
+	version := string(payload[1 : 1+nul])
+	res := &Result{Protocol: "MYSQL", Complete: true, Banner: truncate("MySQL " + version)}
+	res.attr("mysql.version", version)
+	if rest := payload[1+nul+1:]; len(rest) >= 4 {
+		res.attr("mysql.thread_id", fmt.Sprintf("%d", binary.LittleEndian.Uint32(rest[:4])))
+	}
+	// COM_QUIT so the simulated server sees a clean close.
+	_, _ = rw.Write([]byte{0x01, 0x00, 0x00, 0x00, 0x01})
+	return res, nil
+}
+
+type mysqlSession struct {
+	spec Spec
+}
+
+func (s *mysqlSession) Greeting() []byte {
+	version := s.spec.Version
+	if version == "" {
+		version = "8.0.36"
+	}
+	payload := []byte{0x0A}
+	payload = append(payload, version...)
+	payload = append(payload, 0x00)
+	payload = binary.LittleEndian.AppendUint32(payload, 12345) // thread id
+	payload = append(payload, []byte("saltsalt")...)           // auth-plugin-data-part-1
+	payload = append(payload, 0x00)
+	payload = binary.LittleEndian.AppendUint16(payload, 0xF7FF) // capability flags
+	pkt := []byte{byte(len(payload)), byte(len(payload) >> 8), byte(len(payload) >> 16), 0x00}
+	return append(pkt, payload...)
+}
+
+func (s *mysqlSession) Respond(req []byte) ([]byte, bool) {
+	if len(req) >= 5 && req[4] == 0x01 { // COM_QUIT
+		return nil, true
+	}
+	// Auth failure packet for anything else.
+	payload := []byte{0xFF, 0x15, 0x04}
+	payload = append(payload, "#28000Access denied"...)
+	pkt := []byte{byte(len(payload)), 0x00, 0x00, 0x02}
+	return append(pkt, payload...), true
+}
+
+// ---- Redis ----
+
+// ScanRedis issues PING and INFO and parses the version.
+func ScanRedis(rw io.ReadWriter) (*Result, error) {
+	if _, err := io.WriteString(rw, "PING\r\n"); err != nil {
+		return nil, err
+	}
+	pong, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	resp := string(pong)
+	res := &Result{Protocol: "REDIS", Banner: truncate(firstLine(resp))}
+	if strings.HasPrefix(resp, "-NOAUTH") || strings.HasPrefix(resp, "-ERR") {
+		// Speaks RESP but demands auth — still a verified Redis service.
+		res.Complete = true
+		res.attr("redis.auth_required", "true")
+		return res, nil
+	}
+	if !strings.HasPrefix(resp, "+PONG") {
+		return res, ErrUnexpected
+	}
+	if _, err := io.WriteString(rw, "INFO server\r\n"); err != nil {
+		return res, err
+	}
+	info, err := readSome(rw)
+	if err != nil {
+		return res, err
+	}
+	for _, l := range strings.Split(string(info), "\r\n") {
+		if v, ok := strings.CutPrefix(l, "redis_version:"); ok {
+			res.attr("redis.version", v)
+		}
+		if v, ok := strings.CutPrefix(l, "os:"); ok {
+			res.attr("redis.os", v)
+		}
+	}
+	res.Complete = true
+	return res, nil
+}
+
+type redisSession struct {
+	spec Spec
+}
+
+func (s *redisSession) Greeting() []byte { return nil }
+
+func (s *redisSession) Respond(req []byte) ([]byte, bool) {
+	cmd := strings.ToUpper(firstLine(string(req)))
+	if s.spec.extra("auth", "") == "required" {
+		return []byte("-NOAUTH Authentication required.\r\n"), false
+	}
+	switch {
+	case strings.HasPrefix(cmd, "PING"):
+		return []byte("+PONG\r\n"), false
+	case strings.HasPrefix(cmd, "INFO"):
+		version := s.spec.Version
+		if version == "" {
+			version = "7.2.4"
+		}
+		body := fmt.Sprintf("# Server\r\nredis_version:%s\r\nos:Linux 5.15\r\n", version)
+		return []byte(fmt.Sprintf("$%d\r\n%s\r\n", len(body), body)), false
+	default:
+		return []byte("-ERR unknown command\r\n"), false
+	}
+}
+
+// ---- RDP ----
+
+// rdpConnectionRequest is a TPKT + X.224 CR with an RDP negotiation request.
+var rdpConnectionRequest = []byte{
+	0x03, 0x00, 0x00, 0x13, // TPKT v3, length 19
+	0x0E, 0xE0, 0x00, 0x00, 0x00, 0x00, 0x00, // X.224 CR
+	0x01, 0x00, 0x08, 0x00, 0x0B, 0x00, 0x00, 0x00, // RDP_NEG_REQ: TLS|CredSSP|RDSTLS
+}
+
+// ScanRDP sends an X.224 connection request and parses the negotiation
+// response.
+func ScanRDP(rw io.ReadWriter) (*Result, error) {
+	if _, err := rw.Write(rdpConnectionRequest); err != nil {
+		return nil, err
+	}
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	// A COTP Connection Confirm alone is ambiguous (S7 PLCs answer with one
+	// too); only an RDP negotiation response (type 0x02) verifies RDP.
+	if len(data) < 19 || data[0] != 0x03 || data[5] != 0xD0 || data[11] != 0x02 {
+		return &Result{Protocol: "RDP", Banner: truncate(firstLine(string(data)))}, ErrUnexpected
+	}
+	res := &Result{Protocol: "RDP", Complete: true, Banner: "RDP X.224 Connection Confirm"}
+	proto := binary.LittleEndian.Uint32(data[15:19])
+	res.attr("rdp.selected_protocol", fmt.Sprintf("%d", proto))
+	return res, nil
+}
+
+type rdpSession struct {
+	spec Spec
+}
+
+func (s *rdpSession) Greeting() []byte { return nil }
+
+func (s *rdpSession) Respond(req []byte) ([]byte, bool) {
+	if len(req) < 7 || req[0] != 0x03 || req[5] != 0xE0 {
+		return nil, true
+	}
+	resp := []byte{
+		0x03, 0x00, 0x00, 0x13,
+		0x0E, 0xD0, 0x00, 0x00, 0x12, 0x34, 0x00,
+		0x02, 0x00, 0x08, 0x00, 0x01, 0x00, 0x00, 0x00, // RDP_NEG_RSP: TLS
+	}
+	return resp, false
+}
+
+// ---- MQTT ----
+
+// ScanMQTT sends a CONNECT and parses the CONNACK return code.
+func ScanMQTT(rw io.ReadWriter) (*Result, error) {
+	clientID := "censysmap"
+	var vh []byte
+	vh = append(vh, 0x00, 0x04, 'M', 'Q', 'T', 'T', 0x04, 0x02, 0x00, 0x3C)
+	vh = binary.BigEndian.AppendUint16(vh, uint16(len(clientID)))
+	vh = append(vh, clientID...)
+	pkt := append([]byte{0x10, byte(len(vh))}, vh...)
+	if _, err := rw.Write(pkt); err != nil {
+		return nil, err
+	}
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 || data[0] != 0x20 {
+		return &Result{Protocol: "MQTT", Banner: truncate(firstLine(string(data)))}, ErrUnexpected
+	}
+	res := &Result{Protocol: "MQTT", Complete: true, Banner: "MQTT CONNACK"}
+	res.attr("mqtt.connack_code", fmt.Sprintf("%d", data[3]))
+	if data[3] == 0 {
+		res.attr("mqtt.open_auth", "true")
+	}
+	return res, nil
+}
+
+type mqttSession struct {
+	spec Spec
+}
+
+func (s *mqttSession) Greeting() []byte { return nil }
+
+func (s *mqttSession) Respond(req []byte) ([]byte, bool) {
+	if len(req) < 2 || req[0]&0xF0 != 0x10 {
+		return nil, true
+	}
+	code := byte(0x00)
+	if s.spec.extra("auth", "") == "required" {
+		code = 0x05 // not authorized
+	}
+	return []byte{0x20, 0x02, 0x00, code}, false
+}

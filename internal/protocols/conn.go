@@ -1,0 +1,177 @@
+package protocols
+
+import (
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// SessionConn is a synchronous, in-memory connection to a server Session.
+// It implements io.ReadWriter for the scanner side: Write feeds the session's
+// state machine; Read drains the session's pending output, returning
+// ErrTimeout when the server has nothing to say (the in-memory analogue of a
+// read deadline expiring). A closed session yields io.EOF once its output is
+// drained.
+//
+// Because sessions are deterministic state machines, no goroutines or real
+// timers are involved, which is what lets the synthetic Internet interrogate
+// millions of services per second of wall-clock time.
+type SessionConn struct {
+	sess    Session
+	pending []byte
+	greeted bool
+	closed  bool
+}
+
+// NewSessionConn opens a connection to the given server session.
+func NewSessionConn(sess Session) *SessionConn {
+	return &SessionConn{sess: sess}
+}
+
+// Read drains pending server output.
+func (c *SessionConn) Read(p []byte) (int, error) {
+	if !c.greeted {
+		c.greeted = true
+		c.pending = append(c.pending, c.sess.Greeting()...)
+	}
+	if len(c.pending) == 0 {
+		if c.closed {
+			return 0, io.EOF
+		}
+		return 0, ErrTimeout
+	}
+	n := copy(p, c.pending)
+	c.pending = c.pending[n:]
+	return n, nil
+}
+
+// Write feeds one client message to the session.
+func (c *SessionConn) Write(p []byte) (int, error) {
+	if c.closed {
+		return 0, io.ErrClosedPipe
+	}
+	if !c.greeted {
+		// The client spoke first; the greeting (if any) is still queued
+		// ahead of the response, as on a real socket.
+		c.greeted = true
+		c.pending = append(c.pending, c.sess.Greeting()...)
+	}
+	resp, closed := c.sess.Respond(p)
+	c.pending = append(c.pending, resp...)
+	if closed {
+		c.closed = true
+	}
+	return len(p), nil
+}
+
+// Closed reports whether the server side has closed the connection.
+func (c *SessionConn) Closed() bool { return c.closed }
+
+// deadlineConn adapts a real net.Conn to the scanner contract: reads use a
+// short deadline and surface silence as ErrTimeout.
+type deadlineConn struct {
+	conn    net.Conn
+	timeout time.Duration
+}
+
+// NewNetConn wraps a real network connection for use with Scan functions.
+// Reads that see no data within timeout return ErrTimeout.
+func NewNetConn(conn net.Conn, timeout time.Duration) io.ReadWriter {
+	if timeout <= 0 {
+		timeout = 2 * time.Second
+	}
+	return &deadlineConn{conn: conn, timeout: timeout}
+}
+
+func (d *deadlineConn) Read(p []byte) (int, error) {
+	if err := d.conn.SetReadDeadline(time.Now().Add(d.timeout)); err != nil {
+		return 0, err
+	}
+	n, err := d.conn.Read(p)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			if n > 0 {
+				return n, nil
+			}
+			return 0, ErrTimeout
+		}
+	}
+	return n, err
+}
+
+func (d *deadlineConn) Write(p []byte) (int, error) { return d.conn.Write(p) }
+
+// ServeConn runs a server Session over a real network connection until the
+// session closes it or the client disconnects. It lets the simulated
+// protocol servers listen on real sockets for integration tests and demos.
+func ServeConn(conn net.Conn, sess Session) error {
+	defer conn.Close()
+	if g := sess.Greeting(); len(g) > 0 {
+		if _, err := conn.Write(g); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 4096)
+	for {
+		n, err := conn.Read(buf)
+		if n > 0 {
+			resp, closed := sess.Respond(buf[:n])
+			if len(resp) > 0 {
+				if _, werr := conn.Write(resp); werr != nil {
+					return werr
+				}
+			}
+			if closed {
+				return nil
+			}
+		}
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+}
+
+// Listener serves a protocol Session factory on a real TCP listener; each
+// accepted connection gets a fresh session. Close the listener to stop.
+type Listener struct {
+	ln      net.Listener
+	wg      sync.WaitGroup
+	factory func() Session
+}
+
+// NewListener starts serving sessions produced by factory on ln.
+func NewListener(ln net.Listener, factory func() Session) *Listener {
+	l := &Listener{ln: ln, factory: factory}
+	l.wg.Add(1)
+	go l.loop()
+	return l
+}
+
+func (l *Listener) loop() {
+	defer l.wg.Done()
+	for {
+		conn, err := l.ln.Accept()
+		if err != nil {
+			return
+		}
+		l.wg.Add(1)
+		go func() {
+			defer l.wg.Done()
+			_ = ServeConn(conn, l.factory())
+		}()
+	}
+}
+
+// Addr returns the listener's address.
+func (l *Listener) Addr() net.Addr { return l.ln.Addr() }
+
+// Close stops accepting and waits for in-flight connections.
+func (l *Listener) Close() error {
+	err := l.ln.Close()
+	l.wg.Wait()
+	return err
+}

@@ -1,0 +1,65 @@
+package protocols
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func TestNetConnSurfacesTimeoutAsErrTimeout(t *testing.T) {
+	// A server that accepts but never speaks: the scanner contract demands
+	// ErrTimeout, not a net.Error, so detection logic is transport-agnostic.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		conn, err := ln.Accept()
+		if err == nil {
+			defer conn.Close()
+			time.Sleep(200 * time.Millisecond)
+		}
+	}()
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rw := NewNetConn(conn, 50*time.Millisecond)
+	buf := make([]byte, 16)
+	if _, err := rw.Read(buf); err != ErrTimeout {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+}
+
+func TestListenerServesFreshSessionsPerConnection(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := Spec{Protocol: "SSH", Product: "OpenSSH", Version: "9.3"}
+	srv := NewListener(ln, func() Session { return NewSession(spec) })
+
+	// Two sequential connections must each get a full handshake (fresh
+	// session state).
+	for i := 0; i < 2; i++ {
+		conn, err := net.Dial("tcp", srv.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := ScanSSH(NewNetConn(conn, time.Second))
+		conn.Close()
+		if err != nil || !res.Complete {
+			t.Fatalf("conn %d: %v %+v", i, err, res)
+		}
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After close, new connections fail.
+	if conn, err := net.Dial("tcp", srv.Addr().String()); err == nil {
+		conn.Close()
+		t.Fatal("listener accepted after Close")
+	}
+}

@@ -1,0 +1,42 @@
+package protocols
+
+import "io"
+
+// captureConn records the first client message a scanner writes and then
+// starves it, so a protocol's canonical opening probe can be extracted from
+// its Scan implementation without duplicating wire formats.
+type captureConn struct {
+	first []byte
+}
+
+func (c *captureConn) Read(p []byte) (int, error) { return 0, ErrTimeout }
+
+func (c *captureConn) Write(p []byte) (int, error) {
+	if c.first == nil {
+		c.first = append([]byte(nil), p...)
+	}
+	return len(p), nil
+}
+
+// firstProbeCache memoizes FirstProbe results; scanners are deterministic.
+var firstProbeCache = map[string][]byte{}
+
+// FirstProbe returns the first message the named protocol's scanner sends,
+// or nil for server-first protocols. Discovery uses it as the payload of
+// protocol-specific UDP probes (paper §4.1: "protocol-specific UDP
+// packets").
+func FirstProbe(name string) []byte {
+	if probe, ok := firstProbeCache[name]; ok {
+		return append([]byte(nil), probe...)
+	}
+	p := Lookup(name)
+	if p == nil {
+		return nil
+	}
+	cw := &captureConn{}
+	_, _ = p.Scan(cw) // the scanner errors out on the starved read; we only need the write
+	firstProbeCache[name] = cw.first
+	return append([]byte(nil), cw.first...)
+}
+
+var _ io.ReadWriter = (*captureConn)(nil)

@@ -1,0 +1,361 @@
+package protocols
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"censysmap/internal/entity"
+)
+
+// This file implements the second half of the ICS protocols: FOX (Niagara),
+// EIP (EtherNet/IP), ATG (automated tank gauges), CODESYS, and IEC-104.
+
+func init() {
+	register(&Protocol{
+		Name:         "FOX",
+		Transport:    entity.TCP,
+		DefaultPorts: []uint16{1911, 4911},
+		ICS:          true,
+		Scan:         ScanFox,
+		NewSession:   func(s Spec) Session { return &foxSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			return strings.HasPrefix(string(data), "fox a ")
+		},
+	})
+	register(&Protocol{
+		Name:         "EIP",
+		Transport:    entity.TCP,
+		DefaultPorts: []uint16{44818},
+		ICS:          true,
+		Scan:         ScanEIP,
+		NewSession:   func(s Spec) Session { return &eipSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			// ListIdentity response: command 0x0063, status 0.
+			return len(data) >= 24 && data[0] == 0x63 && data[1] == 0x00 &&
+				binary.LittleEndian.Uint32(data[8:12]) == 0
+		},
+	})
+	register(&Protocol{
+		Name:         "ATG",
+		Transport:    entity.TCP,
+		DefaultPorts: []uint16{10001},
+		ICS:          true,
+		Scan:         ScanATG,
+		NewSession:   func(s Spec) Session { return &atgSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			return bytes.Contains(data, []byte("I20100")) &&
+				bytes.Contains(data, []byte("IN-TANK INVENTORY"))
+		},
+	})
+	register(&Protocol{
+		Name:         "CODESYS",
+		Transport:    entity.TCP,
+		DefaultPorts: []uint16{2455},
+		ICS:          true,
+		Scan:         ScanCodesys,
+		NewSession:   func(s Spec) Session { return &codesysSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			return len(data) >= 4 && data[0] == 0xBB && data[1] == 0xBB
+		},
+	})
+	register(&Protocol{
+		Name:         "IEC104",
+		Transport:    entity.TCP,
+		DefaultPorts: []uint16{2404},
+		ICS:          true,
+		Scan:         ScanIEC104,
+		NewSession:   func(s Spec) Session { return &iec104Session{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			// APCI start byte + length 4, U-format STARTDT con (0x0B).
+			return len(data) >= 6 && data[0] == 0x68 && data[1] == 0x04 && data[2] == 0x0B
+		},
+	})
+}
+
+// ---- FOX (Tridium Niagara) ----
+
+// foxHello is the plaintext Niagara Fox session hello.
+const foxHello = "fox a 0 -1 fox hello {\nfox.version=s:1.0\nid=i:1\n};;\n"
+
+// ScanFox sends the Fox hello and parses the station response fields.
+func ScanFox(rw io.ReadWriter) (*Result, error) {
+	if _, err := io.WriteString(rw, foxHello); err != nil {
+		return nil, err
+	}
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	body := string(data)
+	if !strings.HasPrefix(body, "fox a ") {
+		return &Result{Protocol: "FOX", Banner: truncate(firstLine(body))}, ErrUnexpected
+	}
+	res := &Result{Protocol: "FOX", Complete: true, Banner: "Niagara Fox"}
+	for _, l := range strings.Split(body, "\n") {
+		l = strings.TrimSpace(l)
+		k, v, ok := strings.Cut(l, "=")
+		if !ok {
+			continue
+		}
+		v = strings.TrimPrefix(v, "s:")
+		switch k {
+		case "fox.version":
+			res.attr("fox.version", v)
+		case "hostName":
+			res.attr("fox.hostname", v)
+		case "app.name":
+			res.attr("fox.app", v)
+		case "app.version":
+			res.attr("fox.app_version", v)
+		case "station.name":
+			res.attr("fox.station", v)
+			res.Banner = truncate("Niagara Fox station " + v)
+		case "vm.version":
+			res.attr("fox.vm_version", v)
+		}
+	}
+	return res, nil
+}
+
+type foxSession struct {
+	spec Spec
+}
+
+func (s *foxSession) Greeting() []byte { return nil }
+
+func (s *foxSession) Respond(req []byte) ([]byte, bool) {
+	if !strings.HasPrefix(string(req), "fox a ") {
+		return nil, true
+	}
+	station := s.spec.Title
+	if station == "" {
+		station = "station1"
+	}
+	app := s.spec.Product
+	if app == "" {
+		app = "Workbench"
+	}
+	version := s.spec.Version
+	if version == "" {
+		version = "4.10.0"
+	}
+	resp := fmt.Sprintf("fox a 0 -1 fox hello {\nfox.version=s:1.0\nhostName=s:%s\napp.name=s:%s\napp.version=s:%s\nstation.name=s:%s\nvm.version=s:25.331\n};;\n",
+		s.spec.extra("hostname", "niagara-host"), app, version, station)
+	return []byte(resp), false
+}
+
+// ---- EIP (EtherNet/IP) ----
+
+// eipListIdentity is the 24-byte ListIdentity request (command 0x0063).
+var eipListIdentity = func() []byte {
+	b := make([]byte, 24)
+	binary.LittleEndian.PutUint16(b[0:2], 0x0063)
+	return b
+}()
+
+// ScanEIP sends ListIdentity and parses the identity item.
+func ScanEIP(rw io.ReadWriter) (*Result, error) {
+	if _, err := rw.Write(eipListIdentity); err != nil {
+		return nil, err
+	}
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 24 || data[0] != 0x63 {
+		return &Result{Protocol: "EIP"}, ErrUnexpected
+	}
+	res := &Result{Protocol: "EIP", Complete: true, Banner: "EtherNet/IP identity"}
+	if len(data) > 30 {
+		body := data[24:]
+		// Identity item (simplified): vendor id, device type, product code,
+		// then length-prefixed product name.
+		if len(body) >= 7 {
+			res.attr("eip.vendor_id", fmt.Sprintf("%d", binary.LittleEndian.Uint16(body[0:2])))
+			res.attr("eip.device_type", fmt.Sprintf("%d", binary.LittleEndian.Uint16(body[2:4])))
+			res.attr("eip.product_code", fmt.Sprintf("%d", binary.LittleEndian.Uint16(body[4:6])))
+			nameLen := int(body[6])
+			if 7+nameLen <= len(body) {
+				name := string(body[7 : 7+nameLen])
+				res.attr("eip.product_name", name)
+				res.Banner = truncate("EtherNet/IP " + name)
+			}
+		}
+	}
+	return res, nil
+}
+
+type eipSession struct {
+	spec Spec
+}
+
+func (s *eipSession) Greeting() []byte { return nil }
+
+func (s *eipSession) Respond(req []byte) ([]byte, bool) {
+	if len(req) < 24 || binary.LittleEndian.Uint16(req[0:2]) != 0x0063 {
+		return nil, true
+	}
+	name := s.spec.Product
+	if name == "" {
+		name = "1756-EN2T/B"
+	}
+	body := make([]byte, 0, 16+len(name))
+	body = binary.LittleEndian.AppendUint16(body, uint16(specUint(s.spec, "vendor_id", 1))) // 1 = Rockwell
+	body = binary.LittleEndian.AppendUint16(body, 12)                                       // communications adapter
+	body = binary.LittleEndian.AppendUint16(body, 166)
+	body = append(body, byte(len(name)))
+	body = append(body, name...)
+	out := make([]byte, 24)
+	binary.LittleEndian.PutUint16(out[0:2], 0x0063)
+	binary.LittleEndian.PutUint16(out[2:4], uint16(len(body)))
+	return append(out, body...), false
+}
+
+// ---- ATG (Veeder-Root automated tank gauge) ----
+
+// atgInventoryRequest asks for the I20100 in-tank inventory report.
+var atgInventoryRequest = []byte("\x01I20100\n")
+
+// ScanATG requests the in-tank inventory report.
+func ScanATG(rw io.ReadWriter) (*Result, error) {
+	if _, err := rw.Write(atgInventoryRequest); err != nil {
+		return nil, err
+	}
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	body := string(data)
+	if !strings.Contains(body, "I20100") || !strings.Contains(body, "IN-TANK INVENTORY") {
+		return &Result{Protocol: "ATG", Banner: truncate(firstLine(body))}, ErrUnexpected
+	}
+	res := &Result{Protocol: "ATG", Complete: true, Banner: "ATG I20100 inventory"}
+	for _, l := range strings.Split(body, "\r\n") {
+		l = strings.TrimSpace(l)
+		if l == "" || strings.HasPrefix(l, "I20100") || strings.HasPrefix(l, "\x01") {
+			continue
+		}
+		if !strings.Contains(l, "IN-TANK") && !strings.HasPrefix(l, "TANK") && res.Attributes["atg.station"] == "" {
+			res.attr("atg.station", l)
+		}
+	}
+	return res, nil
+}
+
+type atgSession struct {
+	spec Spec
+}
+
+func (s *atgSession) Greeting() []byte { return nil }
+
+func (s *atgSession) Respond(req []byte) ([]byte, bool) {
+	if !bytes.Contains(req, []byte("I20100")) {
+		return []byte("\x019999FF1B\n"), false // unrecognised function code
+	}
+	station := s.spec.Title
+	if station == "" {
+		station = "FUEL STATION 42"
+	}
+	resp := "\x01\r\nI20100\r\nAUG 20, 2024 12:00 AM\r\n\r\n" + station +
+		"\r\n\r\nIN-TANK INVENTORY\r\n\r\nTANK PRODUCT             VOLUME TC VOLUME   ULLAGE   HEIGHT    WATER     TEMP" +
+		"\r\n  1  REGULAR              5821      5802     4179    48.21     0.00    61.23\r\n"
+	return []byte(resp), false
+}
+
+// ---- CODESYS ----
+
+// codesysInfoRequest is the CODESYS V2 runtime info query.
+var codesysInfoRequest = []byte{0xBB, 0xBB, 0x01, 0x00, 0x00, 0x00, 0x01, 0x01}
+
+// ScanCodesys queries the runtime for OS and product details. Note the
+// contrast with keyword-based engines: a service is only CODESYS if this
+// binary exchange completes (paper §6.3's CODESYS over-reporting example).
+func ScanCodesys(rw io.ReadWriter) (*Result, error) {
+	if _, err := rw.Write(codesysInfoRequest); err != nil {
+		return nil, err
+	}
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 8 || data[0] != 0xBB || data[1] != 0xBB {
+		return &Result{Protocol: "CODESYS", Banner: truncate(firstLine(string(data)))}, ErrUnexpected
+	}
+	res := &Result{Protocol: "CODESYS", Complete: true, Banner: "CODESYS runtime"}
+	fields := strings.Split(string(data[8:]), "|")
+	if len(fields) > 0 {
+		res.attr("codesys.product", fields[0])
+	}
+	if len(fields) > 1 {
+		res.attr("codesys.os", fields[1])
+	}
+	if len(fields) > 2 {
+		res.attr("codesys.version", fields[2])
+	}
+	return res, nil
+}
+
+type codesysSession struct {
+	spec Spec
+}
+
+func (s *codesysSession) Greeting() []byte { return nil }
+
+func (s *codesysSession) Respond(req []byte) ([]byte, bool) {
+	if len(req) < 8 || req[0] != 0xBB || req[1] != 0xBB {
+		return nil, true
+	}
+	product := s.spec.Product
+	if product == "" {
+		product = "3S-Smart Software Solutions"
+	}
+	os := s.spec.extra("os", "Nucleus PLUS")
+	version := s.spec.Version
+	if version == "" {
+		version = "2.4.7.0"
+	}
+	out := []byte{0xBB, 0xBB, 0x01, 0x00, 0x00, 0x00, 0x01, 0x81}
+	out = append(out, (product + "|" + os + "|" + version)...)
+	return out, false
+}
+
+// ---- IEC 60870-5-104 ----
+
+// iec104StartDT is the STARTDT activation U-frame.
+var iec104StartDT = []byte{0x68, 0x04, 0x07, 0x00, 0x00, 0x00}
+
+// ScanIEC104 sends STARTDT act and expects STARTDT con.
+func ScanIEC104(rw io.ReadWriter) (*Result, error) {
+	if _, err := rw.Write(iec104StartDT); err != nil {
+		return nil, err
+	}
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 6 || data[0] != 0x68 || data[2] != 0x0B {
+		return &Result{Protocol: "IEC104"}, ErrUnexpected
+	}
+	res := &Result{Protocol: "IEC104", Complete: true, Banner: "IEC-104 STARTDT con"}
+	res.attr("iec104.startdt", "confirmed")
+	return res, nil
+}
+
+type iec104Session struct {
+	spec Spec
+}
+
+func (s *iec104Session) Greeting() []byte { return nil }
+
+func (s *iec104Session) Respond(req []byte) ([]byte, bool) {
+	if len(req) < 6 || req[0] != 0x68 {
+		return nil, true
+	}
+	if req[2] == 0x07 { // STARTDT act
+		return []byte{0x68, 0x04, 0x0B, 0x00, 0x00, 0x00}, false
+	}
+	return nil, false
+}

@@ -1,0 +1,420 @@
+package protocols
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"censysmap/internal/entity"
+)
+
+// This file implements the UDP protocols: DNS (real wire format), NTP, SNMP
+// (a compact BER subset), and SIP.
+
+func init() {
+	register(&Protocol{
+		Name:         "DNS",
+		Transport:    entity.UDP,
+		DefaultPorts: []uint16{53},
+		Scan:         ScanDNS,
+		NewSession:   func(s Spec) Session { return &dnsSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			// QR bit set and at least one answer in a 12-byte header.
+			return len(data) >= 12 && data[2]&0x80 != 0
+		},
+	})
+	register(&Protocol{
+		Name:         "NTP",
+		Transport:    entity.UDP,
+		DefaultPorts: []uint16{123},
+		Scan:         ScanNTP,
+		NewSession:   func(s Spec) Session { return &ntpSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			return len(data) == 48 && data[0]&0x07 == 4 // mode 4: server
+		},
+	})
+	register(&Protocol{
+		Name:         "SNMP",
+		Transport:    entity.UDP,
+		DefaultPorts: []uint16{161},
+		Scan:         ScanSNMP,
+		NewSession:   func(s Spec) Session { return &snmpSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			// BER SEQUENCE wrapping version INTEGER 0..2.
+			return len(data) > 4 && data[0] == 0x30 && data[2] == 0x02
+		},
+	})
+	register(&Protocol{
+		Name:         "SIP",
+		Transport:    entity.UDP,
+		DefaultPorts: []uint16{5060},
+		Scan:         ScanSIP,
+		NewSession:   func(s Spec) Session { return &sipSession{spec: s} },
+		Fingerprint: func(data []byte) bool {
+			return strings.HasPrefix(string(data), "SIP/2.0 ")
+		},
+	})
+}
+
+// ---- DNS ----
+
+// dnsQueryID is fixed: probe/response correlation is done by the transport
+// in simulation, and determinism beats entropy for reproducible records.
+const dnsQueryID = 0xCE05
+
+// EncodeDNSQuery builds a wire-format query for name with the given type and
+// class.
+func EncodeDNSQuery(name string, qtype, qclass uint16) []byte {
+	var b []byte
+	b = binary.BigEndian.AppendUint16(b, dnsQueryID)
+	b = binary.BigEndian.AppendUint16(b, 0x0100) // RD
+	b = binary.BigEndian.AppendUint16(b, 1)      // QDCOUNT
+	b = append(b, 0, 0, 0, 0, 0, 0)              // AN/NS/AR
+	for _, label := range strings.Split(name, ".") {
+		if label == "" {
+			continue
+		}
+		b = append(b, byte(len(label)))
+		b = append(b, label...)
+	}
+	b = append(b, 0)
+	b = binary.BigEndian.AppendUint16(b, qtype)
+	b = binary.BigEndian.AppendUint16(b, qclass)
+	return b
+}
+
+// decodeDNSName reads a (compression-free) name starting at off.
+func decodeDNSName(data []byte, off int) (string, int, bool) {
+	var labels []string
+	for {
+		if off >= len(data) {
+			return "", 0, false
+		}
+		l := int(data[off])
+		off++
+		if l == 0 {
+			break
+		}
+		if off+l > len(data) {
+			return "", 0, false
+		}
+		labels = append(labels, string(data[off:off+l]))
+		off += l
+	}
+	return strings.Join(labels, "."), off, true
+}
+
+// ScanDNS issues a CHAOS TXT version.bind query — the classic server
+// fingerprinting probe — and records the answer.
+func ScanDNS(rw io.ReadWriter) (*Result, error) {
+	q := EncodeDNSQuery("version.bind", 16 /* TXT */, 3 /* CH */)
+	if _, err := rw.Write(q); err != nil {
+		return nil, err
+	}
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 12 || binary.BigEndian.Uint16(data[0:2]) != dnsQueryID || data[2]&0x80 == 0 {
+		return &Result{Protocol: "DNS"}, ErrUnexpected
+	}
+	res := &Result{Protocol: "DNS", Complete: true, Banner: "DNS response"}
+	ancount := binary.BigEndian.Uint16(data[6:8])
+	res.attr("dns.rcode", fmt.Sprintf("%d", data[3]&0x0F))
+	if ancount == 0 {
+		return res, nil
+	}
+	// Skip the echoed question, then parse the first TXT answer.
+	_, off, ok := decodeDNSName(data, 12)
+	if !ok || off+4 > len(data) {
+		return res, nil
+	}
+	off += 4
+	_, off, ok = decodeDNSName(data, off)
+	if !ok || off+10 > len(data) {
+		return res, nil
+	}
+	rdlen := int(binary.BigEndian.Uint16(data[off+8 : off+10]))
+	off += 10
+	if off+rdlen > len(data) || rdlen < 1 {
+		return res, nil
+	}
+	txtLen := int(data[off])
+	if 1+txtLen <= rdlen {
+		version := string(data[off+1 : off+1+txtLen])
+		res.attr("dns.version_bind", version)
+		res.Banner = truncate("version.bind: " + version)
+	}
+	return res, nil
+}
+
+type dnsSession struct {
+	spec Spec
+}
+
+func (s *dnsSession) Greeting() []byte { return nil }
+
+func (s *dnsSession) Respond(req []byte) ([]byte, bool) {
+	if len(req) < 12 {
+		return nil, false
+	}
+	name, off, ok := decodeDNSName(req, 12)
+	if !ok || off+4 > len(req) {
+		return nil, false
+	}
+	qtype := binary.BigEndian.Uint16(req[off : off+2])
+	qclass := binary.BigEndian.Uint16(req[off+2 : off+4])
+	question := req[12 : off+4]
+
+	var resp []byte
+	resp = append(resp, req[0:2]...)                   // echo ID
+	resp = binary.BigEndian.AppendUint16(resp, 0x8580) // QR AA RD RA
+	resp = binary.BigEndian.AppendUint16(resp, 1)      // QDCOUNT
+	version := s.spec.Version
+	if version == "" {
+		version = "9.18.24"
+	}
+	product := s.spec.Product
+	if product == "" {
+		product = "BIND"
+	}
+	answerTXT := ""
+	if strings.EqualFold(name, "version.bind") && qtype == 16 && qclass == 3 {
+		answerTXT = product + " " + version
+	}
+	if answerTXT != "" {
+		resp = binary.BigEndian.AppendUint16(resp, 1)
+	} else {
+		resp = binary.BigEndian.AppendUint16(resp, 0)
+	}
+	resp = append(resp, 0, 0, 0, 0) // NS/AR
+	resp = append(resp, question...)
+	if answerTXT != "" {
+		// Answer: repeat the name uncompressed.
+		for _, label := range strings.Split(name, ".") {
+			resp = append(resp, byte(len(label)))
+			resp = append(resp, label...)
+		}
+		resp = append(resp, 0)
+		resp = binary.BigEndian.AppendUint16(resp, qtype)
+		resp = binary.BigEndian.AppendUint16(resp, qclass)
+		resp = append(resp, 0, 0, 0, 0) // TTL
+		resp = binary.BigEndian.AppendUint16(resp, uint16(1+len(answerTXT)))
+		resp = append(resp, byte(len(answerTXT)))
+		resp = append(resp, answerTXT...)
+	}
+	return resp, false
+}
+
+// ---- NTP ----
+
+// ScanNTP sends a client (mode 3) packet and parses the server reply.
+func ScanNTP(rw io.ReadWriter) (*Result, error) {
+	req := make([]byte, 48)
+	req[0] = 0x23 // LI=0 VN=4 Mode=3
+	if _, err := rw.Write(req); err != nil {
+		return nil, err
+	}
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 48 || data[0]&0x07 != 4 {
+		return &Result{Protocol: "NTP"}, ErrUnexpected
+	}
+	res := &Result{Protocol: "NTP", Complete: true, Banner: "NTP mode 4"}
+	res.attr("ntp.version", fmt.Sprintf("%d", data[0]>>3&0x07))
+	res.attr("ntp.stratum", fmt.Sprintf("%d", data[1]))
+	res.attr("ntp.refid", string(bytes.TrimRight(data[12:16], "\x00")))
+	return res, nil
+}
+
+type ntpSession struct {
+	spec Spec
+}
+
+func (s *ntpSession) Greeting() []byte { return nil }
+
+func (s *ntpSession) Respond(req []byte) ([]byte, bool) {
+	if len(req) < 48 || req[0]&0x07 != 3 {
+		return nil, false
+	}
+	resp := make([]byte, 48)
+	resp[0] = 0x24 // VN=4 Mode=4
+	resp[1] = byte(specUint(s.spec, "stratum", 2))
+	refid := s.spec.extra("refid", "GPS")
+	copy(resp[12:16], refid)
+	return resp, false
+}
+
+// specUint parses an Extra field as an integer with a default.
+func specUint(s Spec, key string, def int) int {
+	v := s.extra(key, "")
+	if v == "" {
+		return def
+	}
+	n := 0
+	for _, c := range v {
+		if c < '0' || c > '9' {
+			return def
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+// ---- SNMP ----
+
+// snmpSysDescrOID is 1.3.6.1.2.1.1.1.0 in BER encoding.
+var snmpSysDescrOID = []byte{0x2B, 0x06, 0x01, 0x02, 0x01, 0x01, 0x01, 0x00}
+
+// berTLV appends a tag-length-value triple (short-form lengths only).
+func berTLV(b []byte, tag byte, value []byte) []byte {
+	b = append(b, tag, byte(len(value)))
+	return append(b, value...)
+}
+
+// ScanSNMP issues an SNMPv2c get-request for sysDescr with community
+// "public".
+func ScanSNMP(rw io.ReadWriter) (*Result, error) {
+	var varbind []byte
+	varbind = berTLV(varbind, 0x06, snmpSysDescrOID)
+	varbind = berTLV(varbind, 0x05, nil) // NULL
+	var vbl []byte
+	vbl = berTLV(vbl, 0x30, varbind)
+	var pdu []byte
+	pdu = berTLV(pdu, 0x02, []byte{0x01}) // request-id
+	pdu = berTLV(pdu, 0x02, []byte{0x00}) // error-status
+	pdu = berTLV(pdu, 0x02, []byte{0x00}) // error-index
+	pdu = berTLV(pdu, 0x30, vbl)
+	var msg []byte
+	msg = berTLV(msg, 0x02, []byte{0x01})     // version 2c
+	msg = berTLV(msg, 0x04, []byte("public")) // community
+	msg = berTLV(msg, 0xA0, pdu)              // get-request
+	var out []byte
+	out = berTLV(out, 0x30, msg)
+
+	if _, err := rw.Write(out); err != nil {
+		return nil, err
+	}
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < 4 || data[0] != 0x30 {
+		return &Result{Protocol: "SNMP"}, ErrUnexpected
+	}
+	// Find the sysDescr OCTET STRING: last 0x04-tagged value in the message.
+	descr := lastOctetString(data)
+	res := &Result{Protocol: "SNMP", Complete: true, Banner: truncate(descr)}
+	res.attr("snmp.sysdescr", descr)
+	res.attr("snmp.community", "public")
+	return res, nil
+}
+
+// lastOctetString scans BER data for the final OCTET STRING value — in our
+// compact responses, the sysDescr. A full BER parser is unnecessary for the
+// fixed shapes the simulated agents emit.
+func lastOctetString(data []byte) string {
+	best := ""
+	for i := 0; i+2 <= len(data); i++ {
+		if data[i] == 0x04 {
+			l := int(data[i+1])
+			if i+2+l <= len(data) && l > 0 {
+				best = string(data[i+2 : i+2+l])
+			}
+		}
+	}
+	return best
+}
+
+type snmpSession struct {
+	spec Spec
+}
+
+func (s *snmpSession) Greeting() []byte { return nil }
+
+func (s *snmpSession) Respond(req []byte) ([]byte, bool) {
+	if len(req) < 4 || req[0] != 0x30 {
+		return nil, false
+	}
+	if !bytes.Contains(req, []byte("public")) {
+		return nil, false // wrong community: agents stay silent
+	}
+	sysDescr := s.spec.extra("sysdescr", "")
+	if sysDescr == "" {
+		sysDescr = strings.TrimSpace(fmt.Sprintf("%s %s %s", s.spec.Vendor, s.spec.Product, s.spec.Version))
+	}
+	if sysDescr == "" {
+		sysDescr = "Linux generic 5.15"
+	}
+	var varbind []byte
+	varbind = berTLV(varbind, 0x06, snmpSysDescrOID)
+	varbind = berTLV(varbind, 0x04, []byte(sysDescr))
+	var vbl []byte
+	vbl = berTLV(vbl, 0x30, varbind)
+	var pdu []byte
+	pdu = berTLV(pdu, 0x02, []byte{0x01})
+	pdu = berTLV(pdu, 0x02, []byte{0x00})
+	pdu = berTLV(pdu, 0x02, []byte{0x00})
+	pdu = berTLV(pdu, 0x30, vbl)
+	var msg []byte
+	msg = berTLV(msg, 0x02, []byte{0x01})
+	msg = berTLV(msg, 0x04, []byte("public"))
+	msg = berTLV(msg, 0xA2, pdu) // get-response
+	var out []byte
+	out = berTLV(out, 0x30, msg)
+	return out, false
+}
+
+// ---- SIP ----
+
+// ScanSIP sends an OPTIONS request and parses the response headers.
+func ScanSIP(rw io.ReadWriter) (*Result, error) {
+	req := "OPTIONS sip:scan@censysmap.invalid SIP/2.0\r\n" +
+		"Via: SIP/2.0/UDP scanner.censysmap.invalid;branch=z9hG4bK1\r\n" +
+		"From: <sip:scan@censysmap.invalid>;tag=1\r\n" +
+		"To: <sip:scan@censysmap.invalid>\r\n" +
+		"Call-ID: censysmap-1\r\nCSeq: 1 OPTIONS\r\nMax-Forwards: 70\r\nContent-Length: 0\r\n\r\n"
+	if _, err := io.WriteString(rw, req); err != nil {
+		return nil, err
+	}
+	data, err := readSome(rw)
+	if err != nil {
+		return nil, err
+	}
+	body := string(data)
+	if !strings.HasPrefix(body, "SIP/2.0 ") {
+		return &Result{Protocol: "SIP", Banner: truncate(firstLine(body))}, ErrUnexpected
+	}
+	res := &Result{Protocol: "SIP", Complete: true, Banner: truncate(firstLine(body))}
+	for _, l := range strings.Split(body, "\r\n") {
+		if v, ok := strings.CutPrefix(l, "Server: "); ok {
+			res.attr("sip.server", v)
+		}
+		if v, ok := strings.CutPrefix(l, "Allow: "); ok {
+			res.attr("sip.allow", v)
+		}
+	}
+	return res, nil
+}
+
+type sipSession struct {
+	spec Spec
+}
+
+func (s *sipSession) Greeting() []byte { return nil }
+
+func (s *sipSession) Respond(req []byte) ([]byte, bool) {
+	if !strings.HasPrefix(string(req), "OPTIONS ") && !strings.HasPrefix(string(req), "INVITE ") {
+		return nil, false
+	}
+	server := strings.TrimSpace(s.spec.Product + " " + s.spec.Version)
+	if server == "" {
+		server = "Asterisk PBX"
+	}
+	return []byte("SIP/2.0 200 OK\r\nVia: SIP/2.0/UDP scanner.censysmap.invalid;branch=z9hG4bK1\r\n" +
+		"Server: " + server + "\r\nAllow: INVITE, ACK, CANCEL, OPTIONS, BYE\r\nContent-Length: 0\r\n\r\n"), false
+}

@@ -1,0 +1,88 @@
+package search
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+
+	"censysmap/internal/entity"
+)
+
+func populateIndex(n int) *Index {
+	ix := NewIndex()
+	countries := []string{"US", "CN", "DE", "FR", "JP"}
+	protos := []string{"HTTP", "SSH", "FTP", "MODBUS"}
+	for i := 0; i < n; i++ {
+		h := entity.NewHost(netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}))
+		h.Location = &entity.Location{Country: countries[i%len(countries)]}
+		h.AS = &entity.AS{Number: uint32(64000 + i%500), Org: fmt.Sprintf("Org %d", i%100)}
+		h.SetService(&entity.Service{
+			Port: uint16(1 + i%65535), Transport: entity.TCP,
+			Protocol: protos[i%len(protos)], Verified: true,
+			Banner:     fmt.Sprintf("banner item %d", i),
+			Attributes: map[string]string{"http.title": fmt.Sprintf("Console %d", i%50)},
+		})
+		ix.Upsert(h)
+	}
+	return ix
+}
+
+func BenchmarkIndexUpsert(b *testing.B) {
+	ix := NewIndex()
+	h := entity.NewHost(netip.MustParseAddr("10.0.0.1"))
+	h.SetService(&entity.Service{Port: 80, Transport: entity.TCP, Protocol: "HTTP",
+		Banner: "HTTP/1.1 200 OK", Attributes: map[string]string{"http.title": "Welcome"}})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix.Upsert(h)
+	}
+}
+
+func BenchmarkSearchTermQuery(b *testing.B) {
+	ix := populateIndex(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(`services.protocol: MODBUS and location.country: US`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSearchPhraseQuery(b *testing.B) {
+	ix := populateIndex(5000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ix.Search(`services.http.title: "Console 7"`); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestIndexConcurrentAccess(t *testing.T) {
+	ix := populateIndex(500)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(2)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				h := entity.NewHost(netip.AddrFrom4([4]byte{172, 16, byte(g), byte(i)}))
+				h.SetService(&entity.Service{Port: 80, Transport: entity.TCP, Protocol: "HTTP"})
+				ix.Upsert(h)
+			}
+		}(g)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				if _, err := ix.Search(`services.protocol: HTTP`); err != nil {
+					t.Error(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if n, _ := ix.Count(`services.protocol: HTTP`); n == 0 {
+		t.Fatal("concurrent writes lost")
+	}
+}

@@ -1,0 +1,110 @@
+package search
+
+import (
+	"censysmap/internal/entity"
+)
+
+// Search parses and executes a query, returning matching entity IDs sorted.
+func (ix *Index) Search(query string) ([]string, error) {
+	q, err := ParseQuery(query)
+	if err != nil {
+		return nil, err
+	}
+	return ix.Execute(q), nil
+}
+
+// SearchHosts is Search returning the matched host records.
+func (ix *Index) SearchHosts(query string) ([]*entity.Host, error) {
+	ids, err := ix.Search(query)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*entity.Host, 0, len(ids))
+	for _, id := range ids {
+		if h := ix.Host(id); h != nil {
+			out = append(out, h)
+		}
+	}
+	return out, nil
+}
+
+// Execute runs a compiled query.
+func (ix *Index) Execute(q *Query) []string {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return sortedIDs(ix.eval(q.root))
+}
+
+// Count returns the number of matches.
+func (ix *Index) Count(query string) (int, error) {
+	ids, err := ix.Search(query)
+	if err != nil {
+		return 0, err
+	}
+	return len(ids), nil
+}
+
+func (ix *Index) eval(n queryNode) map[string]struct{} {
+	switch t := n.(type) {
+	case termNode:
+		return ix.evalTerm(t)
+	case andNode:
+		var acc map[string]struct{}
+		for _, c := range t.children {
+			set := ix.eval(c)
+			if acc == nil {
+				acc = set
+				continue
+			}
+			acc = intersect(acc, set)
+			if len(acc) == 0 {
+				return acc
+			}
+		}
+		return acc
+	case orNode:
+		acc := make(map[string]struct{})
+		for _, c := range t.children {
+			for id := range ix.eval(c) {
+				acc[id] = struct{}{}
+			}
+		}
+		return acc
+	case notNode:
+		all := ix.allDocs()
+		for id := range ix.eval(t.child) {
+			delete(all, id)
+		}
+		return all
+	default:
+		return map[string]struct{}{}
+	}
+}
+
+func (ix *Index) evalTerm(t termNode) map[string]struct{} {
+	switch {
+	case t.isRange:
+		return ix.lookupRange(t.field, t.lo, t.hi)
+	case t.prefix:
+		return ix.lookupPrefix(t.field, t.value)
+	case t.phrase:
+		return ix.lookupPhrase(t.field, t.value)
+	case t.field == "":
+		return ix.lookupBare(t.value)
+	default:
+		return ix.lookupTerm(t.field, t.value)
+	}
+}
+
+func intersect(a, b map[string]struct{}) map[string]struct{} {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	out := make(map[string]struct{})
+	for id := range a {
+		if _, ok := b[id]; ok {
+			out[id] = struct{}{}
+		}
+	}
+	return out
+}

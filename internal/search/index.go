@@ -1,0 +1,304 @@
+// Package search implements the interactive search interface of paper §5.3:
+// an inverted index over the current state of every entity, queried with a
+// Lucene-like language (field references, boolean operators, phrases,
+// wildcards, numeric ranges). It stands in for the Elasticsearch tier.
+package search
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"censysmap/internal/entity"
+)
+
+// Index is the searchable view of current entity state. It is maintained
+// incrementally from write-side events (hosts are upserted as they change
+// and removed as they disappear) and is safe for concurrent use.
+type Index struct {
+	mu   sync.RWMutex
+	docs map[string]*document
+	// inverted maps field -> token -> docID set.
+	inverted map[string]map[string]map[string]struct{}
+}
+
+// document keeps the raw values needed for phrase and range evaluation.
+type document struct {
+	id string
+	// fields holds raw (not tokenized) values per field, multi-valued.
+	fields map[string][]string
+	// numbers holds numeric field values for range queries.
+	numbers map[string][]int64
+	host    *entity.Host
+}
+
+// NewIndex creates an empty index.
+func NewIndex() *Index {
+	return &Index{
+		docs:     make(map[string]*document),
+		inverted: make(map[string]map[string]map[string]struct{}),
+	}
+}
+
+// textFields are searched by bare (fieldless) terms.
+var textFields = map[string]bool{
+	"services.banner": true, "services.http.title": true,
+	"services.http.server": true, "as.org": true, "labels": true,
+	"services.protocol": true, "software.product": true,
+}
+
+// Tokenize lowercases and splits a value into index tokens; the full
+// lowercased value is always included as a token for exact matches.
+func Tokenize(v string) []string {
+	lower := strings.ToLower(v)
+	fields := strings.FieldsFunc(lower, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z' || r >= '0' && r <= '9' || r == '.' || r == '-' || r == '_' || r == '/')
+	})
+	seen := map[string]bool{lower: true}
+	out := []string{lower}
+	for _, f := range fields {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Flatten converts a host record into indexable (field, values) pairs —
+// the document schema of the search tier.
+func Flatten(h *entity.Host) map[string][]string {
+	out := map[string][]string{
+		"ip": {h.IP.String()},
+	}
+	add := func(field, v string) {
+		if v != "" {
+			out[field] = append(out[field], v)
+		}
+	}
+	if h.Location != nil {
+		add("location.country", h.Location.Country)
+		add("location.city", h.Location.City)
+	}
+	if h.AS != nil {
+		add("as.number", strconv.FormatUint(uint64(h.AS.Number), 10))
+		add("as.name", h.AS.Name)
+		add("as.org", h.AS.Org)
+	}
+	for _, l := range h.Labels {
+		add("labels", l)
+	}
+	for _, v := range h.Vulns {
+		add("vulns", v)
+	}
+	for _, sw := range h.Software {
+		add("software.product", sw.Product)
+		add("software.vendor", sw.Vendor)
+		add("software.version", sw.Version)
+		add("software.cpe", sw.CPE())
+	}
+	for _, svc := range h.ActiveServices() {
+		add("services.port", strconv.Itoa(int(svc.Port)))
+		add("services.transport", string(svc.Transport))
+		add("services.protocol", svc.Protocol)
+		add("services.service_name", svc.Protocol) // paper's query syntax alias
+		add("services.banner", svc.Banner)
+		if svc.TLS {
+			add("services.tls", "true")
+		}
+		add("services.cert_sha256", svc.CertSHA256)
+		for k, v := range svc.Attributes {
+			add("services."+k, v)
+		}
+	}
+	return out
+}
+
+// Upsert indexes (or reindexes) a host's current state.
+func (ix *Index) Upsert(h *entity.Host) {
+	id := h.ID()
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(id)
+	doc := &document{id: id, fields: Flatten(h),
+		numbers: make(map[string][]int64), host: h.Clone()}
+	for field, values := range doc.fields {
+		for _, v := range values {
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				doc.numbers[field] = append(doc.numbers[field], n)
+			}
+			for _, tok := range Tokenize(v) {
+				ix.post(field, tok, id)
+			}
+		}
+	}
+	ix.docs[id] = doc
+}
+
+func (ix *Index) post(field, token, id string) {
+	byTok := ix.inverted[field]
+	if byTok == nil {
+		byTok = make(map[string]map[string]struct{})
+		ix.inverted[field] = byTok
+	}
+	set := byTok[token]
+	if set == nil {
+		set = make(map[string]struct{})
+		byTok[token] = set
+	}
+	set[id] = struct{}{}
+}
+
+// Remove deletes an entity from the index.
+func (ix *Index) Remove(id string) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.removeLocked(id)
+}
+
+func (ix *Index) removeLocked(id string) {
+	doc := ix.docs[id]
+	if doc == nil {
+		return
+	}
+	for field, values := range doc.fields {
+		for _, v := range values {
+			for _, tok := range Tokenize(v) {
+				if set := ix.inverted[field][tok]; set != nil {
+					delete(set, id)
+					if len(set) == 0 {
+						delete(ix.inverted[field], tok)
+					}
+				}
+			}
+		}
+	}
+	delete(ix.docs, id)
+}
+
+// Len reports the number of indexed entities.
+func (ix *Index) Len() int {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	return len(ix.docs)
+}
+
+// Host returns the indexed snapshot of an entity.
+func (ix *Index) Host(id string) *entity.Host {
+	ix.mu.RLock()
+	defer ix.mu.RUnlock()
+	if d := ix.docs[id]; d != nil {
+		return d.host.Clone()
+	}
+	return nil
+}
+
+// --- primitive query operations used by the executor ---
+
+// lookupTerm returns docs whose field contains token (exact token match).
+func (ix *Index) lookupTerm(field, token string) map[string]struct{} {
+	out := make(map[string]struct{})
+	if set := ix.inverted[field][strings.ToLower(token)]; set != nil {
+		for id := range set {
+			out[id] = struct{}{}
+		}
+	}
+	return out
+}
+
+// lookupBare returns docs matching token in any text field.
+func (ix *Index) lookupBare(token string) map[string]struct{} {
+	out := make(map[string]struct{})
+	for field := range textFields {
+		for id := range ix.lookupTerm(field, token) {
+			out[id] = struct{}{}
+		}
+	}
+	return out
+}
+
+// lookupPrefix returns docs whose field has a token with the given prefix.
+func (ix *Index) lookupPrefix(field, prefix string) map[string]struct{} {
+	out := make(map[string]struct{})
+	prefix = strings.ToLower(prefix)
+	scan := func(f string) {
+		for tok, set := range ix.inverted[f] {
+			if strings.HasPrefix(tok, prefix) {
+				for id := range set {
+					out[id] = struct{}{}
+				}
+			}
+		}
+	}
+	if field != "" {
+		scan(field)
+		return out
+	}
+	for f := range textFields {
+		scan(f)
+	}
+	return out
+}
+
+// lookupPhrase returns docs whose field raw value contains the phrase
+// (case-insensitive substring).
+func (ix *Index) lookupPhrase(field, phrase string) map[string]struct{} {
+	out := make(map[string]struct{})
+	phrase = strings.ToLower(phrase)
+	match := func(d *document, f string) bool {
+		for _, v := range d.fields[f] {
+			if strings.Contains(strings.ToLower(v), phrase) {
+				return true
+			}
+		}
+		return false
+	}
+	for id, d := range ix.docs {
+		if field != "" {
+			if match(d, field) {
+				out[id] = struct{}{}
+			}
+			continue
+		}
+		for f := range textFields {
+			if match(d, f) {
+				out[id] = struct{}{}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// lookupRange returns docs with a numeric value of field in [lo, hi].
+func (ix *Index) lookupRange(field string, lo, hi int64) map[string]struct{} {
+	out := make(map[string]struct{})
+	for id, d := range ix.docs {
+		for _, n := range d.numbers[field] {
+			if n >= lo && n <= hi {
+				out[id] = struct{}{}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// allDocs returns the full doc id set (for NOT complement).
+func (ix *Index) allDocs() map[string]struct{} {
+	out := make(map[string]struct{}, len(ix.docs))
+	for id := range ix.docs {
+		out[id] = struct{}{}
+	}
+	return out
+}
+
+func sortedIDs(set map[string]struct{}) []string {
+	out := make([]string, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

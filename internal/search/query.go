@@ -1,0 +1,345 @@
+package search
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// The query language is Lucene-like (paper §5.3):
+//
+//	services.service_name="MODBUS" and location.country="US"
+//	services.port: [8000 TO 9000]
+//	labels: ics and not services.tls: true
+//	"MOVEit Transfer"            (bare phrase: full-text)
+//	services.http.title: Router*  (prefix wildcard)
+//
+// Operators and/or/not are case-insensitive; adjacency implies AND; both
+// `field: value` and `field="value"` forms are accepted.
+
+// queryNode is an AST node.
+type queryNode interface{ isNode() }
+
+type andNode struct{ children []queryNode }
+type orNode struct{ children []queryNode }
+type notNode struct{ child queryNode }
+
+// termNode is a single match primitive.
+type termNode struct {
+	field  string // empty for bare full-text terms
+	value  string
+	phrase bool // quoted: substring semantics
+	prefix bool // trailing *: prefix semantics
+	// numeric range [lo, hi]; active when isRange.
+	isRange bool
+	lo, hi  int64
+}
+
+func (andNode) isNode()  {}
+func (orNode) isNode()   {}
+func (notNode) isNode()  {}
+func (termNode) isNode() {}
+
+// Query is a compiled query.
+type Query struct {
+	root queryNode
+	src  string
+}
+
+// String returns the original query text.
+func (q *Query) String() string { return q.src }
+
+type qtoken struct {
+	kind string // "lparen","rparen","and","or","not","term","field","range"
+	term termNode
+}
+
+type qlexer struct {
+	src string
+	pos int
+}
+
+func (l *qlexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *qlexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+// readAtom reads a bare word (no spaces, parens, colons or quotes).
+func (l *qlexer) readAtom() string {
+	start := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsSpace(rune(c)) || c == '(' || c == ')' || c == ':' || c == '"' || c == '=' || c == ']' {
+			break
+		}
+		l.pos++
+	}
+	return l.src[start:l.pos]
+}
+
+func (l *qlexer) readQuoted() (string, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\\' && l.pos+1 < len(l.src) {
+			l.pos++
+			sb.WriteByte(l.src[l.pos])
+			l.pos++
+			continue
+		}
+		if c == '"' {
+			l.pos++
+			return sb.String(), nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return "", errors.New("search: unterminated quoted string")
+}
+
+// readRange parses `[lo TO hi]` after a field.
+func (l *qlexer) readRange() (int64, int64, error) {
+	l.pos++ // '['
+	l.skipSpace()
+	loStr := l.readAtom()
+	l.skipSpace()
+	to := l.readAtom()
+	if !strings.EqualFold(to, "TO") {
+		return 0, 0, fmt.Errorf("search: expected TO in range, got %q", to)
+	}
+	l.skipSpace()
+	hiStr := l.readAtom()
+	l.skipSpace()
+	if c, ok := l.peekByte(); !ok || c != ']' {
+		return 0, 0, errors.New("search: unterminated range")
+	}
+	l.pos++
+	lo, err := strconv.ParseInt(loStr, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("search: bad range bound %q", loStr)
+	}
+	hi, err := strconv.ParseInt(hiStr, 10, 64)
+	if err != nil {
+		return 0, 0, fmt.Errorf("search: bad range bound %q", hiStr)
+	}
+	return lo, hi, nil
+}
+
+func (l *qlexer) tokens() ([]qtoken, error) {
+	var toks []qtoken
+	for {
+		l.skipSpace()
+		c, ok := l.peekByte()
+		if !ok {
+			return toks, nil
+		}
+		switch c {
+		case '(':
+			l.pos++
+			toks = append(toks, qtoken{kind: "lparen"})
+		case ')':
+			l.pos++
+			toks = append(toks, qtoken{kind: "rparen"})
+		case '"':
+			s, err := l.readQuoted()
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, qtoken{kind: "term", term: termNode{value: s, phrase: true}})
+		default:
+			word := l.readAtom()
+			if word == "" {
+				return nil, fmt.Errorf("search: unexpected character %q", c)
+			}
+			switch strings.ToLower(word) {
+			case "and":
+				toks = append(toks, qtoken{kind: "and"})
+				continue
+			case "or":
+				toks = append(toks, qtoken{kind: "or"})
+				continue
+			case "not":
+				toks = append(toks, qtoken{kind: "not"})
+				continue
+			}
+			// Field reference? (followed by ':' or '=')
+			l.skipSpace()
+			if c, ok := l.peekByte(); ok && (c == ':' || c == '=') {
+				l.pos++
+				l.skipSpace()
+				term := termNode{field: word}
+				c2, ok2 := l.peekByte()
+				switch {
+				case ok2 && c2 == '"':
+					s, err := l.readQuoted()
+					if err != nil {
+						return nil, err
+					}
+					term.value = s
+					term.phrase = true
+				case ok2 && c2 == '[':
+					lo, hi, err := l.readRange()
+					if err != nil {
+						return nil, err
+					}
+					term.isRange = true
+					term.lo, term.hi = lo, hi
+				default:
+					v := l.readAtom()
+					if v == "" {
+						return nil, fmt.Errorf("search: field %q missing value", word)
+					}
+					term.value = v
+				}
+				if strings.HasSuffix(term.value, "*") && !term.isRange {
+					term.prefix = true
+					term.value = strings.TrimSuffix(term.value, "*")
+				}
+				toks = append(toks, qtoken{kind: "term", term: term})
+				continue
+			}
+			// Bare full-text term.
+			term := termNode{value: word}
+			if strings.HasSuffix(word, "*") {
+				term.prefix = true
+				term.value = strings.TrimSuffix(word, "*")
+			}
+			toks = append(toks, qtoken{kind: "term", term: term})
+		}
+	}
+}
+
+type qparser struct {
+	toks []qtoken
+	pos  int
+}
+
+func (p *qparser) peek() (qtoken, bool) {
+	if p.pos >= len(p.toks) {
+		return qtoken{}, false
+	}
+	return p.toks[p.pos], true
+}
+
+// parseOr := parseAnd (OR parseAnd)*
+func (p *qparser) parseOr() (queryNode, error) {
+	left, err := p.parseAnd()
+	if err != nil {
+		return nil, err
+	}
+	children := []queryNode{left}
+	for {
+		t, ok := p.peek()
+		if !ok || t.kind != "or" {
+			break
+		}
+		p.pos++
+		right, err := p.parseAnd()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return orNode{children: children}, nil
+}
+
+// parseAnd := parseUnary ((AND)? parseUnary)*  — adjacency implies AND.
+func (p *qparser) parseAnd() (queryNode, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	children := []queryNode{left}
+	for {
+		t, ok := p.peek()
+		if !ok {
+			break
+		}
+		switch t.kind {
+		case "and":
+			p.pos++
+		case "term", "not", "lparen":
+			// implicit AND
+		default:
+			goto done
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		children = append(children, right)
+	}
+done:
+	if len(children) == 1 {
+		return children[0], nil
+	}
+	return andNode{children: children}, nil
+}
+
+func (p *qparser) parseUnary() (queryNode, error) {
+	t, ok := p.peek()
+	if !ok {
+		return nil, errors.New("search: unexpected end of query")
+	}
+	switch t.kind {
+	case "not":
+		p.pos++
+		child, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return notNode{child: child}, nil
+	case "lparen":
+		p.pos++
+		inner, err := p.parseOr()
+		if err != nil {
+			return nil, err
+		}
+		t, ok := p.peek()
+		if !ok || t.kind != "rparen" {
+			return nil, errors.New("search: missing closing parenthesis")
+		}
+		p.pos++
+		return inner, nil
+	case "term":
+		p.pos++
+		return t.term, nil
+	default:
+		return nil, fmt.Errorf("search: unexpected %s", t.kind)
+	}
+}
+
+// ParseQuery compiles a query string.
+func ParseQuery(src string) (*Query, error) {
+	if strings.TrimSpace(src) == "" {
+		return nil, errors.New("search: empty query")
+	}
+	lex := &qlexer{src: src}
+	toks, err := lex.tokens()
+	if err != nil {
+		return nil, err
+	}
+	p := &qparser{toks: toks}
+	root, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.toks) {
+		return nil, errors.New("search: trailing tokens in query")
+	}
+	return &Query{root: root, src: src}, nil
+}

@@ -1,0 +1,235 @@
+// Package snapshot implements the analytics tier of paper §5.3: daily
+// snapshots of the full Internet map, retained for longitudinal analysis and
+// bulk export. It stands in for the Google BigQuery tables and the Apache
+// Avro raw-data downloads.
+//
+// Retention follows the paper: every daily snapshot is kept for three
+// months; older than that, only one weekday snapshot per week survives, so
+// longitudinal queries stay possible at a fraction of the storage.
+package snapshot
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"censysmap/internal/entity"
+)
+
+// Row is one service row of a daily snapshot — the flat analytics schema
+// (the paper's Appendix E query runs against exactly these columns).
+type Row struct {
+	SnapshotDate time.Time `json:"snapshot_date"`
+	IP           string    `json:"ip"`
+	Port         uint16    `json:"port"`
+	Transport    string    `json:"transport"`
+	ServiceName  string    `json:"service_name"`
+	TLS          bool      `json:"tls,omitempty"`
+	CertSHA256   string    `json:"cert_sha256,omitempty"`
+	Country      string    `json:"country,omitempty"`
+	ASN          uint32    `json:"asn,omitempty"`
+	// PendingRemovalSince is non-zero for services in their eviction grace
+	// window; analytics queries filter on it like the paper's
+	// "pending_removal_since is null".
+	PendingRemovalSince time.Time `json:"pending_removal_since,omitempty"`
+}
+
+// Daily is one day's snapshot.
+type Daily struct {
+	Date time.Time
+	Rows []Row
+}
+
+// Store holds the snapshot history.
+type Store struct {
+	mu     sync.RWMutex
+	dailys []Daily // sorted by date
+	// RetainDaily is how long every daily snapshot is kept (paper: 3
+	// months); beyond it, thinning keeps one snapshot per week.
+	RetainDaily time.Duration
+}
+
+// NewStore creates a store with the paper's retention policy.
+func NewStore() *Store {
+	return &Store{RetainDaily: 90 * 24 * time.Hour}
+}
+
+// RowsFromHosts flattens host records into the snapshot schema.
+func RowsFromHosts(date time.Time, hosts []*entity.Host) []Row {
+	var rows []Row
+	for _, h := range hosts {
+		country := ""
+		if h.Location != nil {
+			country = h.Location.Country
+		}
+		var asn uint32
+		if h.AS != nil {
+			asn = h.AS.Number
+		}
+		for _, svc := range h.AllServices() {
+			row := Row{
+				SnapshotDate: date,
+				IP:           h.IP.String(),
+				Port:         svc.Port,
+				Transport:    string(svc.Transport),
+				ServiceName:  svc.Protocol,
+				TLS:          svc.TLS,
+				CertSHA256:   svc.CertSHA256,
+				Country:      country,
+				ASN:          asn,
+			}
+			if svc.PendingRemovalSince != nil {
+				row.PendingRemovalSince = *svc.PendingRemovalSince
+			}
+			rows = append(rows, row)
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].IP != rows[j].IP {
+			return rows[i].IP < rows[j].IP
+		}
+		return rows[i].Port < rows[j].Port
+	})
+	return rows
+}
+
+// Add appends a daily snapshot and applies retention thinning. Snapshots
+// must arrive in date order.
+func (s *Store) Add(d Daily) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n := len(s.dailys); n > 0 && !d.Date.After(s.dailys[n-1].Date) {
+		return fmt.Errorf("snapshot: date %v not after head %v", d.Date, s.dailys[n-1].Date)
+	}
+	s.dailys = append(s.dailys, d)
+	s.thin(d.Date)
+	return nil
+}
+
+// thin keeps one snapshot per ISO week beyond the daily-retention horizon.
+func (s *Store) thin(now time.Time) {
+	horizon := now.Add(-s.RetainDaily)
+	kept := s.dailys[:0]
+	var lastWeek string
+	for _, d := range s.dailys {
+		if !d.Date.Before(horizon) {
+			kept = append(kept, d)
+			continue
+		}
+		y, w := d.Date.ISOWeek()
+		week := fmt.Sprintf("%d-%02d", y, w)
+		if week == lastWeek {
+			continue // a snapshot from this week is already kept
+		}
+		lastWeek = week
+		kept = append(kept, d)
+	}
+	s.dailys = kept
+}
+
+// Len reports retained snapshots.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.dailys)
+}
+
+// Dates lists retained snapshot dates.
+func (s *Store) Dates() []time.Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]time.Time, len(s.dailys))
+	for i, d := range s.dailys {
+		out[i] = d.Date
+	}
+	return out
+}
+
+// At returns the newest snapshot at or before date.
+func (s *Store) At(date time.Time) (Daily, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	idx := sort.Search(len(s.dailys), func(i int) bool {
+		return s.dailys[i].Date.After(date)
+	})
+	if idx == 0 {
+		return Daily{}, false
+	}
+	return s.dailys[idx-1], true
+}
+
+// Query runs a predicate scan over one snapshot — the arbitrarily-complex
+// analytics path that the interactive search tier cannot serve.
+func (s *Store) Query(date time.Time, pred func(Row) bool) []Row {
+	d, ok := s.At(date)
+	if !ok {
+		return nil
+	}
+	var out []Row
+	for _, r := range d.Rows {
+		if pred(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Series computes a longitudinal aggregate across every retained snapshot —
+// e.g. "count of MODBUS services over time".
+func (s *Store) Series(agg func(Daily) float64) (dates []time.Time, values []float64) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, d := range s.dailys {
+		dates = append(dates, d.Date)
+		values = append(values, agg(d))
+	}
+	return dates, values
+}
+
+// Export writes a snapshot as gzipped JSON-lines — the "raw data downloads"
+// researchers prefer (each line one Row; Avro's role is played by a
+// self-describing row encoding).
+func (s *Store) Export(date time.Time, w io.Writer) error {
+	d, ok := s.At(date)
+	if !ok {
+		return fmt.Errorf("snapshot: no snapshot at or before %v", date)
+	}
+	gz := gzip.NewWriter(w)
+	enc := json.NewEncoder(gz)
+	for _, r := range d.Rows {
+		if err := enc.Encode(r); err != nil {
+			gz.Close()
+			return err
+		}
+	}
+	return gz.Close()
+}
+
+// Import reads an exported snapshot back.
+func Import(r io.Reader) (Daily, error) {
+	gz, err := gzip.NewReader(r)
+	if err != nil {
+		return Daily{}, err
+	}
+	defer gz.Close()
+	dec := json.NewDecoder(gz)
+	var d Daily
+	for {
+		var row Row
+		if err := dec.Decode(&row); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return Daily{}, err
+		}
+		d.Rows = append(d.Rows, row)
+	}
+	if len(d.Rows) > 0 {
+		d.Date = d.Rows[0].SnapshotDate
+	}
+	return d, nil
+}

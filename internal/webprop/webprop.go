@@ -1,0 +1,360 @@
+// Package webprop implements name-addressed web property scanning (paper
+// §4.3). Most HTTP(S) services are only reachable when addressed by name via
+// SNI / Host header, so the pipeline maintains Web Properties as first-class
+// entities — keyed by name, not (IP, port, name), after the paper's Virtual
+// Host abstraction failed (CDN-backed sites accrete unbounded IP sets).
+//
+// Names are learned from three sources: public CT logs (polled
+// continuously), HTTP redirects observed during IP-based scanning, and
+// third-party passive DNS feeds. Properties are refreshed at least monthly
+// and evicted after a grace window, like host services.
+package webprop
+
+import (
+	"encoding/json"
+	"sort"
+	"strings"
+	"time"
+
+	"censysmap/internal/entity"
+	"censysmap/internal/journal"
+	"censysmap/internal/protocols"
+	"censysmap/internal/simnet"
+	"censysmap/internal/x509lite"
+)
+
+// Source labels where a name was learned.
+const (
+	SourceCT       = "ct"
+	SourceRedirect = "redirect"
+	SourcePDNS     = "pdns"
+)
+
+// Event kinds journaled for web properties.
+const (
+	KindFound   = "webprop_found"
+	KindChanged = "webprop_changed"
+	KindRemoved = "webprop_removed"
+)
+
+// Config tunes the pipeline.
+type Config struct {
+	// RefreshEvery is the per-name rescan cadence (paper: at least
+	// monthly).
+	RefreshEvery time.Duration
+	// EvictAfter removes a property this long after scans start failing.
+	EvictAfter time.Duration
+	// ScansPerTick bounds work per tick.
+	ScansPerTick int
+}
+
+// DefaultConfig matches the paper's cadences.
+func DefaultConfig() Config {
+	return Config{
+		RefreshEvery: 30 * 24 * time.Hour,
+		EvictAfter:   14 * 24 * time.Hour,
+		ScansPerTick: 500,
+	}
+}
+
+type nameState struct {
+	name        string
+	sources     map[string]bool
+	nextScan    time.Time
+	failedSince time.Time // zero when healthy
+}
+
+// Pipeline maintains the web property map.
+type Pipeline struct {
+	cfg     Config
+	net     *simnet.Internet
+	scanner simnet.Scanner
+	journal *journal.Store
+
+	names    map[string]*nameState
+	state    map[string]*entity.WebProperty
+	ctCursor uint64
+	queue    []string // scan order queue
+}
+
+// New creates a pipeline writing to its own journal.
+func New(cfg Config, net *simnet.Internet, scanner simnet.Scanner) *Pipeline {
+	if cfg.ScansPerTick <= 0 {
+		cfg.ScansPerTick = 500
+	}
+	return &Pipeline{
+		cfg:     cfg,
+		net:     net,
+		scanner: scanner,
+		journal: journal.NewStore(),
+		names:   make(map[string]*nameState),
+		state:   make(map[string]*entity.WebProperty),
+	}
+}
+
+// Journal exposes the property journal (for history queries).
+func (p *Pipeline) Journal() *journal.Store { return p.journal }
+
+// AddName registers a candidate name from a source; duplicates merge
+// sources. New names are scheduled for immediate scanning.
+func (p *Pipeline) AddName(name, source string, now time.Time) {
+	ns := p.names[name]
+	if ns == nil {
+		ns = &nameState{name: name, sources: map[string]bool{}, nextScan: now}
+		p.names[name] = ns
+		p.queue = append(p.queue, name)
+	}
+	ns.sources[source] = true
+}
+
+// PollCT ingests new CT log entries, registering every DNS name on each
+// certificate. It returns how many entries were consumed.
+func (p *Pipeline) PollCT(log *x509lite.CTLog, now time.Time) int {
+	entries := log.Entries(p.ctCursor, 0)
+	for _, e := range entries {
+		for _, name := range e.Cert.DNSNames {
+			p.AddName(name, SourceCT, now)
+		}
+	}
+	p.ctCursor += uint64(len(entries))
+	return len(entries)
+}
+
+// ImportPassiveDNS ingests a passive DNS feed.
+func (p *Pipeline) ImportPassiveDNS(names []string, now time.Time) {
+	for _, n := range names {
+		p.AddName(n, SourcePDNS, now)
+	}
+}
+
+// ObserveRedirect feeds a Location header seen during IP-based scanning;
+// host-relative and IP-literal targets are ignored.
+func (p *Pipeline) ObserveRedirect(location string, now time.Time) {
+	name := hostFromURL(location)
+	if name == "" {
+		return
+	}
+	p.AddName(name, SourceRedirect, now)
+}
+
+func hostFromURL(u string) string {
+	rest := u
+	for _, scheme := range []string{"https://", "http://"} {
+		if len(u) > len(scheme) && u[:len(scheme)] == scheme {
+			rest = u[len(scheme):]
+			break
+		}
+	}
+	if rest == u && len(u) > 0 && u[0] == '/' {
+		return "" // relative
+	}
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == '/' || rest[i] == ':' {
+			rest = rest[:i]
+			break
+		}
+	}
+	// Require at least one dot and a letter (rejects IP literals loosely).
+	hasDot, hasAlpha := false, false
+	for i := 0; i < len(rest); i++ {
+		c := rest[i]
+		if c == '.' {
+			hasDot = true
+		}
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' {
+			hasAlpha = true
+		}
+	}
+	if !hasDot || !hasAlpha {
+		return ""
+	}
+	return rest
+}
+
+// Tick scans names whose refresh is due, up to the per-tick budget.
+func (p *Pipeline) Tick(now time.Time) int {
+	scanned := 0
+	n := len(p.queue)
+	for i := 0; i < n && scanned < p.cfg.ScansPerTick; i++ {
+		name := p.queue[0]
+		p.queue = p.queue[1:]
+		ns := p.names[name]
+		if ns == nil {
+			continue
+		}
+		if now.Before(ns.nextScan) {
+			p.queue = append(p.queue, name) // not due yet; recycle
+			continue
+		}
+		p.scanName(ns, now)
+		scanned++
+		if _, still := p.names[name]; still {
+			p.queue = append(p.queue, name)
+		}
+	}
+	return scanned
+}
+
+// scanName performs one name-based HTTPS scan and journals deltas.
+func (p *Pipeline) scanName(ns *nameState, now time.Time) {
+	ns.nextScan = now.Add(p.cfg.RefreshEvery)
+	prop := p.scan(ns, now)
+	existing := p.state[ns.name]
+
+	switch {
+	case prop != nil:
+		ns.failedSince = time.Time{}
+		prop.LastSeen = now
+		if existing == nil {
+			prop.FirstSeen = now
+			p.record(KindFound, prop, now)
+			return
+		}
+		prop.FirstSeen = existing.FirstSeen
+		if existing.ConfigEqual(prop) {
+			existing.LastSeen = now
+			return
+		}
+		p.record(KindChanged, prop, now)
+	case existing != nil:
+		if ns.failedSince.IsZero() {
+			ns.failedSince = now
+			// Retry failing names sooner than the monthly cadence.
+			ns.nextScan = now.Add(24 * time.Hour)
+			return
+		}
+		ns.nextScan = now.Add(24 * time.Hour)
+		if now.Sub(ns.failedSince) >= p.cfg.EvictAfter {
+			p.record(KindRemoved, existing, now)
+			delete(p.state, ns.name)
+			delete(p.names, ns.name)
+		}
+	default:
+		// Never-seen name that doesn't resolve: drop it after the same
+		// grace period to bound the queue.
+		if ns.failedSince.IsZero() {
+			ns.failedSince = now
+		} else if now.Sub(ns.failedSince) >= p.cfg.EvictAfter {
+			delete(p.names, ns.name)
+		}
+	}
+}
+
+func (p *Pipeline) record(kind string, prop *entity.WebProperty, now time.Time) {
+	payload := encodeProp(prop)
+	if _, err := p.journal.Append(prop.ID(), now, kind, payload); err != nil {
+		return
+	}
+	if kind == KindRemoved {
+		return
+	}
+	p.state[prop.Name] = prop
+}
+
+// scan fetches the property over TLS, including application-specific
+// follow-up endpoints.
+func (p *Pipeline) scan(ns *nameState, now time.Time) *entity.WebProperty {
+	conn, ok := p.net.ConnectName(p.scanner, ns.name, 443)
+	if !ok {
+		return nil
+	}
+	info, inner, _, err := protocols.StartTLS(conn)
+	if err != nil {
+		return nil
+	}
+	res, err := protocols.ScanHTTPHost(inner, ns.name)
+	if err != nil || !res.Complete {
+		return nil
+	}
+	prop := &entity.WebProperty{
+		Name: ns.name, Port: 443, TLS: true, CertSHA256: info.CertSHA256,
+	}
+	for src := range ns.sources {
+		prop.Sources = append(prop.Sources, src)
+	}
+	sort.Strings(prop.Sources)
+	status := 200
+	if s := res.Attributes["http.status_code"]; s == "301" {
+		status = 301
+	} else if s == "401" {
+		status = 401
+	}
+	root := entity.Endpoint{
+		Path: "/", StatusCode: status,
+		Title:    res.Attributes["http.title"],
+		BodyHash: res.Attributes["http.body_sha256"],
+	}
+	prop.Endpoints = []entity.Endpoint{root}
+
+	// Redirects seen on web properties also feed the name sources.
+	if loc := res.Attributes["http.location"]; loc != "" {
+		p.ObserveRedirect(loc, now)
+	}
+
+	// Fetch additional endpoints based on the identified application
+	// (paper §4.3: "fetch additional endpoints based on the identified
+	// application").
+	for _, path := range appEndpoints(root.Title) {
+		if conn2, ok := p.net.ConnectName(p.scanner, ns.name, 443); ok {
+			if _, inner2, _, err := protocols.StartTLS(conn2); err == nil {
+				if res2, err := protocols.ScanHTTPHost(inner2, ns.name); err == nil && res2.Complete {
+					prop.Endpoints = append(prop.Endpoints, entity.Endpoint{
+						Path: path, StatusCode: 200,
+						BodyHash: res2.Attributes["http.body_sha256"],
+					})
+				}
+			}
+		}
+	}
+	return prop
+}
+
+// appEndpoints maps identified applications to follow-up paths.
+func appEndpoints(title string) []string {
+	switch {
+	case strings.Contains(title, "Grafana"):
+		return []string{"/api/health"}
+	case strings.Contains(title, "Prometheus"):
+		return []string{"/metrics"}
+	case strings.Contains(title, "MOVEit"):
+		return []string{"/api/v1/info"}
+	default:
+		return nil
+	}
+}
+
+// encodeProp serializes a property for journaling. Web properties change
+// rarely and are small, so full-record events are the right trade-off here
+// (unlike hosts, whose per-service deltas dominate).
+func encodeProp(w *entity.WebProperty) []byte {
+	b, err := json.Marshal(w)
+	if err != nil {
+		panic("webprop: marshal cannot fail: " + err.Error())
+	}
+	return b
+}
+
+// DecodeProperty parses a journaled property payload.
+func DecodeProperty(payload []byte) (*entity.WebProperty, error) {
+	var w entity.WebProperty
+	if err := json.Unmarshal(payload, &w); err != nil {
+		return nil, err
+	}
+	return &w, nil
+}
+
+// Property returns the current record for a name, or nil.
+func (p *Pipeline) Property(name string) *entity.WebProperty { return p.state[name] }
+
+// All returns every current property sorted by name.
+func (p *Pipeline) All() []*entity.WebProperty {
+	out := make([]*entity.WebProperty, 0, len(p.state))
+	for _, w := range p.state {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// KnownNames reports how many names are tracked.
+func (p *Pipeline) KnownNames() int { return len(p.names) }

@@ -1,0 +1,255 @@
+package wire
+
+import (
+	"encoding/binary"
+	"net/netip"
+)
+
+// Prober builds stateless discovery probes and validates responses without
+// per-probe state, in the manner of ZMap: each probe's TCP sequence number is
+// an HMAC-like digest of the flow 4-tuple under a per-scanner secret, so a
+// response can be attributed to a probe (and forged responses rejected) by
+// recomputing the digest from the response's own headers.
+type Prober struct {
+	secret  uint64
+	srcPort uint16
+	ttl     uint8
+}
+
+// NewProber creates a Prober. The secret seeds response validation; srcPort
+// is the fixed source port probes are sent from.
+func NewProber(secret uint64, srcPort uint16) *Prober {
+	return &Prober{secret: secret, srcPort: srcPort, ttl: 64}
+}
+
+// validation computes the per-flow validation token. The token must be
+// reproducible from response headers alone: for a probe to (dst, dport) from
+// (src, sport), the SYN-ACK arrives with src=dst, sport=dport, making the
+// tuple recoverable. The mix is a keyed splitmix64 finalizer — not
+// cryptographic, but deterministic and well distributed, which is all
+// off-path response validation needs here.
+func (p *Prober) validation(src, dst netip.Addr, sport, dport uint16) uint32 {
+	s, d := src.As4(), dst.As4()
+	x := p.secret
+	x ^= uint64(binary.BigEndian.Uint32(s[:])) << 32
+	x ^= uint64(binary.BigEndian.Uint32(d[:]))
+	x ^= uint64(sport)<<16 | uint64(dport)
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	x ^= x >> 31
+	return uint32(x)
+}
+
+// linuxSYNOptions returns TCP options matching a modern Linux client SYN
+// (MSS 1460, SACK permitted, timestamps, NOP, window scale 7) so probes do
+// not stand out to middleboxes that fingerprint scanners.
+func linuxSYNOptions() []TCPOption {
+	ts := make([]byte, 8)
+	return []TCPOption{
+		{Kind: TCPOptMSS, Data: []byte{0x05, 0xb4}},
+		{Kind: TCPOptSACKPerm},
+		{Kind: TCPOptTimestamps, Data: ts},
+		{Kind: TCPOptNOP},
+		{Kind: TCPOptWScale, Data: []byte{7}},
+	}
+}
+
+// SYN builds a TCP SYN probe from src to dst:dport, returning the full IPv4
+// packet bytes.
+func (p *Prober) SYN(src, dst netip.Addr, dport uint16) ([]byte, error) {
+	tcp := TCP{
+		SrcPort: p.srcPort,
+		DstPort: dport,
+		Seq:     p.validation(src, dst, p.srcPort, dport),
+		Flags:   FlagSYN,
+		Window:  64240, // Linux default initial window
+		Options: linuxSYNOptions(),
+	}
+	segment, err := tcp.AppendTo(nil, src, dst, nil)
+	if err != nil {
+		return nil, err
+	}
+	ip := IPv4{
+		ID:       uint16(tcp.Seq), // pseudorandom, derived from validation
+		Flags:    FlagDF,
+		TTL:      p.ttl,
+		Protocol: IPProtocolTCP,
+		Src:      src,
+		Dst:      dst,
+	}
+	pkt, err := ip.AppendTo(nil, len(segment))
+	if err != nil {
+		return nil, err
+	}
+	return append(pkt, segment...), nil
+}
+
+// UDPProbe builds a protocol-specific UDP probe carrying payload.
+func (p *Prober) UDPProbe(src, dst netip.Addr, dport uint16, payload []byte) ([]byte, error) {
+	udp := UDP{SrcPort: p.srcPort, DstPort: dport}
+	segment, err := udp.AppendTo(nil, src, dst, payload)
+	if err != nil {
+		return nil, err
+	}
+	ip := IPv4{
+		ID:       uint16(p.validation(src, dst, p.srcPort, dport)),
+		Flags:    FlagDF,
+		TTL:      p.ttl,
+		Protocol: IPProtocolUDP,
+		Src:      src,
+		Dst:      dst,
+	}
+	pkt, err := ip.AppendTo(nil, len(segment))
+	if err != nil {
+		return nil, err
+	}
+	return append(pkt, segment...), nil
+}
+
+// ResponseKind classifies a validated response to a discovery probe.
+type ResponseKind int
+
+// Response classifications.
+const (
+	ResponseInvalid  ResponseKind = iota // not attributable to one of our probes
+	ResponseOpen                         // SYN-ACK: service candidate
+	ResponseClosed                       // RST
+	ResponseUDPReply                     // UDP payload received
+)
+
+// Response is a parsed, validated reply to a discovery probe.
+type Response struct {
+	Kind    ResponseKind
+	Addr    netip.Addr // responding host
+	Port    uint16     // responding service port
+	Window  uint16     // TCP window from the response (an L4 feature)
+	Payload []byte     // UDP reply payload, if any
+}
+
+// ParseResponse decodes an inbound IPv4 packet addressed to local and
+// attributes it to a probe. ok is false for packets that fail validation —
+// stray traffic, forged responses, or responses to another scanner.
+func (p *Prober) ParseResponse(local netip.Addr, pkt []byte) (Response, bool) {
+	var ip IPv4
+	payload, err := ip.DecodeFromBytes(pkt)
+	if err != nil || ip.Dst != local {
+		return Response{}, false
+	}
+	switch ip.Protocol {
+	case IPProtocolTCP:
+		var tcp TCP
+		_, err := tcp.DecodeFromBytes(payload)
+		if err != nil || tcp.DstPort != p.srcPort {
+			return Response{}, false
+		}
+		// For a response, the remote's (addr, port) were our probe's
+		// destination: validation was computed over (local, remote, ...).
+		want := p.validation(local, ip.Src, p.srcPort, tcp.SrcPort)
+		if tcp.Ack != want+1 {
+			return Response{}, false
+		}
+		kind := ResponseClosed
+		if tcp.Flags&FlagSYN != 0 && tcp.Flags&FlagACK != 0 {
+			kind = ResponseOpen
+		} else if tcp.Flags&FlagRST == 0 {
+			return Response{}, false
+		}
+		return Response{Kind: kind, Addr: ip.Src, Port: tcp.SrcPort, Window: tcp.Window}, true
+	case IPProtocolUDP:
+		var udp UDP
+		data, err := udp.DecodeFromBytes(payload)
+		if err != nil || udp.DstPort != p.srcPort {
+			return Response{}, false
+		}
+		return Response{Kind: ResponseUDPReply, Addr: ip.Src, Port: udp.SrcPort, Payload: data}, true
+	}
+	return Response{}, false
+}
+
+// SynAck builds the SYN-ACK a simulated host sends in reply to a SYN probe
+// packet. It is used by the synthetic Internet to answer discovery probes
+// with wire-faithful packets.
+func SynAck(probe []byte, window uint16) ([]byte, error) {
+	var ip IPv4
+	seg, err := ip.DecodeFromBytes(probe)
+	if err != nil {
+		return nil, err
+	}
+	var tcp TCP
+	if _, err := tcp.DecodeFromBytes(seg); err != nil {
+		return nil, err
+	}
+	reply := TCP{
+		SrcPort: tcp.DstPort,
+		DstPort: tcp.SrcPort,
+		Seq:     0x1000, // arbitrary server ISN
+		Ack:     tcp.Seq + 1,
+		Flags:   FlagSYN | FlagACK,
+		Window:  window,
+		Options: []TCPOption{{Kind: TCPOptMSS, Data: []byte{0x05, 0xb4}}},
+	}
+	segment, err := reply.AppendTo(nil, ip.Dst, ip.Src, nil)
+	if err != nil {
+		return nil, err
+	}
+	rip := IPv4{TTL: 64, Protocol: IPProtocolTCP, Src: ip.Dst, Dst: ip.Src}
+	pkt, err := rip.AppendTo(nil, len(segment))
+	if err != nil {
+		return nil, err
+	}
+	return append(pkt, segment...), nil
+}
+
+// Rst builds the RST a simulated host sends for a SYN to a closed port.
+func Rst(probe []byte) ([]byte, error) {
+	var ip IPv4
+	seg, err := ip.DecodeFromBytes(probe)
+	if err != nil {
+		return nil, err
+	}
+	var tcp TCP
+	if _, err := tcp.DecodeFromBytes(seg); err != nil {
+		return nil, err
+	}
+	reply := TCP{
+		SrcPort: tcp.DstPort,
+		DstPort: tcp.SrcPort,
+		Ack:     tcp.Seq + 1,
+		Flags:   FlagRST | FlagACK,
+	}
+	segment, err := reply.AppendTo(nil, ip.Dst, ip.Src, nil)
+	if err != nil {
+		return nil, err
+	}
+	rip := IPv4{TTL: 64, Protocol: IPProtocolTCP, Src: ip.Dst, Dst: ip.Src}
+	pkt, err := rip.AppendTo(nil, len(segment))
+	if err != nil {
+		return nil, err
+	}
+	return append(pkt, segment...), nil
+}
+
+// UDPReply builds the UDP response a simulated host sends to a UDP probe.
+func UDPReply(probe []byte, payload []byte) ([]byte, error) {
+	var ip IPv4
+	seg, err := ip.DecodeFromBytes(probe)
+	if err != nil {
+		return nil, err
+	}
+	var udp UDP
+	if _, err := udp.DecodeFromBytes(seg); err != nil {
+		return nil, err
+	}
+	reply := UDP{SrcPort: udp.DstPort, DstPort: udp.SrcPort}
+	segment, err := reply.AppendTo(nil, ip.Dst, ip.Src, payload)
+	if err != nil {
+		return nil, err
+	}
+	rip := IPv4{TTL: 64, Protocol: IPProtocolUDP, Src: ip.Dst, Dst: ip.Src}
+	pkt, err := rip.AppendTo(nil, len(segment))
+	if err != nil {
+		return nil, err
+	}
+	return append(pkt, segment...), nil
+}

@@ -1,0 +1,220 @@
+package wire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+)
+
+func TestSYNProbeShape(t *testing.T) {
+	p := NewProber(42, 40000)
+	pkt, err := p.SYN(srcAddr, dstAddr, 443)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ip IPv4
+	seg, err := ip.DecodeFromBytes(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ip.Src != srcAddr || ip.Dst != dstAddr || ip.Protocol != IPProtocolTCP {
+		t.Fatalf("IP header = %+v", ip)
+	}
+	if ip.Flags&FlagDF == 0 {
+		t.Fatal("probe missing DF bit (Linux SYNs set DF)")
+	}
+	var tcp TCP
+	if _, err := tcp.DecodeFromBytes(seg); err != nil {
+		t.Fatal(err)
+	}
+	if tcp.Flags != FlagSYN || tcp.DstPort != 443 || tcp.SrcPort != 40000 {
+		t.Fatalf("TCP header = %+v", tcp)
+	}
+	if tcp.Window != 64240 {
+		t.Fatalf("window = %d, want Linux default 64240", tcp.Window)
+	}
+	// Linux SYN option fingerprint: MSS, SACKperm, TS, NOP, WScale.
+	kinds := []uint8{}
+	for _, o := range tcp.Options {
+		kinds = append(kinds, o.Kind)
+	}
+	want := []uint8{TCPOptMSS, TCPOptSACKPerm, TCPOptTimestamps, TCPOptNOP, TCPOptWScale}
+	if len(kinds) != len(want) {
+		t.Fatalf("option kinds = %v, want %v", kinds, want)
+	}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("option kinds = %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestSYNValidationDeterministic(t *testing.T) {
+	a := NewProber(7, 40000)
+	b := NewProber(7, 40000)
+	p1, _ := a.SYN(srcAddr, dstAddr, 80)
+	p2, _ := b.SYN(srcAddr, dstAddr, 80)
+	if !bytes.Equal(p1, p2) {
+		t.Fatal("same secret produced different probes")
+	}
+	c := NewProber(8, 40000)
+	p3, _ := c.SYN(srcAddr, dstAddr, 80)
+	if bytes.Equal(p1, p3) {
+		t.Fatal("different secrets produced identical probes")
+	}
+}
+
+func TestSynAckRoundTrip(t *testing.T) {
+	p := NewProber(99, 40000)
+	probe, err := p.SYN(srcAddr, dstAddr, 8080)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := SynAck(probe, 29200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, ok := p.ParseResponse(srcAddr, reply)
+	if !ok {
+		t.Fatal("valid SYN-ACK rejected")
+	}
+	if resp.Kind != ResponseOpen {
+		t.Fatalf("Kind = %v, want ResponseOpen", resp.Kind)
+	}
+	if resp.Addr != dstAddr || resp.Port != 8080 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if resp.Window != 29200 {
+		t.Fatalf("window = %d, want 29200", resp.Window)
+	}
+}
+
+func TestRstClassifiedClosed(t *testing.T) {
+	p := NewProber(99, 40000)
+	probe, _ := p.SYN(srcAddr, dstAddr, 22)
+	reply, err := Rst(probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, ok := p.ParseResponse(srcAddr, reply)
+	if !ok || resp.Kind != ResponseClosed {
+		t.Fatalf("resp = %+v ok=%v, want closed", resp, ok)
+	}
+}
+
+func TestForgedResponseRejected(t *testing.T) {
+	p := NewProber(99, 40000)
+	probe, _ := p.SYN(srcAddr, dstAddr, 22)
+	reply, _ := SynAck(probe, 1024)
+
+	// A response validated under a different secret must be rejected.
+	other := NewProber(100, 40000)
+	if _, ok := other.ParseResponse(srcAddr, reply); ok {
+		t.Fatal("response for another scanner's probe accepted")
+	}
+
+	// Corrupting the ack number breaks validation.
+	var ip IPv4
+	seg, _ := ip.DecodeFromBytes(reply)
+	seg[8] ^= 0xFF // ack high byte (offset 8 within TCP header)
+	if _, ok := p.ParseResponse(srcAddr, reply); ok {
+		t.Fatal("corrupted ack accepted")
+	}
+}
+
+func TestResponseToOtherHostRejected(t *testing.T) {
+	p := NewProber(99, 40000)
+	probe, _ := p.SYN(srcAddr, dstAddr, 22)
+	reply, _ := SynAck(probe, 1024)
+	if _, ok := p.ParseResponse(netip.MustParseAddr("203.0.113.9"), reply); ok {
+		t.Fatal("response addressed elsewhere accepted")
+	}
+}
+
+func TestResponseWrongDstPortRejected(t *testing.T) {
+	p := NewProber(99, 40000)
+	q := NewProber(99, 40001)
+	probe, _ := q.SYN(srcAddr, dstAddr, 22)
+	reply, _ := SynAck(probe, 1024)
+	if _, ok := p.ParseResponse(srcAddr, reply); ok {
+		t.Fatal("response to a different source port accepted")
+	}
+}
+
+func TestUDPProbeReplyRoundTrip(t *testing.T) {
+	p := NewProber(5, 40000)
+	probe, err := p.UDPProbe(srcAddr, dstAddr, 53, []byte{0xAA, 0xBB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reply, err := UDPReply(probe, []byte("dns-answer"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, ok := p.ParseResponse(srcAddr, reply)
+	if !ok {
+		t.Fatal("UDP reply rejected")
+	}
+	if resp.Kind != ResponseUDPReply || resp.Port != 53 {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if string(resp.Payload) != "dns-answer" {
+		t.Fatalf("payload = %q", resp.Payload)
+	}
+}
+
+func TestParseResponseGarbage(t *testing.T) {
+	p := NewProber(1, 40000)
+	if _, ok := p.ParseResponse(srcAddr, []byte{1, 2, 3}); ok {
+		t.Fatal("garbage accepted")
+	}
+	if _, ok := p.ParseResponse(srcAddr, nil); ok {
+		t.Fatal("nil accepted")
+	}
+	// ICMP protocol packet is ignored.
+	ip := IPv4{TTL: 64, Protocol: IPProtocolICMP, Src: dstAddr, Dst: srcAddr}
+	pkt, _ := ip.AppendTo(nil, 0)
+	if _, ok := p.ParseResponse(srcAddr, pkt); ok {
+		t.Fatal("ICMP accepted")
+	}
+}
+
+func TestPlainAckWithoutSynRejected(t *testing.T) {
+	p := NewProber(99, 40000)
+	probe, _ := p.SYN(srcAddr, dstAddr, 22)
+	var ip IPv4
+	seg, _ := ip.DecodeFromBytes(probe)
+	var tcp TCP
+	tcp.DecodeFromBytes(seg)
+	// Build a bare ACK (no SYN, no RST) with a valid validation token.
+	reply := TCP{SrcPort: 22, DstPort: 40000, Ack: tcp.Seq + 1, Flags: FlagACK}
+	rseg, _ := reply.AppendTo(nil, dstAddr, srcAddr, nil)
+	rip := IPv4{TTL: 64, Protocol: IPProtocolTCP, Src: dstAddr, Dst: srcAddr}
+	pkt, _ := rip.AppendTo(nil, len(rseg))
+	pkt = append(pkt, rseg...)
+	if _, ok := p.ParseResponse(srcAddr, pkt); ok {
+		t.Fatal("bare ACK accepted")
+	}
+}
+
+func BenchmarkSYNProbe(b *testing.B) {
+	p := NewProber(42, 40000)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.SYN(srcAddr, dstAddr, uint16(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkParseResponse(b *testing.B) {
+	p := NewProber(42, 40000)
+	probe, _ := p.SYN(srcAddr, dstAddr, 443)
+	reply, _ := SynAck(probe, 1024)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, ok := p.ParseResponse(srcAddr, reply); !ok {
+			b.Fatal("reject")
+		}
+	}
+}

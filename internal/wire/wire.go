@@ -1,0 +1,414 @@
+// Package wire implements the minimal userspace network stack used by the
+// discovery scan engine: crafting and parsing Ethernet, IPv4, TCP and UDP
+// packets without the kernel's connection state. Discovery probes are
+// stateless — response matching is done by encoding scan metadata into
+// sequence numbers and ephemeral ports (the ZMap technique), so the stack
+// needs no per-probe memory.
+//
+// The decode API follows the preallocated-decoder style of gopacket's
+// DecodingLayerParser: DecodeFromBytes fills an existing struct, so the hot
+// receive path performs no allocation.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Common decode errors.
+var (
+	ErrTruncated = errors.New("wire: truncated packet")
+	ErrBadFormat = errors.New("wire: malformed header")
+)
+
+// EtherType identifies the payload protocol of an Ethernet frame.
+type EtherType uint16
+
+// Supported EtherType values.
+const (
+	EtherTypeIPv4 EtherType = 0x0800
+	EtherTypeARP  EtherType = 0x0806
+	EtherTypeIPv6 EtherType = 0x86DD
+)
+
+// IPProtocol identifies the payload protocol of an IPv4 packet.
+type IPProtocol uint8
+
+// Supported IPv4 payload protocols.
+const (
+	IPProtocolICMP IPProtocol = 1
+	IPProtocolTCP  IPProtocol = 6
+	IPProtocolUDP  IPProtocol = 17
+)
+
+// Ethernet is a 14-byte Ethernet II header.
+type Ethernet struct {
+	Dst  [6]byte
+	Src  [6]byte
+	Type EtherType
+}
+
+// ethernetLen is the encoded size of an Ethernet II header.
+const ethernetLen = 14
+
+// DecodeFromBytes parses an Ethernet header from data.
+func (e *Ethernet) DecodeFromBytes(data []byte) (payload []byte, err error) {
+	if len(data) < ethernetLen {
+		return nil, ErrTruncated
+	}
+	copy(e.Dst[:], data[0:6])
+	copy(e.Src[:], data[6:12])
+	e.Type = EtherType(binary.BigEndian.Uint16(data[12:14]))
+	return data[ethernetLen:], nil
+}
+
+// AppendTo appends the encoded header to b and returns the extended slice.
+func (e *Ethernet) AppendTo(b []byte) []byte {
+	b = append(b, e.Dst[:]...)
+	b = append(b, e.Src[:]...)
+	return binary.BigEndian.AppendUint16(b, uint16(e.Type))
+}
+
+// IPv4 is an IPv4 header without options (IHL=5), which is what the scan
+// engine emits and what virtually all responses carry.
+type IPv4 struct {
+	TOS      uint8
+	Length   uint16 // total length incl. header; filled by Serialize if zero
+	ID       uint16
+	Flags    uint8 // 3 bits: reserved, DF, MF
+	FragOff  uint16
+	TTL      uint8
+	Protocol IPProtocol
+	Checksum uint16 // filled by Serialize
+	Src, Dst netip.Addr
+}
+
+// ipv4Len is the encoded size of an option-less IPv4 header.
+const ipv4Len = 20
+
+// FlagDF is the Don't Fragment bit in IPv4.Flags.
+const FlagDF = 0x2
+
+// DecodeFromBytes parses an IPv4 header from data. Headers with options are
+// accepted; the options are skipped.
+func (ip *IPv4) DecodeFromBytes(data []byte) (payload []byte, err error) {
+	if len(data) < ipv4Len {
+		return nil, ErrTruncated
+	}
+	if version := data[0] >> 4; version != 4 {
+		return nil, fmt.Errorf("%w: IP version %d", ErrBadFormat, version)
+	}
+	ihl := int(data[0]&0x0F) * 4
+	if ihl < ipv4Len {
+		return nil, fmt.Errorf("%w: IHL %d", ErrBadFormat, ihl)
+	}
+	if len(data) < ihl {
+		return nil, ErrTruncated
+	}
+	ip.TOS = data[1]
+	ip.Length = binary.BigEndian.Uint16(data[2:4])
+	ip.ID = binary.BigEndian.Uint16(data[4:6])
+	ff := binary.BigEndian.Uint16(data[6:8])
+	ip.Flags = uint8(ff >> 13)
+	ip.FragOff = ff & 0x1FFF
+	ip.TTL = data[8]
+	ip.Protocol = IPProtocol(data[9])
+	ip.Checksum = binary.BigEndian.Uint16(data[10:12])
+	ip.Src = netip.AddrFrom4([4]byte(data[12:16]))
+	ip.Dst = netip.AddrFrom4([4]byte(data[16:20]))
+	end := int(ip.Length)
+	if end == 0 || end > len(data) {
+		end = len(data)
+	}
+	if end < ihl {
+		return nil, fmt.Errorf("%w: total length %d < IHL %d", ErrBadFormat, ip.Length, ihl)
+	}
+	return data[ihl:end], nil
+}
+
+// AppendTo appends the encoded header (with checksum) to b, assuming the
+// payload that follows has length payloadLen.
+func (ip *IPv4) AppendTo(b []byte, payloadLen int) ([]byte, error) {
+	if !ip.Src.Is4() || !ip.Dst.Is4() {
+		return nil, fmt.Errorf("%w: IPv4 addresses required", ErrBadFormat)
+	}
+	total := ipv4Len + payloadLen
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("%w: packet length %d exceeds 65535", ErrBadFormat, total)
+	}
+	start := len(b)
+	b = append(b, 0x45, ip.TOS)
+	b = binary.BigEndian.AppendUint16(b, uint16(total))
+	b = binary.BigEndian.AppendUint16(b, ip.ID)
+	b = binary.BigEndian.AppendUint16(b, uint16(ip.Flags)<<13|ip.FragOff&0x1FFF)
+	b = append(b, ip.TTL, uint8(ip.Protocol), 0, 0) // checksum placeholder
+	src, dst := ip.Src.As4(), ip.Dst.As4()
+	b = append(b, src[:]...)
+	b = append(b, dst[:]...)
+	sum := Checksum(b[start:], 0)
+	binary.BigEndian.PutUint16(b[start+10:], sum)
+	return b, nil
+}
+
+// TCPFlags is the TCP flag byte (plus NS, unused here).
+type TCPFlags uint8
+
+// TCP flag bits.
+const (
+	FlagFIN TCPFlags = 1 << 0
+	FlagSYN TCPFlags = 1 << 1
+	FlagRST TCPFlags = 1 << 2
+	FlagPSH TCPFlags = 1 << 3
+	FlagACK TCPFlags = 1 << 4
+	FlagURG TCPFlags = 1 << 5
+)
+
+// String renders flags in the conventional compact form, e.g. "SYN|ACK".
+func (f TCPFlags) String() string {
+	names := []struct {
+		bit  TCPFlags
+		name string
+	}{
+		{FlagFIN, "FIN"}, {FlagSYN, "SYN"}, {FlagRST, "RST"},
+		{FlagPSH, "PSH"}, {FlagACK, "ACK"}, {FlagURG, "URG"},
+	}
+	s := ""
+	for _, n := range names {
+		if f&n.bit != 0 {
+			if s != "" {
+				s += "|"
+			}
+			s += n.name
+		}
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// TCPOption is a single TCP header option.
+type TCPOption struct {
+	Kind uint8
+	Data []byte // option payload, excluding kind and length bytes
+}
+
+// TCP option kinds used by the scanner.
+const (
+	TCPOptEnd        = 0
+	TCPOptNOP        = 1
+	TCPOptMSS        = 2
+	TCPOptWScale     = 3
+	TCPOptSACKPerm   = 4
+	TCPOptTimestamps = 8
+)
+
+// TCP is a TCP header.
+type TCP struct {
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            TCPFlags
+	Window           uint16
+	Checksum         uint16 // filled by AppendTo
+	Urgent           uint16
+	Options          []TCPOption
+}
+
+// tcpMinLen is the encoded size of an option-less TCP header.
+const tcpMinLen = 20
+
+// DecodeFromBytes parses a TCP header from data.
+func (t *TCP) DecodeFromBytes(data []byte) (payload []byte, err error) {
+	if len(data) < tcpMinLen {
+		return nil, ErrTruncated
+	}
+	t.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	t.DstPort = binary.BigEndian.Uint16(data[2:4])
+	t.Seq = binary.BigEndian.Uint32(data[4:8])
+	t.Ack = binary.BigEndian.Uint32(data[8:12])
+	dataOff := int(data[12]>>4) * 4
+	if dataOff < tcpMinLen {
+		return nil, fmt.Errorf("%w: TCP data offset %d", ErrBadFormat, dataOff)
+	}
+	if len(data) < dataOff {
+		return nil, ErrTruncated
+	}
+	t.Flags = TCPFlags(data[13] & 0x3F)
+	t.Window = binary.BigEndian.Uint16(data[14:16])
+	t.Checksum = binary.BigEndian.Uint16(data[16:18])
+	t.Urgent = binary.BigEndian.Uint16(data[18:20])
+	t.Options = t.Options[:0]
+	opts := data[tcpMinLen:dataOff]
+	for len(opts) > 0 {
+		kind := opts[0]
+		switch kind {
+		case TCPOptEnd:
+			opts = nil
+		case TCPOptNOP:
+			t.Options = append(t.Options, TCPOption{Kind: TCPOptNOP})
+			opts = opts[1:]
+		default:
+			if len(opts) < 2 {
+				return nil, fmt.Errorf("%w: truncated TCP option", ErrBadFormat)
+			}
+			olen := int(opts[1])
+			if olen < 2 || olen > len(opts) {
+				return nil, fmt.Errorf("%w: TCP option length %d", ErrBadFormat, olen)
+			}
+			t.Options = append(t.Options, TCPOption{Kind: kind, Data: opts[2:olen]})
+			opts = opts[olen:]
+		}
+	}
+	return data[dataOff:], nil
+}
+
+// optionsLen returns the padded length of the encoded options.
+func (t *TCP) optionsLen() int {
+	n := 0
+	for _, o := range t.Options {
+		if o.Kind == TCPOptNOP || o.Kind == TCPOptEnd {
+			n++
+		} else {
+			n += 2 + len(o.Data)
+		}
+	}
+	return (n + 3) &^ 3 // pad to 4-byte boundary
+}
+
+// AppendTo appends the encoded header (with checksum over the pseudo-header,
+// header and payload) to b.
+func (t *TCP) AppendTo(b []byte, src, dst netip.Addr, payload []byte) ([]byte, error) {
+	optLen := t.optionsLen()
+	hdrLen := tcpMinLen + optLen
+	if hdrLen > 60 {
+		return nil, fmt.Errorf("%w: TCP options too long (%d bytes)", ErrBadFormat, optLen)
+	}
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, t.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, t.DstPort)
+	b = binary.BigEndian.AppendUint32(b, t.Seq)
+	b = binary.BigEndian.AppendUint32(b, t.Ack)
+	b = append(b, uint8(hdrLen/4)<<4, uint8(t.Flags))
+	b = binary.BigEndian.AppendUint16(b, t.Window)
+	b = append(b, 0, 0) // checksum placeholder
+	b = binary.BigEndian.AppendUint16(b, t.Urgent)
+	written := 0
+	for _, o := range t.Options {
+		switch o.Kind {
+		case TCPOptNOP, TCPOptEnd:
+			b = append(b, o.Kind)
+			written++
+		default:
+			b = append(b, o.Kind, uint8(2+len(o.Data)))
+			b = append(b, o.Data...)
+			written += 2 + len(o.Data)
+		}
+	}
+	for ; written < optLen; written++ {
+		b = append(b, TCPOptEnd)
+	}
+	b = append(b, payload...)
+	sum, err := transportChecksum(src, dst, IPProtocolTCP, b[start:])
+	if err != nil {
+		return nil, err
+	}
+	binary.BigEndian.PutUint16(b[start+16:], sum)
+	return b, nil
+}
+
+// UDP is a UDP header.
+type UDP struct {
+	SrcPort, DstPort uint16
+	Length           uint16 // filled by AppendTo
+	Checksum         uint16 // filled by AppendTo
+}
+
+// udpLen is the encoded size of a UDP header.
+const udpLen = 8
+
+// DecodeFromBytes parses a UDP header from data.
+func (u *UDP) DecodeFromBytes(data []byte) (payload []byte, err error) {
+	if len(data) < udpLen {
+		return nil, ErrTruncated
+	}
+	u.SrcPort = binary.BigEndian.Uint16(data[0:2])
+	u.DstPort = binary.BigEndian.Uint16(data[2:4])
+	u.Length = binary.BigEndian.Uint16(data[4:6])
+	u.Checksum = binary.BigEndian.Uint16(data[6:8])
+	if int(u.Length) < udpLen || int(u.Length) > len(data) {
+		return nil, fmt.Errorf("%w: UDP length %d", ErrBadFormat, u.Length)
+	}
+	return data[udpLen:u.Length], nil
+}
+
+// AppendTo appends the encoded header and payload to b.
+func (u *UDP) AppendTo(b []byte, src, dst netip.Addr, payload []byte) ([]byte, error) {
+	total := udpLen + len(payload)
+	if total > 0xFFFF {
+		return nil, fmt.Errorf("%w: UDP datagram too long", ErrBadFormat)
+	}
+	start := len(b)
+	b = binary.BigEndian.AppendUint16(b, u.SrcPort)
+	b = binary.BigEndian.AppendUint16(b, u.DstPort)
+	b = binary.BigEndian.AppendUint16(b, uint16(total))
+	b = append(b, 0, 0) // checksum placeholder
+	b = append(b, payload...)
+	sum, err := transportChecksum(src, dst, IPProtocolUDP, b[start:])
+	if err != nil {
+		return nil, err
+	}
+	if sum == 0 {
+		sum = 0xFFFF // RFC 768: transmitted zero checksum means "none"
+	}
+	binary.BigEndian.PutUint16(b[start+6:], sum)
+	return b, nil
+}
+
+// Checksum computes the Internet checksum (RFC 1071) of data folded into the
+// running sum initial.
+func Checksum(data []byte, initial uint32) uint16 {
+	sum := initial
+	for len(data) >= 2 {
+		sum += uint32(binary.BigEndian.Uint16(data[:2]))
+		data = data[2:]
+	}
+	if len(data) == 1 {
+		sum += uint32(data[0]) << 8
+	}
+	for sum > 0xFFFF {
+		sum = (sum & 0xFFFF) + (sum >> 16)
+	}
+	return ^uint16(sum)
+}
+
+// transportChecksum computes the TCP/UDP checksum including the IPv4
+// pseudo-header.
+func transportChecksum(src, dst netip.Addr, proto IPProtocol, segment []byte) (uint16, error) {
+	if !src.Is4() || !dst.Is4() {
+		return 0, fmt.Errorf("%w: IPv4 addresses required for checksum", ErrBadFormat)
+	}
+	s4, d4 := src.As4(), dst.As4()
+	var pseudo [12]byte
+	copy(pseudo[0:4], s4[:])
+	copy(pseudo[4:8], d4[:])
+	pseudo[9] = uint8(proto)
+	binary.BigEndian.PutUint16(pseudo[10:12], uint16(len(segment)))
+	partial := uint32(0)
+	for i := 0; i < 12; i += 2 {
+		partial += uint32(binary.BigEndian.Uint16(pseudo[i : i+2]))
+	}
+	return Checksum(segment, partial), nil
+}
+
+// VerifyTransportChecksum reports whether the checksum embedded in a received
+// TCP/UDP segment is valid for the given addresses.
+func VerifyTransportChecksum(src, dst netip.Addr, proto IPProtocol, segment []byte) bool {
+	sum, err := transportChecksum(src, dst, proto, segment)
+	if err != nil {
+		return false
+	}
+	// Checksumming data that already includes a correct checksum yields 0.
+	return sum == 0
+}

@@ -1,0 +1,261 @@
+package wire
+
+import (
+	"bytes"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcAddr = netip.MustParseAddr("192.0.2.1")
+	dstAddr = netip.MustParseAddr("198.51.100.7")
+)
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Classic example from RFC 1071 §3.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data, 0); got != ^uint16(0xddf2) {
+		t.Fatalf("Checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	even := Checksum([]byte{0xab, 0x00}, 0)
+	odd := Checksum([]byte{0xab}, 0)
+	if even != odd {
+		t.Fatalf("odd-length padding mismatch: %#x vs %#x", odd, even)
+	}
+}
+
+func TestIPv4RoundTrip(t *testing.T) {
+	ip := IPv4{
+		TOS: 0x10, ID: 0x1234, Flags: FlagDF, TTL: 64,
+		Protocol: IPProtocolTCP, Src: srcAddr, Dst: dstAddr,
+	}
+	payload := []byte("hello")
+	pkt, err := ip.AppendTo(nil, len(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkt = append(pkt, payload...)
+	var got IPv4
+	rest, err := got.DecodeFromBytes(pkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Src != srcAddr || got.Dst != dstAddr || got.TTL != 64 ||
+		got.Protocol != IPProtocolTCP || got.ID != 0x1234 || got.Flags != FlagDF {
+		t.Fatalf("decoded header mismatch: %+v", got)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload = %q, want %q", rest, payload)
+	}
+	if got.Length != uint16(20+len(payload)) {
+		t.Fatalf("Length = %d, want %d", got.Length, 20+len(payload))
+	}
+}
+
+func TestIPv4HeaderChecksumValid(t *testing.T) {
+	ip := IPv4{TTL: 64, Protocol: IPProtocolUDP, Src: srcAddr, Dst: dstAddr}
+	pkt, err := ip.AppendTo(nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Checksumming a header containing its own checksum yields zero.
+	if got := Checksum(pkt[:20], 0); got != 0 {
+		t.Fatalf("header checksum verify = %#x, want 0", got)
+	}
+}
+
+func TestIPv4DecodeErrors(t *testing.T) {
+	var ip IPv4
+	if _, err := ip.DecodeFromBytes(make([]byte, 10)); err != ErrTruncated {
+		t.Fatalf("short packet err = %v, want ErrTruncated", err)
+	}
+	bad := make([]byte, 20)
+	bad[0] = 0x65 // version 6
+	if _, err := ip.DecodeFromBytes(bad); err == nil {
+		t.Fatal("wrong version accepted")
+	}
+	bad[0] = 0x41 // IHL 1 (4 bytes)
+	if _, err := ip.DecodeFromBytes(bad); err == nil {
+		t.Fatal("tiny IHL accepted")
+	}
+}
+
+func TestIPv4RejectsNonIPv4Addrs(t *testing.T) {
+	ip := IPv4{Src: netip.MustParseAddr("::1"), Dst: dstAddr, Protocol: IPProtocolTCP}
+	if _, err := ip.AppendTo(nil, 0); err == nil {
+		t.Fatal("IPv6 source accepted")
+	}
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	tcp := TCP{
+		SrcPort: 40000, DstPort: 443, Seq: 0xdeadbeef, Ack: 0x01020304,
+		Flags: FlagSYN, Window: 64240,
+		Options: linuxSYNOptions(),
+	}
+	payload := []byte("GET /")
+	seg, err := tcp.AppendTo(nil, srcAddr, dstAddr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got TCP
+	rest, err := got.DecodeFromBytes(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 40000 || got.DstPort != 443 || got.Seq != 0xdeadbeef ||
+		got.Ack != 0x01020304 || got.Flags != FlagSYN || got.Window != 64240 {
+		t.Fatalf("decoded TCP mismatch: %+v", got)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload = %q, want %q", rest, payload)
+	}
+	if len(got.Options) != 5 {
+		t.Fatalf("options = %d, want 5", len(got.Options))
+	}
+	if got.Options[0].Kind != TCPOptMSS || !bytes.Equal(got.Options[0].Data, []byte{0x05, 0xb4}) {
+		t.Fatalf("MSS option = %+v", got.Options[0])
+	}
+}
+
+func TestTCPChecksumVerifies(t *testing.T) {
+	tcp := TCP{SrcPort: 1, DstPort: 2, Flags: FlagACK}
+	seg, err := tcp.AppendTo(nil, srcAddr, dstAddr, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !VerifyTransportChecksum(srcAddr, dstAddr, IPProtocolTCP, seg) {
+		t.Fatal("valid checksum rejected")
+	}
+	seg[len(seg)-1] ^= 0xFF
+	if VerifyTransportChecksum(srcAddr, dstAddr, IPProtocolTCP, seg) {
+		t.Fatal("corrupted segment accepted")
+	}
+}
+
+func TestTCPDecodeErrors(t *testing.T) {
+	var tcp TCP
+	if _, err := tcp.DecodeFromBytes(make([]byte, 10)); err != ErrTruncated {
+		t.Fatalf("short segment err = %v", err)
+	}
+	bad := make([]byte, 20)
+	bad[12] = 0x30 // data offset 12 bytes < 20
+	if _, err := tcp.DecodeFromBytes(bad); err == nil {
+		t.Fatal("bad data offset accepted")
+	}
+	bad[12] = 0x60 // offset 24 but only 20 bytes
+	if _, err := tcp.DecodeFromBytes(bad); err != ErrTruncated {
+		t.Fatalf("truncated options err = %v", err)
+	}
+}
+
+func TestTCPMalformedOption(t *testing.T) {
+	tcp := TCP{SrcPort: 1, DstPort: 2}
+	seg, err := tcp.AppendTo(nil, srcAddr, dstAddr, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Craft a segment with data offset 24 and an option claiming length 9
+	// with only 4 option bytes present.
+	seg = append(seg[:20], 2, 9, 0, 0)
+	seg[12] = 0x60
+	var got TCP
+	if _, err := got.DecodeFromBytes(seg); err == nil {
+		t.Fatal("oversized option length accepted")
+	}
+}
+
+func TestUDPRoundTrip(t *testing.T) {
+	udp := UDP{SrcPort: 53000, DstPort: 53}
+	payload := []byte{0x12, 0x34}
+	seg, err := udp.AppendTo(nil, srcAddr, dstAddr, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got UDP
+	rest, err := got.DecodeFromBytes(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SrcPort != 53000 || got.DstPort != 53 || got.Length != 10 {
+		t.Fatalf("decoded UDP mismatch: %+v", got)
+	}
+	if !bytes.Equal(rest, payload) {
+		t.Fatalf("payload = %v, want %v", rest, payload)
+	}
+	if !VerifyTransportChecksum(srcAddr, dstAddr, IPProtocolUDP, seg) {
+		t.Fatal("UDP checksum invalid")
+	}
+}
+
+func TestUDPLengthValidation(t *testing.T) {
+	var udp UDP
+	seg := []byte{0, 1, 0, 2, 0, 3, 0, 0} // length 3 < 8
+	if _, err := udp.DecodeFromBytes(seg); err == nil {
+		t.Fatal("undersized UDP length accepted")
+	}
+}
+
+func TestEthernetRoundTrip(t *testing.T) {
+	e := Ethernet{
+		Dst:  [6]byte{1, 2, 3, 4, 5, 6},
+		Src:  [6]byte{0xaa, 0xbb, 0xcc, 0xdd, 0xee, 0xff},
+		Type: EtherTypeIPv4,
+	}
+	frame := e.AppendTo(nil)
+	frame = append(frame, 0x45)
+	var got Ethernet
+	rest, err := got.DecodeFromBytes(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != e {
+		t.Fatalf("decoded = %+v, want %+v", got, e)
+	}
+	if len(rest) != 1 || rest[0] != 0x45 {
+		t.Fatalf("payload = %v", rest)
+	}
+}
+
+func TestEthernetTruncated(t *testing.T) {
+	var e Ethernet
+	if _, err := e.DecodeFromBytes(make([]byte, 13)); err != ErrTruncated {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestTCPFlagsString(t *testing.T) {
+	if s := (FlagSYN | FlagACK).String(); s != "SYN|ACK" {
+		t.Fatalf("String() = %q, want SYN|ACK", s)
+	}
+	if s := TCPFlags(0).String(); s != "none" {
+		t.Fatalf("String() = %q, want none", s)
+	}
+}
+
+func TestTCPRoundTripQuick(t *testing.T) {
+	f := func(sport, dport uint16, seq, ack uint32, flags uint8, payload []byte) bool {
+		tcp := TCP{SrcPort: sport, DstPort: dport, Seq: seq, Ack: ack,
+			Flags: TCPFlags(flags & 0x3F), Window: 1024}
+		seg, err := tcp.AppendTo(nil, srcAddr, dstAddr, payload)
+		if err != nil {
+			return len(payload) > 0xFFFF-20
+		}
+		var got TCP
+		rest, err := got.DecodeFromBytes(seg)
+		if err != nil {
+			return false
+		}
+		return got.SrcPort == sport && got.DstPort == dport &&
+			got.Seq == seq && got.Ack == ack &&
+			got.Flags == TCPFlags(flags&0x3F) && bytes.Equal(rest, payload) &&
+			VerifyTransportChecksum(srcAddr, dstAddr, IPProtocolTCP, seg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

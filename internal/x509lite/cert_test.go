@@ -1,0 +1,255 @@
+package x509lite
+
+import (
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2024, 8, 1, 0, 0, 0, 0, time.UTC)
+
+func testCA() *CA {
+	return NewCA("CensysMap Test Root", 1001, t0.Add(-365*24*time.Hour), 10*365*24*time.Hour)
+}
+
+func leaf(ca *CA, names ...string) *Certificate {
+	return ca.Issue(Name{CommonName: names[0], Organization: "Example Corp", Country: "US"},
+		names, 2001, t0, 90*24*time.Hour)
+}
+
+func TestEncodeParseRoundTrip(t *testing.T) {
+	ca := testCA()
+	c := leaf(ca, "www.example.com", "example.com")
+	got, err := Parse(c.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Serial != c.Serial || got.Subject != c.Subject || len(got.DNSNames) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	if got.FingerprintSHA256() != c.FingerprintSHA256() {
+		t.Fatal("fingerprint changed across round trip")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	if _, err := Parse(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := Parse([]byte("{not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Parse([]byte("{}")); err == nil {
+		t.Fatal("nameless cert accepted")
+	}
+}
+
+func TestFingerprintUnique(t *testing.T) {
+	ca := testCA()
+	a := leaf(ca, "a.example.com")
+	b := leaf(ca, "b.example.com")
+	if a.FingerprintSHA256() == b.FingerprintSHA256() {
+		t.Fatal("distinct certs share fingerprint")
+	}
+	if len(a.FingerprintSHA256()) != 64 {
+		t.Fatalf("fingerprint length = %d", len(a.FingerprintSHA256()))
+	}
+}
+
+func TestValidateChain(t *testing.T) {
+	ca := testCA()
+	roots := NewRootStore(ca.Cert)
+	c := leaf(ca, "www.example.com")
+	if got := Validate(c, roots, nil, t0.Add(24*time.Hour)); got != StatusValid {
+		t.Fatalf("Validate = %v, want valid", got)
+	}
+}
+
+func TestValidateExpiry(t *testing.T) {
+	ca := testCA()
+	roots := NewRootStore(ca.Cert)
+	c := leaf(ca, "www.example.com")
+	if got := Validate(c, roots, nil, t0.Add(91*24*time.Hour)); got != StatusExpired {
+		t.Fatalf("Validate = %v, want expired", got)
+	}
+	if got := Validate(c, roots, nil, t0.Add(-time.Hour)); got != StatusNotYetValid {
+		t.Fatalf("Validate = %v, want not_yet_valid", got)
+	}
+}
+
+func TestValidateUntrustedIssuer(t *testing.T) {
+	ca := testCA()
+	other := NewCA("Unknown Root", 9999, t0.Add(-time.Hour), time.Hour*24*3650)
+	roots := NewRootStore(other.Cert)
+	c := leaf(ca, "www.example.com")
+	if got := Validate(c, roots, nil, t0.Add(time.Hour)); got != StatusUntrusted {
+		t.Fatalf("Validate = %v, want untrusted", got)
+	}
+}
+
+func TestValidateForgedSignature(t *testing.T) {
+	ca := testCA()
+	roots := NewRootStore(ca.Cert)
+	c := leaf(ca, "www.example.com")
+	c.Subject.Organization = "Tampered LLC" // body no longer matches signature
+	if got := Validate(c, roots, nil, t0.Add(time.Hour)); got != StatusBadSig {
+		t.Fatalf("Validate = %v, want bad_signature", got)
+	}
+}
+
+func TestValidateImpostorKey(t *testing.T) {
+	// A cert claiming the trusted issuer's name but signed by another key.
+	ca := testCA()
+	roots := NewRootStore(ca.Cert)
+	impostor := &Certificate{
+		Serial: 77, Subject: Name{CommonName: "victim.example.com"},
+		Issuer: ca.Cert.Subject, NotBefore: t0, NotAfter: t0.Add(24 * time.Hour),
+		DNSNames: []string{"victim.example.com"}, KeyID: 5,
+	}
+	impostor.Sign(4242) // not the CA's key
+	if got := Validate(impostor, roots, nil, t0.Add(time.Hour)); got != StatusBadSig {
+		t.Fatalf("Validate = %v, want bad_signature", got)
+	}
+}
+
+func TestValidateRevoked(t *testing.T) {
+	ca := testCA()
+	roots := NewRootStore(ca.Cert)
+	c := leaf(ca, "www.example.com")
+	ca.Revoke(c.Serial, t0.Add(time.Hour))
+	if got := Validate(c, roots, ca.CRL(), t0.Add(2*time.Hour)); got != StatusRevoked {
+		t.Fatalf("Validate = %v, want revoked", got)
+	}
+}
+
+func TestValidateSelfSigned(t *testing.T) {
+	n := Name{CommonName: "router.local"}
+	c := &Certificate{Serial: 5, Subject: n, Issuer: n,
+		NotBefore: t0, NotAfter: t0.Add(24 * time.Hour),
+		DNSNames: []string{"router.local"}, KeyID: 7}
+	c.Sign(7)
+	if got := Validate(c, NewRootStore(), nil, t0.Add(time.Hour)); got != StatusSelfSigned {
+		t.Fatalf("Validate = %v, want self_signed", got)
+	}
+}
+
+func TestMatchesName(t *testing.T) {
+	ca := testCA()
+	c := ca.Issue(Name{CommonName: "example.com"},
+		[]string{"example.com", "*.apps.example.com"}, 3, t0, 24*time.Hour)
+	cases := []struct {
+		name string
+		want bool
+	}{
+		{"example.com", true},
+		{"EXAMPLE.COM", true},
+		{"www.example.com", false},
+		{"a.apps.example.com", true},
+		{"b.a.apps.example.com", false}, // wildcard covers one label
+		{"apps.example.com", false},
+		{"other.com", false},
+	}
+	for _, cse := range cases {
+		if got := c.MatchesName(cse.name); got != cse.want {
+			t.Errorf("MatchesName(%q) = %v, want %v", cse.name, got, cse.want)
+		}
+	}
+}
+
+func TestMatchesNameFallsBackToCN(t *testing.T) {
+	n := Name{CommonName: "legacy.example.com"}
+	c := &Certificate{Serial: 1, Subject: n, Issuer: n, KeyID: 1,
+		NotBefore: t0, NotAfter: t0.Add(time.Hour)}
+	c.Sign(1)
+	if !c.MatchesName("legacy.example.com") {
+		t.Fatal("CN fallback failed")
+	}
+}
+
+func TestLintFindings(t *testing.T) {
+	ca := testCA()
+	good := leaf(ca, "www.example.com")
+	if fs := Lint(good); len(fs) != 0 {
+		t.Fatalf("clean cert flagged: %v", fs)
+	}
+	long := ca.Issue(Name{CommonName: "x"}, []string{"x.example.com"}, 4, t0, 400*24*time.Hour)
+	if fs := Lint(long); !contains(fs, "e_validity_exceeds_398_days") {
+		t.Fatalf("long validity not flagged: %v", fs)
+	}
+	noSAN := ca.Issue(Name{CommonName: "nosan.example.com"}, nil, 5, t0, 24*time.Hour)
+	if fs := Lint(noSAN); !contains(fs, "w_missing_san") {
+		t.Fatalf("missing SAN not flagged: %v", fs)
+	}
+	backwards := &Certificate{Serial: 9, Subject: Name{CommonName: "x"},
+		NotBefore: t0, NotAfter: t0.Add(-time.Hour), DNSNames: []string{"x"}, KeyID: 1}
+	if fs := Lint(backwards); !contains(fs, "e_not_after_before_not_before") {
+		t.Fatalf("backwards validity not flagged: %v", fs)
+	}
+}
+
+func contains(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCASerialIncrement(t *testing.T) {
+	ca := testCA()
+	a := leaf(ca, "a.example.com")
+	b := leaf(ca, "b.example.com")
+	if a.Serial == b.Serial {
+		t.Fatal("serials collide")
+	}
+}
+
+func TestCTLogAppendPoll(t *testing.T) {
+	ca := testCA()
+	log := NewCTLog("testlog")
+	for i := 0; i < 5; i++ {
+		c := leaf(ca, "site.example.com")
+		if _, err := log.Append(c, t0.Add(time.Duration(i)*time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if log.Size() != 5 {
+		t.Fatalf("Size = %d", log.Size())
+	}
+	got := log.Entries(2, 0)
+	if len(got) != 3 || got[0].Index != 2 {
+		t.Fatalf("Entries(2) = %d entries, first %d", len(got), got[0].Index)
+	}
+	capped := log.Entries(0, 2)
+	if len(capped) != 2 {
+		t.Fatalf("Entries(0,2) = %d entries", len(capped))
+	}
+	if log.Entries(99, 0) != nil {
+		t.Fatal("out-of-range poll returned entries")
+	}
+}
+
+func TestCTLogRejectsTimeTravel(t *testing.T) {
+	ca := testCA()
+	log := NewCTLog("testlog")
+	if _, err := log.Append(leaf(ca, "a.example.com"), t0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := log.Append(leaf(ca, "b.example.com"), t0.Add(-time.Hour)); err == nil {
+		t.Fatal("out-of-order append accepted")
+	}
+}
+
+func TestNameString(t *testing.T) {
+	n := Name{CommonName: "x", Organization: "Org", Country: "DE"}
+	if n.String() != "CN=x, O=Org, C=DE" {
+		t.Fatalf("String() = %q", n.String())
+	}
+}
+
+func TestCRLContainsNil(t *testing.T) {
+	var crl *CRL
+	if crl.Contains(1) {
+		t.Fatal("nil CRL claims revocation")
+	}
+}

@@ -1,0 +1,168 @@
+package x509lite
+
+import (
+	"fmt"
+	"time"
+)
+
+// RootStore is a browser-style trust anchor set, keyed by issuer name and
+// key identity.
+type RootStore struct {
+	roots map[string]*Certificate // keyed by Subject.String()
+}
+
+// NewRootStore builds a store from trusted CA certificates.
+func NewRootStore(roots ...*Certificate) *RootStore {
+	s := &RootStore{roots: make(map[string]*Certificate, len(roots))}
+	for _, r := range roots {
+		s.Add(r)
+	}
+	return s
+}
+
+// Add trusts an additional root.
+func (s *RootStore) Add(root *Certificate) {
+	s.roots[root.Subject.String()] = root
+}
+
+// Lookup returns the trusted root matching the given issuer name, or nil.
+func (s *RootStore) Lookup(issuer Name) *Certificate {
+	return s.roots[issuer.String()]
+}
+
+// Len reports the number of trusted roots.
+func (s *RootStore) Len() int { return len(s.roots) }
+
+// ValidationStatus summarises a certificate's standing at a point in time.
+type ValidationStatus string
+
+// Validation statuses, mirroring the states the pipeline journals.
+const (
+	StatusValid       ValidationStatus = "valid"
+	StatusExpired     ValidationStatus = "expired"
+	StatusNotYetValid ValidationStatus = "not_yet_valid"
+	StatusUntrusted   ValidationStatus = "untrusted"
+	StatusBadSig      ValidationStatus = "bad_signature"
+	StatusRevoked     ValidationStatus = "revoked"
+	StatusSelfSigned  ValidationStatus = "self_signed"
+)
+
+// Validate checks a leaf certificate against the root store and optional CRL
+// at the given instant. Validation status is recomputed daily by the
+// pipeline, since it changes with time even when the certificate does not.
+func Validate(cert *Certificate, roots *RootStore, crl *CRL, at time.Time) ValidationStatus {
+	if at.Before(cert.NotBefore) {
+		return StatusNotYetValid
+	}
+	if at.After(cert.NotAfter) {
+		return StatusExpired
+	}
+	if crl.Contains(cert.Serial) {
+		return StatusRevoked
+	}
+	if cert.SelfSigned() {
+		if !cert.checkSignature() {
+			return StatusBadSig
+		}
+		return StatusSelfSigned
+	}
+	root := roots.Lookup(cert.Issuer)
+	if root == nil {
+		return StatusUntrusted
+	}
+	if at.After(root.NotAfter) || at.Before(root.NotBefore) {
+		return StatusUntrusted
+	}
+	if cert.SignerKeyID != root.KeyID || !cert.checkSignature() {
+		return StatusBadSig
+	}
+	return StatusValid
+}
+
+// Lint flags certificate-profile violations in the spirit of zlint (paper
+// §4.4 "lints it"). Findings are stable identifiers suitable for indexing.
+func Lint(cert *Certificate) []string {
+	var findings []string
+	if len(cert.DNSNames) == 0 && !cert.IsCA {
+		findings = append(findings, "w_missing_san")
+	}
+	if cert.Subject.CommonName == "" {
+		findings = append(findings, "w_empty_common_name")
+	}
+	validity := cert.NotAfter.Sub(cert.NotBefore)
+	if !cert.IsCA && validity > 398*24*time.Hour {
+		findings = append(findings, "e_validity_exceeds_398_days")
+	}
+	if cert.NotAfter.Before(cert.NotBefore) {
+		findings = append(findings, "e_not_after_before_not_before")
+	}
+	if cert.Serial == 0 {
+		findings = append(findings, "e_serial_zero")
+	}
+	for _, d := range cert.DNSNames {
+		if d == "" {
+			findings = append(findings, "e_empty_dns_name")
+			break
+		}
+	}
+	if cert.IsCA && len(cert.DNSNames) > 0 {
+		findings = append(findings, "w_ca_with_dns_names")
+	}
+	return findings
+}
+
+// CTEntry is one row of a certificate transparency log.
+type CTEntry struct {
+	Index     uint64
+	Timestamp time.Time
+	Cert      *Certificate
+}
+
+// CTLog is an append-only public certificate log that the pipeline polls for
+// new certificates — its main source of web-property names.
+type CTLog struct {
+	name    string
+	entries []CTEntry
+}
+
+// NewCTLog creates an empty log.
+func NewCTLog(name string) *CTLog { return &CTLog{name: name} }
+
+// Name returns the log's name.
+func (l *CTLog) Name() string { return l.name }
+
+// Append adds a certificate at the given (submission) time, returning its
+// index. Appends must be time-ordered.
+func (l *CTLog) Append(cert *Certificate, at time.Time) (uint64, error) {
+	if n := len(l.entries); n > 0 && at.Before(l.entries[n-1].Timestamp) {
+		return 0, fmt.Errorf("x509lite: CT append at %v precedes log head %v", at, l.entries[n-1].Timestamp)
+	}
+	idx := uint64(len(l.entries))
+	l.entries = append(l.entries, CTEntry{Index: idx, Timestamp: at, Cert: cert})
+	return idx, nil
+}
+
+// Size returns the number of entries.
+func (l *CTLog) Size() uint64 { return uint64(len(l.entries)) }
+
+// HeadTime returns the timestamp of the newest entry (zero for an empty log).
+// Submitters use it to clamp backdated submissions to the log head.
+func (l *CTLog) HeadTime() time.Time {
+	if len(l.entries) == 0 {
+		return time.Time{}
+	}
+	return l.entries[len(l.entries)-1].Timestamp
+}
+
+// Entries returns entries with Index >= from, up to max (0 = no limit).
+// This is the polling interface the pipeline consumes.
+func (l *CTLog) Entries(from uint64, max int) []CTEntry {
+	if from >= uint64(len(l.entries)) {
+		return nil
+	}
+	out := l.entries[from:]
+	if max > 0 && len(out) > max {
+		out = out[:max]
+	}
+	return out
+}
