@@ -1,0 +1,25 @@
+GO ?= go
+
+.PHONY: all vet build test race bench check
+
+all: check
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The pipeline fans interrogation out over worker pools; the race detector
+# is part of the standard check, not an extra.
+race:
+	$(GO) test -race ./...
+
+# Serial vs sharded pipeline throughput (1/4/8 workers).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkPipelineThroughput -benchtime 2x .
+
+check: vet build race

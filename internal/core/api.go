@@ -23,8 +23,17 @@ func (m *Map) Clock() *simclock.Sim { return m.clock }
 // Net returns the underlying synthetic Internet.
 func (m *Map) Net() *simnet.Internet { return m.net }
 
-// Stats returns pipeline counters.
-func (m *Map) Stats() RunStats { return m.stats }
+// Stats returns a snapshot of the pipeline counters.
+func (m *Map) Stats() RunStats {
+	return RunStats{
+		Ticks:            m.ticks.Load(),
+		Interrogations:   m.interrogations.Load(),
+		RefreshScans:     m.refreshScans.Load(),
+		PredictiveProbes: m.predictiveProbes.Load(),
+		Reinjected:       m.reinjected.Load(),
+		PseudoFiltered:   m.pseudoFiltered.Load(),
+	}
+}
 
 // Search runs a query against the interactive search index.
 func (m *Map) Search(query string) ([]*entity.Host, error) {
@@ -52,7 +61,7 @@ func (m *Map) Host(addr netip.Addr, at time.Time) (*entity.Host, bool) {
 // cached-current-state path of the lookup API.
 func (m *Map) HostCurrent(addr netip.Addr) (*entity.Host, bool) {
 	h := m.processor.CurrentState(addr.String())
-	if h == nil || len(h.Services) == 0 || m.pseudoHosts[addr] {
+	if h == nil || len(h.Services) == 0 || m.isPseudo(addr) {
 		return nil, false
 	}
 	m.enricher.Enrich(h)
@@ -101,7 +110,7 @@ func (m *Map) CurrentServices(includePending bool) []ServiceRecord {
 	var out []ServiceRecord
 	for _, id := range m.processor.EntityIDs() {
 		addr, err := netip.ParseAddr(id)
-		if err != nil || m.pseudoHosts[addr] {
+		if err != nil || m.isPseudo(addr) {
 			continue
 		}
 		h := m.processor.CurrentState(id)
@@ -143,4 +152,12 @@ func (m *Map) JournalStats() journal.Stats { return m.processor.Journal().Stats(
 func (m *Map) WriteStats() (observations, noChange uint64) { return m.processor.Stats() }
 
 // PseudoHosts reports how many hosts the pseudo filter has flagged.
-func (m *Map) PseudoHosts() int { return len(m.pseudoHosts) }
+func (m *Map) PseudoHosts() int {
+	n := 0
+	for _, s := range m.shards {
+		s.mu.Lock()
+		n += len(s.pseudoHosts)
+		s.mu.Unlock()
+	}
+	return n
+}

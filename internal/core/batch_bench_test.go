@@ -1,0 +1,78 @@
+package core
+
+import (
+	"net/netip"
+	"runtime"
+	"testing"
+	"time"
+
+	"censysmap/internal/discovery"
+	"censysmap/internal/entity"
+	"censysmap/internal/simclock"
+	"censysmap/internal/simnet"
+)
+
+// BenchmarkInterrogationBatch isolates the fan-out stage: one large batch
+// of refresh tasks drained by the worker pool. This is the unit the
+// pipeline parallelizes; BenchmarkPipelineThroughput (repo root) measures
+// the same effect end to end. Speedup is bounded by the cores available
+// (the gomaxprocs metric), not by the worker count alone.
+func BenchmarkInterrogationBatch(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run("workers"+itoa(workers), func(b *testing.B) {
+			simCfg := simnet.DefaultConfig()
+			simCfg.Prefix = netip.MustParsePrefix("10.0.0.0/20")
+			simCfg.Seed = 1
+			simCfg.CloudBlocks = 1
+			simCfg.WebProperties = 20
+			simCfg.HostDensity = 0.5
+			clk := simclock.New()
+			net := simnet.New(simCfg, clk)
+
+			cfg := DefaultConfig()
+			cfg.CloudBlocks = 1
+			cfg.Shards = 8
+			cfg.InterroWorkers = workers
+			m, err := New(cfg, net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			now := clk.Now()
+			var cands []discovery.Candidate
+			for _, s := range net.LiveServices(now, false) {
+				if s.Transport != entity.TCP {
+					continue
+				}
+				cands = append(cands, discovery.Candidate{
+					Addr: s.Addr, Port: s.Port, Transport: s.Transport,
+					PoP: "chi", Method: entity.DetectRefresh, Time: now,
+				})
+			}
+			if len(cands) < 1000 {
+				b.Fatalf("only %d candidates; universe too small", len(cands))
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, c := range cands {
+					m.enqueue(pendingTask{cand: c, kind: taskDirect})
+				}
+				m.runBatch(now.Add(time.Duration(i) * time.Minute))
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(cands)), "tasks/batch")
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var d []byte
+	for n > 0 {
+		d = append([]byte{byte('0' + n%10)}, d...)
+		n /= 10
+	}
+	return string(d)
+}

@@ -14,11 +14,24 @@
 //
 // Run drives everything off a simulated clock at a fixed tick, so months of
 // continuous operation execute in seconds and experiments are reproducible.
+//
+// The hot path is sharded (see DESIGN.md, "Concurrency model"): each tick's
+// candidates are batched into per-shard FIFO queues keyed by a stable hash
+// of the address, a pool of InterroWorkers goroutines drains the shards
+// (worker i owns shards j where j % workers == i, so per-shard order is
+// enqueue order for any worker count), and results are applied shard-locally.
+// Everything order-sensitive that crosses shards — redirect observations,
+// event dispatch, refresh scheduling — is collected and flushed serially in
+// canonical order, which keeps runs bit-for-bit reproducible regardless of
+// goroutine scheduling or worker count.
 package core
 
 import (
 	"fmt"
 	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"censysmap/internal/cqrs"
@@ -30,6 +43,7 @@ import (
 	"censysmap/internal/lookup"
 	"censysmap/internal/predict"
 	"censysmap/internal/search"
+	"censysmap/internal/shard"
 	"censysmap/internal/simclock"
 	"censysmap/internal/simnet"
 	"censysmap/internal/snapshot"
@@ -71,6 +85,14 @@ type Config struct {
 	EvictAfter time.Duration
 	// SnapshotEvery overrides journal snapshot cadence (ablation).
 	SnapshotEvery int
+	// Shards is the number of write-path shards: pipeline bookkeeping maps,
+	// the CQRS processor, its journal, and the search index all partition by
+	// the same stable hash of the address. <= 0 means 1 (the serial layout).
+	Shards int
+	// InterroWorkers is the size of the per-tick interrogation worker pool.
+	// <= 1 runs the batch on the calling goroutine. Results are identical
+	// for any worker count; see DESIGN.md.
+	InterroWorkers int
 }
 
 // DefaultConfig returns the production-like configuration.
@@ -87,6 +109,8 @@ func DefaultConfig() Config {
 		PseudoServiceThreshold:     48,
 		EvictAfter:                 72 * time.Hour,
 		SnapshotEvery:              16,
+		Shards:                     8,
+		InterroWorkers:             4,
 	}
 }
 
@@ -95,6 +119,49 @@ type slotKey struct {
 	addr      netip.Addr
 	port      uint16
 	transport entity.Transport
+}
+
+// taskKind selects the per-candidate processing semantics.
+type taskKind int
+
+const (
+	// taskCandidate is a Phase-1/predictive candidate: dedup against known
+	// freshness and the pseudo filter, then interrogate once from its PoP.
+	taskCandidate taskKind = iota
+	// taskRefresh re-interrogates a known slot with the PoP retry ladder,
+	// skipping slots that disappeared or went pseudo earlier in the batch.
+	taskRefresh
+	// taskDirect interrogates unconditionally (re-injection retries).
+	taskDirect
+)
+
+type pendingTask struct {
+	cand discovery.Candidate
+	kind taskKind
+}
+
+// stateShard holds the pipeline bookkeeping for one slice of the address
+// space. During a batch only the owning worker touches a shard's maps; the
+// mutex makes the read-side API safe to call concurrently with a run.
+type stateShard struct {
+	mu sync.Mutex
+	// known tracks every service slot currently in the dataset with its
+	// last interrogation time (drives refresh and dedup).
+	known map[slotKey]time.Time
+	// udpProto remembers the identified protocol per UDP slot for refresh.
+	udpProto map[slotKey]string
+	// pseudoHosts are flagged and excluded from interrogation and search.
+	pseudoHosts map[netip.Addr]bool
+	// foundPerHost counts found services, for pseudo detection.
+	foundPerHost map[netip.Addr]int
+
+	// pending is the shard's FIFO task queue for the current batch, filled
+	// serially between batches.
+	pending []pendingTask
+	// redirects buffers http.location values seen by this shard's worker;
+	// they are flushed to the web-property pipeline serially after the
+	// batch, in shard order, so its scan queue stays deterministic.
+	redirects []string
 }
 
 // Map is the running system.
@@ -117,15 +184,7 @@ type Map struct {
 	certs     *CertStore
 	analytics *snapshot.Store
 
-	// known tracks every service slot currently in the dataset with its
-	// last interrogation time (drives refresh and dedup).
-	known map[slotKey]time.Time
-	// udpProto remembers the identified protocol per UDP slot for refresh.
-	udpProto map[slotKey]string
-	// pseudoHosts are flagged and excluded from interrogation and search.
-	pseudoHosts map[netip.Addr]bool
-	// foundPerHost counts found services, for pseudo detection.
-	foundPerHost map[netip.Addr]int
+	shards []*stateShard
 
 	// exclusions are active operator opt-outs (Appendix D).
 	exclusions []Exclusion
@@ -133,7 +192,14 @@ type Map struct {
 	lastDaily time.Time
 	stopTick  func()
 
-	stats RunStats
+	// Pipeline counters, atomic because interrogation workers bump them
+	// concurrently.
+	ticks            atomic.Uint64
+	interrogations   atomic.Uint64
+	refreshScans     atomic.Uint64
+	predictiveProbes atomic.Uint64
+	reinjected       atomic.Uint64
+	pseudoFiltered   atomic.Uint64
 }
 
 // RunStats counts pipeline activity.
@@ -159,15 +225,26 @@ func New(cfg Config, net *simnet.Internet) (*Map, error) {
 	if cfg.RefreshEvery <= 0 {
 		cfg.RefreshEvery = 24 * time.Hour
 	}
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
+	}
+	if cfg.InterroWorkers < 1 {
+		cfg.InterroWorkers = 1
+	}
 
 	m := &Map{
-		cfg:          cfg,
-		net:          net,
-		clock:        clk,
-		known:        make(map[slotKey]time.Time),
-		udpProto:     make(map[slotKey]string),
-		pseudoHosts:  make(map[netip.Addr]bool),
-		foundPerHost: make(map[netip.Addr]int),
+		cfg:    cfg,
+		net:    net,
+		clock:  clk,
+		shards: make([]*stateShard, cfg.Shards),
+	}
+	for i := range m.shards {
+		m.shards[i] = &stateShard{
+			known:        make(map[slotKey]time.Time),
+			udpProto:     make(map[slotKey]string),
+			pseudoHosts:  make(map[netip.Addr]bool),
+			foundPerHost: make(map[netip.Addr]int),
+		}
 	}
 
 	// A small fraction of networks blocklist even polite scanners (the
@@ -196,6 +273,7 @@ func New(cfg Config, net *simnet.Internet) (*Map, error) {
 	}
 
 	// One interrogator per PoP so retries genuinely change vantage point.
+	// Interrogators are shared by all workers; their counters are atomic.
 	m.inter = make(map[string]*interro.Interrogator, len(m.pops))
 	for _, pop := range m.pops {
 		sc := scanner
@@ -203,15 +281,19 @@ func New(cfg Config, net *simnet.Internet) (*Map, error) {
 		m.inter[pop.Name] = interro.New(net, sc)
 	}
 
-	// Storage pipeline.
-	j := journal.NewStore()
+	// Storage pipeline: journal, processor, and index all partition by the
+	// same shard hash, so one address's rows, events, and postings live on
+	// aligned shards.
+	j := journal.NewPartitioned(cfg.Shards)
 	m.processor = cqrs.NewProcessor(cqrs.Config{
-		EvictAfter: cfg.EvictAfter, SnapshotEvery: cfg.SnapshotEvery}, j)
-	m.enricher = enrich.New(buildGeoDB(net), buildASNDB(net))
+		EvictAfter: cfg.EvictAfter, SnapshotEvery: cfg.SnapshotEvery,
+		Shards: cfg.Shards}, j)
+	geo, asn := enrichFeedsFor(net)
+	m.enricher = enrich.New(geo, asn)
 	m.reader = cqrs.NewReader(j, m.enricher)
 	m.certIdx = cqrs.NewCertIndex()
 	m.certIdx.Follow(m.processor)
-	m.index = search.NewIndex()
+	m.index = search.NewPartitioned(cfg.Shards)
 	m.processor.Subscribe(m.consumeEvent)
 	m.lookupSvc = lookup.New(m.reader, m.certIdx, clk)
 
@@ -225,6 +307,42 @@ func New(cfg Config, net *simnet.Internet) (*Map, error) {
 
 	m.lastDaily = clk.Now()
 	return m, nil
+}
+
+func (m *Map) shardFor(addr netip.Addr) *stateShard {
+	return m.shards[shard.Of(addr.String(), len(m.shards))]
+}
+
+// enrichFeeds caches the derived GeoIP/ASN feeds per universe: five engines
+// sharing one Internet each used to rebuild both feeds with a full
+// O(universe) address scan. The feeds are read-only after construction, so
+// one build per universe is shared by every Map. The host count is part of
+// the key so a universe mutated by AddHost/RemoveHost gets fresh feeds.
+type enrichFeedKey struct {
+	net   *simnet.Internet
+	hosts int
+}
+
+type enrichFeeds struct {
+	geo *enrich.GeoDB
+	asn *enrich.ASNDB
+}
+
+var (
+	enrichFeedMu    sync.Mutex
+	enrichFeedCache = make(map[enrichFeedKey]enrichFeeds)
+)
+
+func enrichFeedsFor(net *simnet.Internet) (*enrich.GeoDB, *enrich.ASNDB) {
+	key := enrichFeedKey{net: net, hosts: net.Hosts()}
+	enrichFeedMu.Lock()
+	defer enrichFeedMu.Unlock()
+	if f, ok := enrichFeedCache[key]; ok {
+		return f.geo, f.asn
+	}
+	f := enrichFeeds{geo: buildGeoDB(net), asn: buildASNDB(net)}
+	enrichFeedCache[key] = f
+	return f.geo, f.asn
 }
 
 // buildGeoDB assembles the "external" GeoIP feed: per-/24 country data
@@ -307,8 +425,12 @@ func (m *Map) seedScan() {
 			c := discovery.Candidate{Addr: addr, Port: uint16(port),
 				Transport: entity.TCP, Method: entity.DetectBackgroundScan,
 				PoP: m.pops[0].Name, Time: now}
-			m.handleCandidate(c, now)
+			m.enqueue(pendingTask{cand: c, kind: taskCandidate})
 		}
+		// Batch per address: pseudo-host detection must engage before the
+		// next address's candidates are processed, exactly as inline
+		// handling did.
+		m.runBatch(now)
 	}
 	m.processor.Drain()
 }
@@ -327,25 +449,32 @@ func (m *Map) Run(d time.Duration) {
 	m.clock.Advance(d)
 }
 
-// Tick executes one scheduling quantum.
+// Tick executes one scheduling quantum. Each phase enqueues its candidates
+// into per-shard FIFO queues and then runs the batch through the worker
+// pool; phases are barriers, so within a tick every phase observes the full
+// effects of the previous one, exactly as the serial pipeline did.
 func (m *Map) Tick(now time.Time) {
-	m.stats.Ticks++
+	m.ticks.Add(1)
 
-	// Phase 1: discovery. New candidates go straight to interrogation.
+	// Phase 1: discovery. New candidates go to the interrogation pool.
 	m.disc.Tick(now, func(c discovery.Candidate) {
-		m.handleCandidate(c, now)
+		m.enqueue(pendingTask{cand: c, kind: taskCandidate})
 	})
+	m.runBatch(now)
 
 	// Refresh: re-interrogate known services on cadence, retrying from
 	// other PoPs before declaring failure (paper §4.6).
 	m.refreshDue(now)
+	m.runBatch(now)
 
 	// Predictive scanning + re-injection.
 	if !m.cfg.DisablePrediction {
 		m.runPrediction(now)
+		m.runBatch(now)
 	}
 	if !m.cfg.DisableReinjection {
 		m.runReinjection(now)
+		m.runBatch(now)
 	}
 
 	// Name-based scanning.
@@ -365,12 +494,110 @@ func (m *Map) Tick(now time.Time) {
 	}
 }
 
+// enqueue appends a task to its shard's FIFO queue. Called serially between
+// batches, so per-shard order is exactly enqueue order.
+func (m *Map) enqueue(t pendingTask) {
+	s := m.shardFor(t.cand.Addr)
+	s.pending = append(s.pending, t)
+}
+
+// runBatch drains every shard's task queue through the worker pool and then
+// flushes order-sensitive side effects serially. Worker i owns shards j
+// with j % workers == i, so each shard's tasks run in enqueue order on one
+// goroutine regardless of the worker count — the fan-out is over shards,
+// never within one.
+func (m *Map) runBatch(now time.Time) {
+	total := 0
+	for _, s := range m.shards {
+		total += len(s.pending)
+	}
+	if total == 0 {
+		return
+	}
+	workers := m.cfg.InterroWorkers
+	if workers > len(m.shards) {
+		workers = len(m.shards)
+	}
+	if workers <= 1 {
+		for _, s := range m.shards {
+			m.drainShard(s, now)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				for j := i; j < len(m.shards); j += workers {
+					m.drainShard(m.shards[j], now)
+				}
+			}(i)
+		}
+		wg.Wait()
+	}
+	// Fan-in: redirect observations feed the (single-goroutine) web
+	// property pipeline in deterministic shard-index order.
+	for _, s := range m.shards {
+		for _, loc := range s.redirects {
+			m.webProps.ObserveRedirect(loc, now)
+		}
+		s.redirects = s.redirects[:0]
+	}
+}
+
+// drainShard processes one shard's queued tasks in FIFO order.
+func (m *Map) drainShard(s *stateShard, now time.Time) {
+	tasks := s.pending
+	s.pending = nil
+	for _, t := range tasks {
+		m.processTask(s, t, now)
+	}
+}
+
+// processTask applies one task's gating checks and interrogation. Checks run
+// at process time, not enqueue time, so a host flagged pseudo (or a slot
+// evicted) earlier in the batch suppresses later tasks exactly as the
+// serial inline pipeline did.
+func (m *Map) processTask(s *stateShard, t pendingTask, now time.Time) {
+	c := t.cand
+	key := slotKey{c.Addr, c.Port, c.Transport}
+	switch t.kind {
+	case taskCandidate:
+		s.mu.Lock()
+		if s.pseudoHosts[c.Addr] {
+			s.mu.Unlock()
+			m.pseudoFiltered.Add(1)
+			return
+		}
+		last, ok := s.known[key]
+		s.mu.Unlock()
+		if ok && now.Sub(last) < m.cfg.RefreshEvery-2*time.Hour {
+			return // fresh enough; the refresh loop owns this slot
+		}
+		m.interrogateOn(s, c, now)
+
+	case taskRefresh:
+		s.mu.Lock()
+		pseudo := s.pseudoHosts[c.Addr]
+		_, stillKnown := s.known[key]
+		s.mu.Unlock()
+		if pseudo || !stillKnown {
+			return // flagged or evicted earlier in this batch
+		}
+		m.refreshScans.Add(1)
+		m.refreshSlot(s, key, c.UDPProtocol, now)
+
+	case taskDirect:
+		m.interrogateOn(s, c, now)
+	}
+}
+
 // snapshotDaily appends today's full map state to the analytics store.
 func (m *Map) snapshotDaily(now time.Time) {
 	var hosts []*entity.Host
 	for _, id := range m.processor.EntityIDs() {
 		addr, err := netip.ParseAddr(id)
-		if err != nil || m.pseudoHosts[addr] {
+		if err != nil || m.isPseudo(addr) {
 			continue
 		}
 		if h := m.processor.CurrentState(id); h != nil && len(h.Services) > 0 {
@@ -389,49 +616,58 @@ func (m *Map) crls() []*CRLSource {
 	}
 }
 
-// handleCandidate dedupes and interrogates a Phase-1 candidate.
-func (m *Map) handleCandidate(c discovery.Candidate, now time.Time) {
-	key := slotKey{c.Addr, c.Port, c.Transport}
-	if m.pseudoHosts[c.Addr] {
-		m.stats.PseudoFiltered++
-		return
-	}
-	if last, ok := m.known[key]; ok && now.Sub(last) < m.cfg.RefreshEvery-2*time.Hour {
-		return // fresh enough; the refresh loop owns this slot
-	}
-	m.interrogate(c, now)
+// isPseudo reports whether the pseudo filter has flagged addr.
+func (m *Map) isPseudo(addr netip.Addr) bool {
+	s := m.shardFor(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pseudoHosts[addr]
 }
 
-// interrogate runs Phase 2 from the candidate's PoP and applies the result.
+// interrogate runs one candidate end to end on the caller's goroutine (the
+// user-request scan path; tests use it to seed state).
 func (m *Map) interrogate(c discovery.Candidate, now time.Time) bool {
+	return m.interrogateOn(m.shardFor(c.Addr), c, now)
+}
+
+// interrogateOn runs Phase 2 from the candidate's PoP and applies the result.
+func (m *Map) interrogateOn(s *stateShard, c discovery.Candidate, now time.Time) bool {
 	in := m.inter[c.PoP]
 	if in == nil {
 		in = m.inter[m.pops[0].Name]
 		c.PoP = m.pops[0].Name
 	}
-	m.stats.Interrogations++
+	m.interrogations.Add(1)
 	obs := in.Interrogate(c, now)
-	m.apply(obs, c, now)
+	m.apply(s, obs, c, now)
 	return obs.Success
 }
 
 // apply feeds an observation into the write side and the learning loops.
-func (m *Map) apply(obs cqrs.Observation, c discovery.Candidate, now time.Time) {
+// It runs on the worker that owns the candidate's shard; everything it
+// touches is either shard-local, internally synchronized, or buffered for a
+// serial fan-in after the batch.
+func (m *Map) apply(s *stateShard, obs cqrs.Observation, c discovery.Candidate, now time.Time) {
 	key := slotKey{c.Addr, c.Port, c.Transport}
 	if obs.Success {
-		m.known[key] = now
+		s.mu.Lock()
+		s.known[key] = now
 		if c.Transport == entity.UDP && c.UDPProtocol != "" {
-			m.udpProto[key] = c.UDPProtocol
+			s.udpProto[key] = c.UDPProtocol
 		}
+		s.mu.Unlock()
 		m.predictor.Observe(c.Addr, c.Port, c.Transport)
 		m.predictor.Resolve(c.Addr, c.Port, c.Transport)
 
 		// Pseudo-host detection: an implausible number of services on one
 		// host gets the host flagged and dropped (Censys' pseudo-service
 		// filtering).
-		m.foundPerHost[c.Addr]++
-		if m.cfg.PseudoServiceThreshold > 0 && m.foundPerHost[c.Addr] > m.cfg.PseudoServiceThreshold {
-			m.markPseudo(c.Addr, now)
+		s.mu.Lock()
+		s.foundPerHost[c.Addr]++
+		over := m.cfg.PseudoServiceThreshold > 0 && s.foundPerHost[c.Addr] > m.cfg.PseudoServiceThreshold
+		s.mu.Unlock()
+		if over {
+			m.markPseudo(s, c.Addr, now)
 			return
 		}
 
@@ -441,10 +677,11 @@ func (m *Map) apply(obs cqrs.Observation, c discovery.Candidate, now time.Time) 
 				m.certs.ObserveDER(slot.Spec.CertDER, "scan", now)
 			}
 		}
-		// Redirects feed web property names.
+		// Redirects feed web property names; buffered for the serial
+		// post-batch fan-in (the webprop pipeline is order-sensitive).
 		if obs.Service != nil {
 			if loc := obs.Service.Attributes["http.location"]; loc != "" {
-				m.webProps.ObserveRedirect(loc, now)
+				s.redirects = append(s.redirects, loc)
 			}
 		}
 	}
@@ -455,73 +692,108 @@ func (m *Map) apply(obs cqrs.Observation, c discovery.Candidate, now time.Time) 
 	if !obs.Success {
 		if state := m.processor.CurrentState(c.Addr.String()); state == nil ||
 			state.Service(entity.ServiceKey{Port: c.Port, Transport: c.Transport}) == nil {
-			if _, was := m.known[key]; was {
-				delete(m.known, key)
-				delete(m.udpProto, key)
+			s.mu.Lock()
+			_, was := s.known[key]
+			if was {
+				delete(s.known, key)
+				delete(s.udpProto, key)
+			}
+			s.mu.Unlock()
+			if was {
 				if !m.cfg.DisableReinjection {
 					m.predictor.RecordEvicted(c.Addr, c.Port, c.Transport, now)
 				}
-				m.stats.Reinjected++ // queued for re-injection
+				m.reinjected.Add(1) // queued for re-injection
 			}
 		}
 	}
 }
 
 // markPseudo flags a host and purges its services from the dataset.
-func (m *Map) markPseudo(addr netip.Addr, now time.Time) {
-	if m.pseudoHosts[addr] {
+func (m *Map) markPseudo(s *stateShard, addr netip.Addr, now time.Time) {
+	s.mu.Lock()
+	if s.pseudoHosts[addr] {
+		s.mu.Unlock()
 		return
 	}
-	m.pseudoHosts[addr] = true
-	m.stats.PseudoFiltered++
-	for key := range m.known {
+	s.pseudoHosts[addr] = true
+	for key := range s.known {
 		if key.addr == addr {
-			delete(m.known, key)
+			delete(s.known, key)
 		}
 	}
+	s.mu.Unlock()
+	m.pseudoFiltered.Add(1)
 	m.index.Remove(addr.String())
 }
 
-// refreshDue re-interrogates services whose refresh cadence has elapsed.
+// refreshDue collects services whose refresh cadence has elapsed and
+// enqueues them in canonical (addr, port, transport) order — the map
+// iteration order over per-shard known sets must not leak into the probe
+// sequence.
 func (m *Map) refreshDue(now time.Time) {
 	m.pruneExclusions(now)
-	for key, last := range m.known {
-		if now.Sub(last) < m.cfg.RefreshEvery {
-			continue
+	var due []slotKey
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for key, last := range s.known {
+			if now.Sub(last) < m.cfg.RefreshEvery {
+				continue
+			}
+			due = append(due, key)
 		}
+		s.mu.Unlock()
+	}
+	sort.Slice(due, func(i, j int) bool {
+		if due[i].addr != due[j].addr {
+			return due[i].addr.Less(due[j].addr)
+		}
+		if due[i].port != due[j].port {
+			return due[i].port < due[j].port
+		}
+		return due[i].transport < due[j].transport
+	})
+	for _, key := range due {
 		if m.excludedAddr(key.addr) {
 			continue
 		}
-		m.stats.RefreshScans++
-		m.refreshSlot(key, now)
+		s := m.shardFor(key.addr)
+		s.mu.Lock()
+		udp := s.udpProto[key]
+		s.mu.Unlock()
+		m.enqueue(pendingTask{kind: taskRefresh, cand: discovery.Candidate{
+			Addr: key.addr, Port: key.port, Transport: key.transport,
+			Method: entity.DetectRefresh, Time: now, UDPProtocol: udp,
+		}})
 	}
 }
 
 // refreshSlot retries across PoPs: the slot only registers as failed if no
 // vantage point can reach it.
-func (m *Map) refreshSlot(key slotKey, now time.Time) {
+func (m *Map) refreshSlot(s *stateShard, key slotKey, udpProto string, now time.Time) {
 	cand := discovery.Candidate{
 		Addr: key.addr, Port: key.port, Transport: key.transport,
 		Method: entity.DetectRefresh, Time: now,
-		UDPProtocol: m.udpProto[key],
+		UDPProtocol: udpProto,
 	}
 	for _, pop := range m.pops {
 		cand.PoP = pop.Name
 		in := m.inter[pop.Name]
-		m.stats.Interrogations++
+		m.interrogations.Add(1)
 		obs := in.Interrogate(cand, now)
 		if obs.Success {
-			m.apply(obs, cand, now)
+			m.apply(s, obs, cand, now)
 			return
 		}
 	}
 	// All PoPs failed: record the failure (starts/advances eviction).
 	cand.PoP = m.pops[0].Name
 	obs := m.inter[cand.PoP].Interrogate(cand, now)
-	m.apply(obs, cand, now)
+	m.apply(s, obs, cand, now)
 }
 
-// runPrediction probes model-recommended locations.
+// runPrediction probes model-recommended locations (serially — the L4
+// probes are cheap) and enqueues responsive ones for interrogation.
 func (m *Map) runPrediction(now time.Time) {
 	targets := m.predictor.Recommend(now, m.cfg.PredictBudgetPerTick)
 	scanner := simnet.Scanner{ID: m.cfg.ScannerID, SourceIPs: m.cfg.SourceIPs,
@@ -530,33 +802,40 @@ func (m *Map) runPrediction(now time.Time) {
 		if m.excludedAddr(t.Addr) {
 			continue
 		}
-		m.stats.PredictiveProbes++
+		m.predictiveProbes.Add(1)
 		if m.net.ProbeTCP(scanner, t.Addr, t.Port) != simnet.Open {
 			continue
 		}
 		c := discovery.Candidate{Addr: t.Addr, Port: t.Port, Transport: t.Transport,
 			Method: entity.DetectPredicted, PoP: m.pops[0].Name, Time: now}
-		m.handleCandidate(c, now)
+		m.enqueue(pendingTask{cand: c, kind: taskCandidate})
 	}
 }
 
 // runReinjection retries recently evicted services.
 func (m *Map) runReinjection(now time.Time) {
 	for _, t := range m.predictor.Reinjections(now) {
+		s := m.shardFor(t.Addr)
+		key := slotKey{t.Addr, t.Port, t.Transport}
+		s.mu.Lock()
+		udp := s.udpProto[key]
+		s.mu.Unlock()
 		c := discovery.Candidate{Addr: t.Addr, Port: t.Port, Transport: t.Transport,
 			Method: entity.DetectReinjected, PoP: m.pops[0].Name, Time: now,
-			UDPProtocol: m.udpProto[slotKey{t.Addr, t.Port, t.Transport}]}
-		m.interrogate(c, now)
+			UDPProtocol: udp}
+		m.enqueue(pendingTask{cand: c, kind: taskDirect})
 	}
 }
 
-// consumeEvent maintains the search index from write-side events.
+// consumeEvent maintains the search index from write-side events. It runs
+// serially on the draining goroutine, in the deterministic merged shard
+// order Drain guarantees.
 func (m *Map) consumeEvent(ev cqrs.OutEvent) {
 	addr, err := netip.ParseAddr(ev.Entity)
 	if err != nil {
 		return
 	}
-	if m.pseudoHosts[addr] {
+	if m.isPseudo(addr) {
 		return
 	}
 	h := m.processor.CurrentState(ev.Entity)

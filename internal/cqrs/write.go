@@ -2,11 +2,14 @@ package cqrs
 
 import (
 	"net/netip"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"censysmap/internal/entity"
 	"censysmap/internal/journal"
+	"censysmap/internal/shard"
 )
 
 // Observation is the write-side command: the outcome of one service
@@ -48,6 +51,10 @@ type Config struct {
 	// SnapshotEvery bounds replay length: a snapshot is journaled after
 	// this many delta events per entity.
 	SnapshotEvery int
+	// Shards is the number of independently locked state shards. Entities
+	// are routed by a stable hash of their ID, so one entity's state, queue
+	// position, and journal rows always live on one shard. <= 0 means 1.
+	Shards int
 }
 
 // DefaultConfig matches the paper's production choices.
@@ -55,12 +62,11 @@ func DefaultConfig() Config {
 	return Config{EvictAfter: 72 * time.Hour, SnapshotEvery: 16}
 }
 
-// Processor is the write side: it turns observations into journaled deltas
-// and maintains the authoritative current state used for diffing.
-type Processor struct {
-	mu      sync.Mutex
-	cfg     Config
-	journal *journal.Store
+// procShard is one independently locked slice of the write side. All state
+// for an entity lives on exactly one shard, so Apply calls for different
+// entities on different shards never contend.
+type procShard struct {
+	mu sync.Mutex
 	// state is the write-side current state per entity; it is exactly what
 	// snapshot+replay reconstructs, kept materialized for O(1) diffing.
 	state map[string]*entity.Host
@@ -71,12 +77,23 @@ type Processor struct {
 	// defeat delta encoding if journaled.
 	lastSeen map[string]map[string]time.Time
 
-	queue       []OutEvent
+	queue []OutEvent
+}
+
+// Processor is the write side: it turns observations into journaled deltas
+// and maintains the authoritative current state used for diffing. It is
+// sharded by entity ID and safe for concurrent Apply calls.
+type Processor struct {
+	cfg     Config
+	journal *journal.Store
+	shards  []*procShard
+
+	subMu       sync.RWMutex
 	subscribers []func(OutEvent)
 
 	// Counters for evaluation.
-	observations uint64
-	noChange     uint64
+	observations atomic.Uint64
+	noChange     atomic.Uint64
 }
 
 // NewProcessor creates a write-side processor over the given journal.
@@ -87,53 +104,69 @@ func NewProcessor(cfg Config, j *journal.Store) *Processor {
 	if cfg.SnapshotEvery <= 0 {
 		cfg.SnapshotEvery = 16
 	}
-	return &Processor{
-		cfg:       cfg,
-		journal:   j,
-		state:     make(map[string]*entity.Host),
-		sinceSnap: make(map[string]int),
-		lastSeen:  make(map[string]map[string]time.Time),
+	if cfg.Shards < 1 {
+		cfg.Shards = 1
 	}
+	p := &Processor{cfg: cfg, journal: j, shards: make([]*procShard, cfg.Shards)}
+	for i := range p.shards {
+		p.shards[i] = &procShard{
+			state:     make(map[string]*entity.Host),
+			sinceSnap: make(map[string]int),
+			lastSeen:  make(map[string]map[string]time.Time),
+		}
+	}
+	return p
 }
 
 // Journal returns the underlying event journal.
 func (p *Processor) Journal() *journal.Store { return p.journal }
 
+// Shards reports the shard count.
+func (p *Processor) Shards() int { return len(p.shards) }
+
+func (p *Processor) shardFor(id string) *procShard {
+	return p.shards[shard.Of(id, len(p.shards))]
+}
+
 // Subscribe registers an async consumer of write-side events. Subscribers
 // run when Drain is called, mirroring the paper's queue-decoupled
 // asynchronous event processing.
 func (p *Processor) Subscribe(fn func(OutEvent)) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
+	p.subMu.Lock()
+	defer p.subMu.Unlock()
 	p.subscribers = append(p.subscribers, fn)
 }
 
 // Apply processes one observation: retrieve state, diff, journal the delta,
-// enqueue the event (the four write-side steps of §5.2).
+// enqueue the event (the four write-side steps of §5.2). Concurrent calls
+// for entities on different shards proceed in parallel; calls for one
+// entity serialize on its shard lock.
 func (p *Processor) Apply(obs Observation) error {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.observations++
+	p.observations.Add(1)
 
 	id := obs.Addr.String()
-	h := p.state[id]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	h := s.state[id]
 	if h == nil {
 		h = entity.NewHost(obs.Addr)
-		p.state[id] = h
+		s.state[id] = h
 	}
 	key := obs.Key()
 	existing := h.Service(key)
 
 	switch {
 	case obs.Success && obs.Service != nil:
-		p.touch(id, key, obs.Time)
+		s.touch(id, key, obs.Time)
 		svc := obs.Service.Clone()
 		svc.LastSeen = obs.Time
 		svc.SourcePoP = obs.PoP
 		if existing == nil {
 			svc.FirstSeen = obs.Time
 			svc.Method = obs.Method
-			return p.emit(h, obs.Time, KindServiceFound, svc)
+			return p.emit(s, h, obs.Time, KindServiceFound, svc)
 		}
 		svc.FirstSeen = existing.FirstSeen
 		svc.Method = existing.Method
@@ -143,7 +176,7 @@ func (p *Processor) Apply(obs Observation) error {
 			// Nothing is journaled; only liveness bookkeeping moves.
 			existing.LastSeen = obs.Time
 			existing.SourcePoP = obs.PoP
-			p.noChange++
+			p.noChange.Add(1)
 			return nil
 		}
 		svc.PendingRemovalSince = nil
@@ -151,18 +184,18 @@ func (p *Processor) Apply(obs Observation) error {
 		if wasPending && existing.ConfigEqual(svc) {
 			kind = KindServiceRestored
 		}
-		return p.emit(h, obs.Time, kind, svc)
+		return p.emit(s, h, obs.Time, kind, svc)
 
 	case !obs.Success && existing != nil:
 		if existing.PendingRemovalSince == nil {
 			// First failed refresh: start the eviction timer.
 			since := obs.Time
 			existing.PendingRemovalSince = &since
-			return p.emitKey(h, obs.Time, KindServicePending, key, since)
+			return p.emitKey(s, h, obs.Time, KindServicePending, key, since)
 		}
 		if obs.Time.Sub(*existing.PendingRemovalSince) >= p.cfg.EvictAfter {
 			h.RemoveService(key)
-			return p.emitKey(h, obs.Time, KindServiceRemoved, key, *existing.PendingRemovalSince)
+			return p.emitKey(s, h, obs.Time, KindServiceRemoved, key, *existing.PendingRemovalSince)
 		}
 		return nil // still inside the grace window
 
@@ -171,17 +204,18 @@ func (p *Processor) Apply(obs Observation) error {
 	}
 }
 
-func (p *Processor) touch(id string, key entity.ServiceKey, t time.Time) {
-	m := p.lastSeen[id]
+func (s *procShard) touch(id string, key entity.ServiceKey, t time.Time) {
+	m := s.lastSeen[id]
 	if m == nil {
 		m = make(map[string]time.Time)
-		p.lastSeen[id] = m
+		s.lastSeen[id] = m
 	}
 	m[key.String()] = t
 }
 
-// emit journals a service-carrying delta and updates write-side state.
-func (p *Processor) emit(h *entity.Host, t time.Time, kind string, svc *entity.Service) error {
+// emit journals a service-carrying delta and updates write-side state. The
+// caller holds the shard lock.
+func (p *Processor) emit(s *procShard, h *entity.Host, t time.Time, kind string, svc *entity.Service) error {
 	if _, err := p.journal.Append(h.ID(), t, kind, EncodeServiceEvent(svc)); err != nil {
 		return err
 	}
@@ -189,44 +223,53 @@ func (p *Processor) emit(h *entity.Host, t time.Time, kind string, svc *entity.S
 	if t.After(h.LastUpdated) {
 		h.LastUpdated = t
 	}
-	p.afterAppend(h, t)
-	p.queue = append(p.queue, OutEvent{Entity: h.ID(), Kind: kind, Time: t, Service: svc, Key: svc.Key()})
+	p.afterAppend(s, h, t)
+	s.queue = append(s.queue, OutEvent{Entity: h.ID(), Kind: kind, Time: t, Service: svc, Key: svc.Key()})
 	return nil
 }
 
-// emitKey journals a key-only delta (pending/removed).
-func (p *Processor) emitKey(h *entity.Host, t time.Time, kind string, key entity.ServiceKey, since time.Time) error {
+// emitKey journals a key-only delta (pending/removed). The caller holds the
+// shard lock.
+func (p *Processor) emitKey(s *procShard, h *entity.Host, t time.Time, kind string, key entity.ServiceKey, since time.Time) error {
 	if _, err := p.journal.Append(h.ID(), t, kind, EncodeKeyEvent(key, since)); err != nil {
 		return err
 	}
 	if t.After(h.LastUpdated) {
 		h.LastUpdated = t
 	}
-	p.afterAppend(h, t)
-	p.queue = append(p.queue, OutEvent{Entity: h.ID(), Kind: kind, Time: t, Key: key})
+	p.afterAppend(s, h, t)
+	s.queue = append(s.queue, OutEvent{Entity: h.ID(), Kind: kind, Time: t, Key: key})
 	return nil
 }
 
-// afterAppend maintains snapshot cadence.
-func (p *Processor) afterAppend(h *entity.Host, t time.Time) {
+// afterAppend maintains snapshot cadence. The caller holds the shard lock.
+func (p *Processor) afterAppend(s *procShard, h *entity.Host, t time.Time) {
 	id := h.ID()
-	p.sinceSnap[id]++
-	if p.sinceSnap[id] >= p.cfg.SnapshotEvery {
+	s.sinceSnap[id]++
+	if s.sinceSnap[id] >= p.cfg.SnapshotEvery {
 		if _, err := p.journal.AppendSnapshot(id, t, EncodeHostSnapshot(h)); err == nil {
-			p.sinceSnap[id] = 0
+			s.sinceSnap[id] = 0
 		}
 	}
 }
 
-// Drain dispatches queued events to subscribers and returns how many were
-// processed.
+// Drain fans in the shard queues and dispatches queued events to
+// subscribers, returning how many were processed. Events are delivered in a
+// deterministic merged order — shard index first, then each shard's queue in
+// sequence — so the read-model update order never depends on goroutine
+// scheduling during the preceding Apply calls.
 func (p *Processor) Drain() int {
-	p.mu.Lock()
-	events := p.queue
-	p.queue = nil
+	var events []OutEvent
+	for _, s := range p.shards {
+		s.mu.Lock()
+		events = append(events, s.queue...)
+		s.queue = nil
+		s.mu.Unlock()
+	}
+	p.subMu.RLock()
 	subs := make([]func(OutEvent), len(p.subscribers))
 	copy(subs, p.subscribers)
-	p.mu.Unlock()
+	p.subMu.RUnlock()
 	for _, ev := range events {
 		for _, fn := range subs {
 			fn(ev)
@@ -235,44 +278,53 @@ func (p *Processor) Drain() int {
 	return len(events)
 }
 
-// QueueLen reports pending async events.
+// QueueLen reports pending async events across all shards.
 func (p *Processor) QueueLen() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return len(p.queue)
+	n := 0
+	for _, s := range p.shards {
+		s.mu.Lock()
+		n += len(s.queue)
+		s.mu.Unlock()
+	}
+	return n
 }
 
 // CurrentState returns the write side's materialized state for an entity
 // (cloned), or nil. This backs the fast current-state lookup path.
 func (p *Processor) CurrentState(id string) *entity.Host {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.state[id].Clone()
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.state[id].Clone()
 }
 
 // LastSeen reports the most recent successful observation of a slot.
 func (p *Processor) LastSeen(id string, key entity.ServiceKey) (time.Time, bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	t, ok := p.lastSeen[id][key.String()]
+	s := p.shardFor(id)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.lastSeen[id][key.String()]
 	return t, ok
 }
 
-// EntityIDs lists entities with materialized state, in map order.
+// EntityIDs lists entities with materialized state, sorted. Sorting is load
+// bearing: eval and snapshot consumers iterate this list, and map order
+// would leak nondeterminism into their output.
 func (p *Processor) EntityIDs() []string {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	out := make([]string, 0, len(p.state))
-	for id := range p.state {
-		out = append(out, id)
+	var out []string
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for id := range s.state {
+			out = append(out, id)
+		}
+		s.mu.Unlock()
 	}
+	sort.Strings(out)
 	return out
 }
 
 // Stats reports write-side counters: total observations and how many were
 // no-change refreshes (the delta-encoding win).
 func (p *Processor) Stats() (observations, noChange uint64) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.observations, p.noChange
+	return p.observations.Load(), p.noChange.Load()
 }

@@ -15,6 +15,7 @@ package interro
 import (
 	"io"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"censysmap/internal/cqrs"
@@ -24,12 +25,18 @@ import (
 	"censysmap/internal/simnet"
 )
 
-// Interrogator performs Phase 2 scans against the synthetic Internet.
+// Interrogator performs Phase 2 scans against the synthetic Internet. One
+// interrogator per PoP is shared by all interrogation workers, so its
+// counters are atomic; the detection ladder itself is stateless per call.
 type Interrogator struct {
 	net *simnet.Internet
 	// Scanner identifies the engine to the network.
 	Scanner simnet.Scanner
-	stats   Stats
+
+	attempts   atomic.Uint64
+	noContact  atomic.Uint64
+	identified atomic.Uint64
+	unknown    atomic.Uint64
 }
 
 // Stats counts interrogation outcomes.
@@ -46,13 +53,20 @@ func New(net *simnet.Internet, scanner simnet.Scanner) *Interrogator {
 }
 
 // Stats returns cumulative counters.
-func (i *Interrogator) Stats() Stats { return i.stats }
+func (i *Interrogator) Stats() Stats {
+	return Stats{
+		Attempts:   i.attempts.Load(),
+		NoContact:  i.noContact.Load(),
+		Identified: i.identified.Load(),
+		Unknown:    i.unknown.Load(),
+	}
+}
 
 // Interrogate turns one candidate into a write-side observation. A candidate
 // that no longer answers yields an unsuccessful observation, which is what
 // drives pending-removal for known services.
 func (i *Interrogator) Interrogate(cand discovery.Candidate, now time.Time) cqrs.Observation {
-	i.stats.Attempts++
+	i.attempts.Add(1)
 	obs := cqrs.Observation{
 		Addr: cand.Addr, Port: cand.Port, Transport: cand.Transport,
 		Time: now, PoP: cand.PoP, Method: cand.Method,
@@ -66,13 +80,13 @@ func (i *Interrogator) Interrogate(cand discovery.Candidate, now time.Time) cqrs
 		res = i.interrogateTCP(sc, cand)
 	}
 	if res == nil {
-		i.stats.NoContact++
+		i.noContact.Add(1)
 		return obs
 	}
 	if res.Complete {
-		i.stats.Identified++
+		i.identified.Add(1)
 	} else {
-		i.stats.Unknown++
+		i.unknown.Add(1)
 	}
 	obs.Success = true
 	obs.Service = buildService(cand, res)

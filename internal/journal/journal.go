@@ -11,6 +11,11 @@
 //     snapshot cadence bounds worst-case read amplification;
 //   - the current state is always reachable from SSD, while the bulk of
 //     history lives on HDD (500 TB/year at Censys' scale).
+//
+// The store is partitioned: rows are striped over N independently locked
+// partitions by a stable hash of the entity ID, so concurrent appends for
+// different entities do not serialize on one mutex. NewStore gives a single
+// partition (the original serial layout); NewPartitioned stripes wider.
 package journal
 
 import (
@@ -18,6 +23,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"censysmap/internal/shard"
 )
 
 // Event is one journal row.
@@ -43,7 +50,8 @@ const SnapshotKind = "snapshot"
 var ErrOutOfOrder = errors.New("journal: append out of time order")
 
 // Stats describes storage and access counters, used by the tiering and
-// delta-encoding ablations.
+// delta-encoding ablations. For a partitioned store the counters are
+// aggregated across partitions.
 type Stats struct {
 	Entities     int
 	SSDEvents    int
@@ -65,9 +73,8 @@ type row struct {
 	nextSeq  uint64
 }
 
-// Store is an in-memory two-tier event journal. It is safe for concurrent
-// use.
-type Store struct {
+// partition is one independently locked stripe of the journal.
+type partition struct {
 	mu   sync.RWMutex
 	rows map[string]*row
 
@@ -76,25 +83,51 @@ type Store struct {
 	appends, snaps     uint64
 }
 
-// NewStore creates an empty journal.
-func NewStore() *Store {
-	return &Store{rows: make(map[string]*row)}
+// Store is an in-memory two-tier event journal, striped over one or more
+// partitions. It is safe for concurrent use; appends for entities in
+// different partitions proceed in parallel.
+type Store struct {
+	parts []*partition
 }
 
-func (s *Store) row(entity string) *row {
-	r, ok := s.rows[entity]
+// NewStore creates an empty single-partition journal.
+func NewStore() *Store { return NewPartitioned(1) }
+
+// NewPartitioned creates an empty journal striped over n partitions
+// (n <= 1 gives one partition).
+func NewPartitioned(n int) *Store {
+	if n < 1 {
+		n = 1
+	}
+	s := &Store{parts: make([]*partition, n)}
+	for i := range s.parts {
+		s.parts[i] = &partition{rows: make(map[string]*row)}
+	}
+	return s
+}
+
+// Partitions reports the stripe count.
+func (s *Store) Partitions() int { return len(s.parts) }
+
+func (s *Store) part(entity string) *partition {
+	return s.parts[shard.Of(entity, len(s.parts))]
+}
+
+func (p *partition) row(entity string) *row {
+	r, ok := p.rows[entity]
 	if !ok {
 		r = &row{lastSnap: -1}
-		s.rows[entity] = r
+		p.rows[entity] = r
 	}
 	return r
 }
 
 // Append adds a delta event for entity and returns its sequence number.
 func (s *Store) Append(entity string, t time.Time, kind string, payload []byte) (uint64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r := s.row(entity)
+	p := s.part(entity)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r := p.row(entity)
 	if n := len(r.ssd); n > 0 && t.Before(r.ssd[n-1].Time) {
 		return 0, ErrOutOfOrder
 	}
@@ -107,10 +140,10 @@ func (s *Store) Append(entity string, t time.Time, kind string, payload []byte) 
 	r.ssd = append(r.ssd, ev)
 	if kind == SnapshotKind {
 		r.lastSnap = len(r.ssd) - 1
-		s.snaps++
+		p.snaps++
 	}
-	s.ssdBytes += int64(len(payload))
-	s.appends++
+	p.ssdBytes += int64(len(payload))
+	p.appends++
 	return seq, nil
 }
 
@@ -122,9 +155,10 @@ func (s *Store) AppendSnapshot(entity string, t time.Time, payload []byte) (uint
 // EventsSinceSnapshot reports how many delta events follow the entity's
 // latest snapshot (the replay length for a current-state read).
 func (s *Store) EventsSinceSnapshot(entity string) int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.rows[entity]
+	p := s.part(entity)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	r, ok := p.rows[entity]
 	if !ok {
 		return 0
 	}
@@ -139,9 +173,10 @@ func (s *Store) EventsSinceSnapshot(entity string) int {
 // asOf, in order. Callers apply the deltas to the snapshot to reconstruct
 // entity state at asOf — the paper's read-side lookup path.
 func (s *Store) Replay(entity string, asOf time.Time) (snapshot Event, deltas []Event, found bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.rows[entity]
+	p := s.part(entity)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	r, ok := p.rows[entity]
 	if !ok {
 		return Event{}, nil, false
 	}
@@ -168,10 +203,10 @@ func (s *Store) Replay(entity string, asOf time.Time) (snapshot Event, deltas []
 			snapIdx = i
 			break
 		}
-		s.countRead(i < hddLen)
+		p.countRead(i < hddLen)
 	}
 	if snapIdx >= 0 {
-		s.countRead(snapIdx < hddLen)
+		p.countRead(snapIdx < hddLen)
 		snapshot = window[snapIdx]
 		found = true
 		deltas = append(deltas, window[snapIdx+1:]...)
@@ -182,20 +217,21 @@ func (s *Store) Replay(entity string, asOf time.Time) (snapshot Event, deltas []
 	return Event{}, deltas, true
 }
 
-func (s *Store) countRead(hdd bool) {
+func (p *partition) countRead(hdd bool) {
 	if hdd {
-		s.hddReads++
+		p.hddReads++
 	} else {
-		s.ssdReads++
+		p.ssdReads++
 	}
 }
 
 // Events returns every event for entity (HDD then SSD), for diagnostics and
 // history queries.
 func (s *Store) Events(entity string) []Event {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	r, ok := s.rows[entity]
+	p := s.part(entity)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	r, ok := p.rows[entity]
 	if !ok {
 		return nil
 	}
@@ -204,13 +240,15 @@ func (s *Store) Events(entity string) []Event {
 	return append(out, r.ssd...)
 }
 
-// Entities returns all row keys, sorted.
+// Entities returns all row keys across partitions, sorted.
 func (s *Store) Entities() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.rows))
-	for k := range s.rows {
-		out = append(out, k)
+	var out []string
+	for _, p := range s.parts {
+		p.mu.RLock()
+		for k := range p.rows {
+			out = append(out, k)
+		}
+		p.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -221,48 +259,54 @@ func (s *Store) Entities() []string {
 // bulk of history ages onto cheap disks. It returns the number of events
 // moved.
 func (s *Store) Migrate() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	moved := 0
-	for _, r := range s.rows {
-		if r.lastSnap <= 0 {
-			continue
+	for _, p := range s.parts {
+		p.mu.Lock()
+		for _, r := range p.rows {
+			if r.lastSnap <= 0 {
+				continue
+			}
+			old := r.ssd[:r.lastSnap]
+			for _, ev := range old {
+				p.ssdBytes -= int64(len(ev.Payload))
+				p.hddBytes += int64(len(ev.Payload))
+			}
+			r.hdd = append(r.hdd, old...)
+			rest := make([]Event, len(r.ssd)-r.lastSnap)
+			copy(rest, r.ssd[r.lastSnap:])
+			r.ssd = rest
+			r.lastSnap = 0
+			moved += len(old)
 		}
-		old := r.ssd[:r.lastSnap]
-		for _, ev := range old {
-			s.ssdBytes -= int64(len(ev.Payload))
-			s.hddBytes += int64(len(ev.Payload))
-		}
-		r.hdd = append(r.hdd, old...)
-		rest := make([]Event, len(r.ssd)-r.lastSnap)
-		copy(rest, r.ssd[r.lastSnap:])
-		r.ssd = rest
-		r.lastSnap = 0
-		moved += len(old)
+		p.mu.Unlock()
 	}
 	return moved
 }
 
-// Stats returns storage and access counters.
+// Stats returns storage and access counters aggregated over partitions.
 func (s *Store) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	st := Stats{
-		Entities: len(s.rows),
-		SSDBytes: s.ssdBytes, HDDBytes: s.hddBytes,
-		SSDReads: s.ssdReads, HDDReads: s.hddReads,
-		Appends: s.appends, Snapshots: s.snaps,
-	}
-	for _, r := range s.rows {
-		st.SSDEvents += len(r.ssd)
-		st.HDDEvents += len(r.hdd)
-		replay := len(r.ssd) + len(r.hdd)
-		if r.lastSnap >= 0 {
-			replay = len(r.ssd) - r.lastSnap - 1
+	var st Stats
+	for _, p := range s.parts {
+		p.mu.RLock()
+		st.Entities += len(p.rows)
+		st.SSDBytes += p.ssdBytes
+		st.HDDBytes += p.hddBytes
+		st.SSDReads += p.ssdReads
+		st.HDDReads += p.hddReads
+		st.Appends += p.appends
+		st.Snapshots += p.snaps
+		for _, r := range p.rows {
+			st.SSDEvents += len(r.ssd)
+			st.HDDEvents += len(r.hdd)
+			replay := len(r.ssd) + len(r.hdd)
+			if r.lastSnap >= 0 {
+				replay = len(r.ssd) - r.lastSnap - 1
+			}
+			if replay > st.MaxReplayLen {
+				st.MaxReplayLen = replay
+			}
 		}
-		if replay > st.MaxReplayLen {
-			st.MaxReplayLen = replay
-		}
+		p.mu.RUnlock()
 	}
 	return st
 }

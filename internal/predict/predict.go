@@ -19,6 +19,7 @@ package predict
 import (
 	"net/netip"
 	"sort"
+	"sync"
 	"time"
 
 	"censysmap/internal/entity"
@@ -56,8 +57,12 @@ func DefaultConfig() Config {
 	}
 }
 
-// Engine is the predictive model state.
+// Engine is the predictive model state. It is fed concurrently by the
+// interrogation workers, so all methods lock; hosts are kept address-sorted
+// so the Recommend rotation order never depends on observation arrival
+// order.
 type Engine struct {
+	mu  sync.Mutex
 	cfg Config
 
 	// net24Ports counts confirmed services per (/24, port).
@@ -98,6 +103,8 @@ func New(cfg Config) *Engine {
 // Observe feeds one confirmed service into the models. Call it for every
 // interrogation that verified a service (from any scan class).
 func (e *Engine) Observe(addr netip.Addr, port uint16, transport entity.Transport) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	n24 := net24(addr)
 	m := e.net24Ports[n24]
 	if m == nil {
@@ -110,7 +117,12 @@ func (e *Engine) Observe(addr netip.Addr, port uint16, transport entity.Transpor
 	if hp == nil {
 		hp = make(map[uint16]entity.Transport)
 		e.hostPorts[addr] = hp
-		e.hosts = append(e.hosts, addr)
+		// Sorted insert: the rotation order over hosts must be a function of
+		// which hosts are known, not of the order observations arrived in.
+		i := sort.Search(len(e.hosts), func(i int) bool { return !e.hosts[i].Less(addr) })
+		e.hosts = append(e.hosts, netip.Addr{})
+		copy(e.hosts[i+1:], e.hosts[i:])
+		e.hosts[i] = addr
 	}
 	if _, known := hp[port]; !known {
 		for q := range hp {
@@ -134,11 +146,17 @@ func (e *Engine) bump(q, p uint16) {
 }
 
 // KnownHosts reports how many hosts the model has seen.
-func (e *Engine) KnownHosts() int { return len(e.hosts) }
+func (e *Engine) KnownHosts() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.hosts)
+}
 
 // Recommend returns up to budget probable service locations not currently
 // known, rotating across learned hosts. Recommendations honour the cooldown.
 func (e *Engine) Recommend(now time.Time, budget int) []Target {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var out []Target
 	if len(e.hosts) == 0 || budget <= 0 {
 		return nil
@@ -245,6 +263,8 @@ func topPorts(m map[uint16]int, k int) []portCount {
 
 // RecordEvicted queues an evicted service for re-injection.
 func (e *Engine) RecordEvicted(addr netip.Addr, port uint16, transport entity.Transport, now time.Time) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	tgt := Target{Addr: addr, Port: port, Transport: transport, Reason: "reinject"}
 	e.evicted[tgt] = evictedEntry{at: now}
 	// The service is no longer known on the host model.
@@ -256,6 +276,8 @@ func (e *Engine) RecordEvicted(addr netip.Addr, port uint16, transport entity.Tr
 // Reinjections returns evicted services due for a retry: each is retried on
 // the ReinjectEvery cadence until ReinjectFor has elapsed since eviction.
 func (e *Engine) Reinjections(now time.Time) []Target {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	var out []Target
 	for tgt, entry := range e.evicted {
 		if now.Sub(entry.at) > e.cfg.ReinjectFor {
@@ -280,11 +302,17 @@ func (e *Engine) Reinjections(now time.Time) []Target {
 
 // Resolve removes a target from the re-injection queue (it was found again).
 func (e *Engine) Resolve(addr netip.Addr, port uint16, transport entity.Transport) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
 	delete(e.evicted, Target{Addr: addr, Port: port, Transport: transport, Reason: "reinject"})
 }
 
 // PendingReinjections reports the queue size.
-func (e *Engine) PendingReinjections() int { return len(e.evicted) }
+func (e *Engine) PendingReinjections() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.evicted)
+}
 
 func net24(a netip.Addr) netip.Addr {
 	b := a.As4()

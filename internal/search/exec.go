@@ -28,11 +28,20 @@ func (ix *Index) SearchHosts(query string) ([]*entity.Host, error) {
 	return out, nil
 }
 
-// Execute runs a compiled query.
+// Execute runs a compiled query. Partitions hold disjoint document sets and
+// every query operator is a per-document predicate, so the query is
+// evaluated independently against each partition and the results unioned —
+// the merged query path over the sharded index.
 func (ix *Index) Execute(q *Query) []string {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return sortedIDs(ix.eval(q.root))
+	merged := make(map[string]struct{})
+	for _, p := range ix.parts {
+		p.mu.RLock()
+		for id := range p.eval(q.root) {
+			merged[id] = struct{}{}
+		}
+		p.mu.RUnlock()
+	}
+	return sortedIDs(merged)
 }
 
 // Count returns the number of matches.
@@ -44,14 +53,14 @@ func (ix *Index) Count(query string) (int, error) {
 	return len(ids), nil
 }
 
-func (ix *Index) eval(n queryNode) map[string]struct{} {
+func (p *indexPart) eval(n queryNode) map[string]struct{} {
 	switch t := n.(type) {
 	case termNode:
-		return ix.evalTerm(t)
+		return p.evalTerm(t)
 	case andNode:
 		var acc map[string]struct{}
 		for _, c := range t.children {
-			set := ix.eval(c)
+			set := p.eval(c)
 			if acc == nil {
 				acc = set
 				continue
@@ -65,14 +74,14 @@ func (ix *Index) eval(n queryNode) map[string]struct{} {
 	case orNode:
 		acc := make(map[string]struct{})
 		for _, c := range t.children {
-			for id := range ix.eval(c) {
+			for id := range p.eval(c) {
 				acc[id] = struct{}{}
 			}
 		}
 		return acc
 	case notNode:
-		all := ix.allDocs()
-		for id := range ix.eval(t.child) {
+		all := p.allDocs()
+		for id := range p.eval(t.child) {
 			delete(all, id)
 		}
 		return all
@@ -81,18 +90,18 @@ func (ix *Index) eval(n queryNode) map[string]struct{} {
 	}
 }
 
-func (ix *Index) evalTerm(t termNode) map[string]struct{} {
+func (p *indexPart) evalTerm(t termNode) map[string]struct{} {
 	switch {
 	case t.isRange:
-		return ix.lookupRange(t.field, t.lo, t.hi)
+		return p.lookupRange(t.field, t.lo, t.hi)
 	case t.prefix:
-		return ix.lookupPrefix(t.field, t.value)
+		return p.lookupPrefix(t.field, t.value)
 	case t.phrase:
-		return ix.lookupPhrase(t.field, t.value)
+		return p.lookupPhrase(t.field, t.value)
 	case t.field == "":
-		return ix.lookupBare(t.value)
+		return p.lookupBare(t.value)
 	default:
-		return ix.lookupTerm(t.field, t.value)
+		return p.lookupTerm(t.field, t.value)
 	}
 }
 

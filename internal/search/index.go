@@ -11,12 +11,26 @@ import (
 	"sync"
 
 	"censysmap/internal/entity"
+	"censysmap/internal/shard"
 )
 
 // Index is the searchable view of current entity state. It is maintained
 // incrementally from write-side events (hosts are upserted as they change
 // and removed as they disappear) and is safe for concurrent use.
+//
+// The index is partitioned: documents are striped over N independently
+// locked partitions by a stable hash of the entity ID (the same routing the
+// CQRS processor and journal use), so index maintenance driven from
+// different processor shards does not serialize on one lock. Queries
+// evaluate per partition and merge — every query operator is a per-document
+// predicate, so a union of per-partition results is exactly the global
+// result.
 type Index struct {
+	parts []*indexPart
+}
+
+// indexPart is one independently locked stripe of the index.
+type indexPart struct {
 	mu   sync.RWMutex
 	docs map[string]*document
 	// inverted maps field -> token -> docID set.
@@ -33,12 +47,30 @@ type document struct {
 	host    *entity.Host
 }
 
-// NewIndex creates an empty index.
-func NewIndex() *Index {
-	return &Index{
-		docs:     make(map[string]*document),
-		inverted: make(map[string]map[string]map[string]struct{}),
+// NewIndex creates an empty single-partition index.
+func NewIndex() *Index { return NewPartitioned(1) }
+
+// NewPartitioned creates an empty index striped over n partitions
+// (n <= 1 gives one partition).
+func NewPartitioned(n int) *Index {
+	if n < 1 {
+		n = 1
 	}
+	ix := &Index{parts: make([]*indexPart, n)}
+	for i := range ix.parts {
+		ix.parts[i] = &indexPart{
+			docs:     make(map[string]*document),
+			inverted: make(map[string]map[string]map[string]struct{}),
+		}
+	}
+	return ix
+}
+
+// Partitions reports the stripe count.
+func (ix *Index) Partitions() int { return len(ix.parts) }
+
+func (ix *Index) part(id string) *indexPart {
+	return ix.parts[shard.Of(id, len(ix.parts))]
 }
 
 // textFields are searched by bare (fieldless) terms.
@@ -118,9 +150,10 @@ func Flatten(h *entity.Host) map[string][]string {
 // Upsert indexes (or reindexes) a host's current state.
 func (ix *Index) Upsert(h *entity.Host) {
 	id := h.ID()
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.removeLocked(id)
+	p := ix.part(id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.removeLocked(id)
 	doc := &document{id: id, fields: Flatten(h),
 		numbers: make(map[string][]int64), host: h.Clone()}
 	for field, values := range doc.fields {
@@ -129,18 +162,18 @@ func (ix *Index) Upsert(h *entity.Host) {
 				doc.numbers[field] = append(doc.numbers[field], n)
 			}
 			for _, tok := range Tokenize(v) {
-				ix.post(field, tok, id)
+				p.post(field, tok, id)
 			}
 		}
 	}
-	ix.docs[id] = doc
+	p.docs[id] = doc
 }
 
-func (ix *Index) post(field, token, id string) {
-	byTok := ix.inverted[field]
+func (p *indexPart) post(field, token, id string) {
+	byTok := p.inverted[field]
 	if byTok == nil {
 		byTok = make(map[string]map[string]struct{})
-		ix.inverted[field] = byTok
+		p.inverted[field] = byTok
 	}
 	set := byTok[token]
 	if set == nil {
@@ -152,54 +185,61 @@ func (ix *Index) post(field, token, id string) {
 
 // Remove deletes an entity from the index.
 func (ix *Index) Remove(id string) {
-	ix.mu.Lock()
-	defer ix.mu.Unlock()
-	ix.removeLocked(id)
+	p := ix.part(id)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.removeLocked(id)
 }
 
-func (ix *Index) removeLocked(id string) {
-	doc := ix.docs[id]
+func (p *indexPart) removeLocked(id string) {
+	doc := p.docs[id]
 	if doc == nil {
 		return
 	}
 	for field, values := range doc.fields {
 		for _, v := range values {
 			for _, tok := range Tokenize(v) {
-				if set := ix.inverted[field][tok]; set != nil {
+				if set := p.inverted[field][tok]; set != nil {
 					delete(set, id)
 					if len(set) == 0 {
-						delete(ix.inverted[field], tok)
+						delete(p.inverted[field], tok)
 					}
 				}
 			}
 		}
 	}
-	delete(ix.docs, id)
+	delete(p.docs, id)
 }
 
 // Len reports the number of indexed entities.
 func (ix *Index) Len() int {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	return len(ix.docs)
+	n := 0
+	for _, p := range ix.parts {
+		p.mu.RLock()
+		n += len(p.docs)
+		p.mu.RUnlock()
+	}
+	return n
 }
 
 // Host returns the indexed snapshot of an entity.
 func (ix *Index) Host(id string) *entity.Host {
-	ix.mu.RLock()
-	defer ix.mu.RUnlock()
-	if d := ix.docs[id]; d != nil {
+	p := ix.part(id)
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if d := p.docs[id]; d != nil {
 		return d.host.Clone()
 	}
 	return nil
 }
 
 // --- primitive query operations used by the executor ---
+// All primitives run against one partition with its lock held by the caller.
 
 // lookupTerm returns docs whose field contains token (exact token match).
-func (ix *Index) lookupTerm(field, token string) map[string]struct{} {
+func (p *indexPart) lookupTerm(field, token string) map[string]struct{} {
 	out := make(map[string]struct{})
-	if set := ix.inverted[field][strings.ToLower(token)]; set != nil {
+	if set := p.inverted[field][strings.ToLower(token)]; set != nil {
 		for id := range set {
 			out[id] = struct{}{}
 		}
@@ -208,10 +248,10 @@ func (ix *Index) lookupTerm(field, token string) map[string]struct{} {
 }
 
 // lookupBare returns docs matching token in any text field.
-func (ix *Index) lookupBare(token string) map[string]struct{} {
+func (p *indexPart) lookupBare(token string) map[string]struct{} {
 	out := make(map[string]struct{})
 	for field := range textFields {
-		for id := range ix.lookupTerm(field, token) {
+		for id := range p.lookupTerm(field, token) {
 			out[id] = struct{}{}
 		}
 	}
@@ -219,11 +259,11 @@ func (ix *Index) lookupBare(token string) map[string]struct{} {
 }
 
 // lookupPrefix returns docs whose field has a token with the given prefix.
-func (ix *Index) lookupPrefix(field, prefix string) map[string]struct{} {
+func (p *indexPart) lookupPrefix(field, prefix string) map[string]struct{} {
 	out := make(map[string]struct{})
 	prefix = strings.ToLower(prefix)
 	scan := func(f string) {
-		for tok, set := range ix.inverted[f] {
+		for tok, set := range p.inverted[f] {
 			if strings.HasPrefix(tok, prefix) {
 				for id := range set {
 					out[id] = struct{}{}
@@ -243,7 +283,7 @@ func (ix *Index) lookupPrefix(field, prefix string) map[string]struct{} {
 
 // lookupPhrase returns docs whose field raw value contains the phrase
 // (case-insensitive substring).
-func (ix *Index) lookupPhrase(field, phrase string) map[string]struct{} {
+func (p *indexPart) lookupPhrase(field, phrase string) map[string]struct{} {
 	out := make(map[string]struct{})
 	phrase = strings.ToLower(phrase)
 	match := func(d *document, f string) bool {
@@ -254,7 +294,7 @@ func (ix *Index) lookupPhrase(field, phrase string) map[string]struct{} {
 		}
 		return false
 	}
-	for id, d := range ix.docs {
+	for id, d := range p.docs {
 		if field != "" {
 			if match(d, field) {
 				out[id] = struct{}{}
@@ -272,9 +312,9 @@ func (ix *Index) lookupPhrase(field, phrase string) map[string]struct{} {
 }
 
 // lookupRange returns docs with a numeric value of field in [lo, hi].
-func (ix *Index) lookupRange(field string, lo, hi int64) map[string]struct{} {
+func (p *indexPart) lookupRange(field string, lo, hi int64) map[string]struct{} {
 	out := make(map[string]struct{})
-	for id, d := range ix.docs {
+	for id, d := range p.docs {
 		for _, n := range d.numbers[field] {
 			if n >= lo && n <= hi {
 				out[id] = struct{}{}
@@ -285,10 +325,10 @@ func (ix *Index) lookupRange(field string, lo, hi int64) map[string]struct{} {
 	return out
 }
 
-// allDocs returns the full doc id set (for NOT complement).
-func (ix *Index) allDocs() map[string]struct{} {
-	out := make(map[string]struct{}, len(ix.docs))
-	for id := range ix.docs {
+// allDocs returns the partition's full doc id set (for NOT complement).
+func (p *indexPart) allDocs() map[string]struct{} {
+	out := make(map[string]struct{}, len(p.docs))
+	for id := range p.docs {
 		out[id] = struct{}{}
 	}
 	return out

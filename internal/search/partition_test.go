@@ -1,0 +1,66 @@
+package search
+
+import (
+	"reflect"
+	"testing"
+)
+
+// buildPartitioned mirrors buildIndex over a 4-way partitioned index.
+func buildPartitioned(t *testing.T) *Index {
+	t.Helper()
+	ix := NewPartitioned(4)
+	ix.Upsert(makeHost("10.0.0.1", "US",
+		svc(80, "HTTP", map[string]string{"http.title": "Welcome to nginx!", "http.server": "nginx/1.24.0"}),
+		svc(22, "SSH", nil)))
+	ix.Upsert(makeHost("10.0.0.2", "DE",
+		svc(443, "HTTP", map[string]string{"http.title": "MOVEit Transfer", "http.server": "Microsoft-IIS/10.0"})))
+	h3 := makeHost("10.0.0.3", "US", svc(502, "MODBUS", map[string]string{"modbus.vendor": "Schneider Electric"}))
+	h3.Labels = []string{"ics", "plc"}
+	ix.Upsert(h3)
+	h4 := makeHost("10.0.0.4", "CN", svc(8443, "HTTP", map[string]string{"http.title": "Login"}))
+	h4.Services["8443/tcp"].TLS = true
+	h4.Services["8443/tcp"].CertSHA256 = "aabbcc"
+	ix.Upsert(h4)
+	return ix
+}
+
+// A partitioned index must answer every query exactly like the single-lock
+// index: the merged result set over partitions is the global result set.
+func TestPartitionedIndexMatchesSerial(t *testing.T) {
+	serial := buildIndex(t)
+	parted := buildPartitioned(t)
+	if got := parted.Partitions(); got != 4 {
+		t.Fatalf("Partitions() = %d, want 4", got)
+	}
+	if serial.Len() != parted.Len() {
+		t.Fatalf("Len: serial %d vs partitioned %d", serial.Len(), parted.Len())
+	}
+	queries := []string{
+		`services.protocol: HTTP`,
+		`location.country: US and services.protocol: HTTP`,
+		`services.port: 22 or services.port: 443`,
+		`not services.protocol: MODBUS`,
+		`services.http.title: "MOVEit Transfer"`,
+		`services.tls: true`,
+		`labels: ics`,
+		`services.port: [400 to 600]`,
+		`services.http.server: nginx*`,
+	}
+	for _, q := range queries {
+		s := ids(t, serial, q)
+		p := ids(t, parted, q)
+		if !reflect.DeepEqual(s, p) {
+			t.Errorf("query %q: serial %v vs partitioned %v", q, s, p)
+		}
+	}
+}
+
+func TestPartitionedRemove(t *testing.T) {
+	ix := buildPartitioned(t)
+	ix.Remove("10.0.0.3")
+	if h := ix.Host("10.0.0.3"); h != nil {
+		t.Fatal("removed host still resolvable")
+	}
+	wantIDs(t, ids(t, ix, `services.protocol: MODBUS`))
+	wantIDs(t, ids(t, ix, `location.country: US`), "10.0.0.1")
+}

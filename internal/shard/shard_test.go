@@ -1,0 +1,53 @@
+package shard
+
+import "testing"
+
+func TestOfIsStable(t *testing.T) {
+	for _, key := range []string{"", "10.0.0.1", "10.0.0.1", "255.255.255.255"} {
+		a := Of(key, 8)
+		b := Of(key, 8)
+		if a != b {
+			t.Fatalf("Of(%q, 8) not stable: %d vs %d", key, a, b)
+		}
+		if a < 0 || a >= 8 {
+			t.Fatalf("Of(%q, 8) = %d out of range", key, a)
+		}
+	}
+}
+
+func TestOfSingleShard(t *testing.T) {
+	for _, n := range []int{1, 0, -3} {
+		if got := Of("10.0.0.1", n); got != 0 {
+			t.Fatalf("Of(_, %d) = %d, want 0", n, got)
+		}
+	}
+}
+
+// The router must spread addresses across shards; a degenerate hash would
+// silently serialize the whole pipeline onto one shard.
+func TestOfSpreadsAddresses(t *testing.T) {
+	counts := make([]int, 8)
+	for a := 0; a < 4; a++ {
+		for b := 0; b < 64; b++ {
+			key := "10.0." + itoa(a) + "." + itoa(b)
+			counts[Of(key, 8)]++
+		}
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("shard %d received no keys: %v", i, counts)
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

@@ -21,6 +21,8 @@ package simnet
 import (
 	"fmt"
 	"net/netip"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"censysmap/internal/entity"
@@ -104,11 +106,25 @@ type Internet struct {
 	webProps map[string]*WebSite // keyed by name
 
 	// Blocking state: per (scanner, /24) counters and active blocks.
+	// pathMu guards probeCounts, blockedTill, and pathSeq so concurrent
+	// probes from parallel interrogation workers are safe.
+	pathMu      sync.Mutex
 	probeCounts map[blockKey]int
 	blockedTill map[scanNetKey]time.Time
+	// pathSeq counts probes per (scanner, addr). The path-loss draw is keyed
+	// on it instead of the global probe ordinal, so a probe's outcome depends
+	// only on how many times this scanner has probed this address — not on
+	// how probes to different addresses interleave. That makes outcomes
+	// independent of worker count and goroutine scheduling.
+	pathSeq map[pathKey]uint64
 
 	// Stats counters.
-	probesSeen uint64
+	probesSeen atomic.Uint64
+}
+
+type pathKey struct {
+	scanner string
+	addr    netip.Addr
 }
 
 type blockKey struct {
@@ -182,6 +198,7 @@ func New(cfg Config, clock simclock.Clock) *Internet {
 		webProps:    make(map[string]*WebSite),
 		probeCounts: make(map[blockKey]int),
 		blockedTill: make(map[scanNetKey]time.Time),
+		pathSeq:     make(map[pathKey]uint64),
 		CT:          x509lite.NewCTLog("sim-argon"),
 	}
 	n.buildPKI()

@@ -45,7 +45,7 @@ func (n *Internet) ProbeTCP(sc Scanner, addr netip.Addr, port uint16) Outcome {
 		// (Dead-space probes also don't feed the blocking counters — a
 		// deliberate simplification that keeps 65K background sweeps of a
 		// mostly-empty universe cheap.)
-		n.probesSeen++
+		n.probesSeen.Add(1)
 		return Dropped
 	}
 	if !n.pathOK(sc, addr) {
@@ -69,7 +69,7 @@ func (n *Internet) ProbeTCP(sc Scanner, addr netip.Addr, port uint16) Outcome {
 func (n *Internet) ProbeUDP(sc Scanner, addr netip.Addr, port uint16, payload []byte) ([]byte, Outcome) {
 	h := n.hosts[addr]
 	if h == nil || h.Pseudo {
-		n.probesSeen++
+		n.probesSeen.Add(1)
 		return nil, Dropped // dead space / pseudo-hosts (a TCP phenomenon)
 	}
 	if !n.pathOK(sc, addr) {
@@ -98,7 +98,7 @@ func (n *Internet) ProbeUDP(sc Scanner, addr netip.Addr, port uint16, payload []
 func (n *Internet) Connect(sc Scanner, addr netip.Addr, port uint16, transport entity.Transport) (io.ReadWriter, bool) {
 	h := n.hosts[addr]
 	if h == nil {
-		n.probesSeen++
+		n.probesSeen.Add(1)
 		return nil, false
 	}
 	if !n.pathOK(sc, addr) {
@@ -137,7 +137,7 @@ func (n *Internet) ConnectName(sc Scanner, name string, port uint16) (io.ReadWri
 	if port != 0 && port != 443 {
 		return nil, false
 	}
-	addr := site.Addrs[int(n.probesSeen)%len(site.Addrs)]
+	addr := site.Addrs[int(n.probesSeen.Load())%len(site.Addrs)]
 	if !n.pathOK(sc, addr) {
 		return nil, false
 	}
@@ -205,13 +205,15 @@ func (n *Internet) HandlePacket(sc Scanner, pkt []byte) []byte {
 // transient outages, and path loss. It also feeds the rate-based blocking
 // counters.
 func (n *Internet) pathOK(sc Scanner, addr netip.Addr) bool {
-	n.probesSeen++
+	n.probesSeen.Add(1)
 	now := n.clock.Now()
 	net := net24(addr)
 
+	n.pathMu.Lock()
 	// Active block for this scanner on this network?
 	if till, ok := n.blockedTill[scanNetKey{sc.ID, net}]; ok {
 		if now.Before(till) {
+			n.pathMu.Unlock()
 			return false
 		}
 		delete(n.blockedTill, scanNetKey{sc.ID, net})
@@ -227,8 +229,14 @@ func (n *Internet) pathOK(sc Scanner, addr netip.Addr) bool {
 	}
 	if n.cfg.BlockThreshold > 0 && n.probeCounts[bk] > n.cfg.BlockThreshold*srcs {
 		n.blockedTill[scanNetKey{sc.ID, net}] = now.Add(n.cfg.BlockDuration)
+		n.pathMu.Unlock()
 		return false
 	}
+	// Per-(scanner, addr) probe ordinal for the loss draw below.
+	pk := pathKey{sc.ID, addr}
+	seq := n.pathSeq[pk]
+	n.pathSeq[pk] = seq + 1
+	n.pathMu.Unlock()
 
 	netID := uint64(addrU32(net))
 	// Reputation blocklists: some networks drop this scanner wholesale.
@@ -254,7 +262,7 @@ func (n *Internet) pathOK(sc Scanner, addr netip.Addr) bool {
 	// Proportional scaling keeps BaseLoss=0 a true no-loss configuration.
 	net16 := uint64(addrU32(addr) &^ 0xFFFF)
 	loss := n.cfg.BaseLoss * (1 + 2*frac(mix(n.cfg.Seed, 0x105, net16, strHash(sc.Country))))
-	if frac(mix(n.cfg.Seed, 0x10D, uint64(addrU32(addr)), n.probesSeen)) < loss {
+	if frac(mix(n.cfg.Seed, 0x10D, uint64(addrU32(addr)), strHash(sc.ID), seq)) < loss {
 		return false
 	}
 	return true
@@ -273,6 +281,8 @@ func strHash(s string) uint64 {
 func (n *Internet) BlockedNetworks(scannerID string) int {
 	now := n.clock.Now()
 	count := 0
+	n.pathMu.Lock()
+	defer n.pathMu.Unlock()
 	for k, till := range n.blockedTill {
 		if k.scanner == scannerID && now.Before(till) {
 			count++
@@ -282,7 +292,7 @@ func (n *Internet) BlockedNetworks(scannerID string) int {
 }
 
 // ProbesSeen returns the total probes the network has processed.
-func (n *Internet) ProbesSeen() uint64 { return n.probesSeen }
+func (n *Internet) ProbesSeen() uint64 { return n.probesSeen.Load() }
 
 // ServiceRef is a ground-truth record of one live service.
 type ServiceRef struct {
