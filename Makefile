@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race bench check
+.PHONY: all vet build test race chaos fuzz bench check
 
 all: check
 
@@ -14,12 +14,28 @@ test:
 	$(GO) test ./...
 
 # The pipeline fans interrogation out over worker pools; the race detector
-# is part of the standard check, not an extra.
+# is part of the standard check, not an extra. The eval lab replays months
+# of simulated scanning and needs more than go test's default 10m package
+# timeout once the race detector's ~10x slowdown is on it.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
+
+# The deterministic chaos suite: fault injection, crash-recovery
+# differentials, and the facade-level recovery test, under the race
+# detector (the injector and retry buffers sit on the hot concurrent path).
+chaos:
+	$(GO) test -race ./internal/chaos/ ./internal/core/ ./internal/cqrs/
+	$(GO) test -race . -run TestSystemCrashRecoveryUnderChaos
+
+# Short coverage-guided fuzzing of the three parsers that face untrusted
+# bytes. Seed corpora also run as part of plain `make test`.
+fuzz:
+	$(GO) test ./internal/fingerdsl/ -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/search/ -fuzz FuzzParseQuery -fuzztime 30s
+	$(GO) test ./internal/wire/ -fuzz FuzzDecode -fuzztime 30s
 
 # Serial vs sharded pipeline throughput (1/4/8 workers).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkPipelineThroughput -benchtime 2x .
 
-check: vet build race
+check: vet build race chaos

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"censysmap/internal/chaos"
 	"censysmap/internal/core"
 	"censysmap/internal/cqrs"
 	"censysmap/internal/engines"
@@ -386,4 +387,53 @@ func itoaN(n int) string {
 		n /= 10
 	}
 	return string(digits)
+}
+
+// BenchmarkPipelineUnderFaults measures pipeline throughput and dataset
+// completeness as deterministic chaos loss is dialed from 0% through 5% to
+// 20%, with the bounded-retry ladder on. The interesting metrics are
+// services found per universe and interrogations per simulated day: loss
+// costs coverage, retries buy it back at the price of extra interrogations.
+func BenchmarkPipelineUnderFaults(b *testing.B) {
+	variants := []struct {
+		name string
+		loss float64
+	}{
+		{"baseline", 0},
+		{"loss5", 0.05},
+		{"loss20", 0.20},
+	}
+	for _, v := range variants {
+		b.Run(v.name, func(b *testing.B) {
+			simCfg := simnet.DefaultConfig()
+			simCfg.Prefix = netip.MustParsePrefix("10.0.0.0/22")
+			simCfg.Seed = 1
+			simCfg.CloudBlocks = 1
+			simCfg.WebProperties = 20
+			simCfg.HostDensity = 0.5
+			net := simnet.New(simCfg, simclock.New())
+			inj := chaos.New(chaos.Config{Seed: 1, Loss: v.loss})
+			net.SetFaultInjector(inj)
+
+			cfg := core.DefaultConfig()
+			cfg.CloudBlocks = 1
+			cfg.RefreshEvery = time.Hour
+			cfg.RetryPolicy = core.RetryPolicy{MaxRetries: 2, BaseDelay: cfg.Tick, MaxDelay: 4 * cfg.Tick}
+			m, err := core.New(cfg, net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Run(24 * time.Hour) // warm-up: build the dataset to refresh
+			before := m.Stats().Interrogations
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Run(24 * time.Hour)
+			}
+			b.StopTimer()
+			perDay := float64(m.Stats().Interrogations-before) / float64(b.N)
+			b.ReportMetric(perDay, "interro/simday")
+			b.ReportMetric(float64(len(m.CurrentServices(false))), "services")
+			b.ReportMetric(float64(inj.Stats().Total()), "drops")
+		})
+	}
 }

@@ -1,0 +1,196 @@
+// Package chaos is a deterministic fault injector and crash-recovery harness
+// for the scanning pipeline. It wraps the simulated Internet's transport with
+// seeded fault draws — uniform loss, correlated loss bursts, transient outage
+// storms, rate-limiter style blocking windows, and interrogation timeouts —
+// and drives tick-stepped runs that can be killed at arbitrary ticks and
+// resumed from the journal plus a checkpoint.
+//
+// Every draw is a pure function of (chaos seed, scanner ID, address or its
+// /24, and either the per-path packet sequence number or a wall-clock window
+// index). None depend on goroutine interleaving, shard count, or worker
+// count, so a chaos seed names one exact fault schedule: replaying the same
+// seed reproduces the same drops packet-for-packet under any pipeline
+// layout. That is what makes failures found under chaos reproducible from
+// the seed alone.
+package chaos
+
+import (
+	"net/netip"
+	"sync/atomic"
+	"time"
+
+	"censysmap/internal/simnet"
+)
+
+// Config sets the fault mix. All rates are probabilities in [0, 1]; a
+// zero-value Config injects nothing.
+type Config struct {
+	// Seed names the fault schedule. Same seed, same faults — always.
+	Seed uint64
+	// Loss is extra uniform per-packet loss, on top of the simnet's own
+	// base loss model.
+	Loss float64
+	// BurstRate is the probability that a given (scanner, address,
+	// six-hour window) is inside a correlated loss burst; while inside
+	// one, each packet drops with probability BurstLoss.
+	BurstRate float64
+	// BurstLoss is the per-packet drop probability inside a burst.
+	BurstLoss float64
+	// StormRate is the probability that a given (/24, hour) suffers a
+	// transient outage storm dropping all traffic to the network.
+	StormRate float64
+	// BlockRate is the probability that a given (scanner, /24, day)
+	// decides to block the scanner for the whole day — the rate-triggered
+	// blocking failure mode, injected deterministically rather than by
+	// lowering the simnet's interleaving-sensitive live threshold.
+	BlockRate float64
+	// TimeoutRate drops interrogation connections only (discovery probes
+	// pass), modelling handshake timeouts after a successful SYN scan.
+	TimeoutRate float64
+}
+
+// Mild returns a light fault mix (~5% effective loss) for the given seed.
+func Mild(seed uint64) Config {
+	return Config{Seed: seed, Loss: 0.03, BurstRate: 0.05, BurstLoss: 0.5, TimeoutRate: 0.02}
+}
+
+// Severe returns a heavy fault mix (~20% effective loss plus storms and
+// blocking) for the given seed.
+func Severe(seed uint64) Config {
+	return Config{Seed: seed, Loss: 0.12, BurstRate: 0.15, BurstLoss: 0.7,
+		StormRate: 0.03, BlockRate: 0.02, TimeoutRate: 0.08}
+}
+
+// Stats counts injected drops by fault kind.
+type Stats struct {
+	Loss    uint64 `json:"loss"`
+	Burst   uint64 `json:"burst"`
+	Storm   uint64 `json:"storm"`
+	Block   uint64 `json:"block"`
+	Timeout uint64 `json:"timeout"`
+}
+
+// Total is the number of packets the injector dropped.
+func (s Stats) Total() uint64 { return s.Loss + s.Burst + s.Storm + s.Block + s.Timeout }
+
+// Injector implements simnet.FaultInjector with seeded, schedule-stable
+// draws. Safe for concurrent use; counters are atomic.
+type Injector struct {
+	cfg Config
+
+	loss    atomic.Uint64
+	burst   atomic.Uint64
+	storm   atomic.Uint64
+	block   atomic.Uint64
+	timeout atomic.Uint64
+}
+
+// New returns an Injector for the given fault mix.
+func New(cfg Config) *Injector { return &Injector{cfg: cfg} }
+
+// Config returns the injector's fault mix.
+func (in *Injector) Config() Config { return in.cfg }
+
+// Stats returns cumulative drop counts by kind.
+func (in *Injector) Stats() Stats {
+	return Stats{
+		Loss:    in.loss.Load(),
+		Burst:   in.burst.Load(),
+		Storm:   in.storm.Load(),
+		Block:   in.block.Load(),
+		Timeout: in.timeout.Load(),
+	}
+}
+
+// Draw domain tags: each fault kind hashes in its own constant so the draws
+// are independent streams of the same seed.
+const (
+	tagLoss = iota + 0xC4A0
+	tagBurstGate
+	tagBurstPkt
+	tagStorm
+	tagBlock
+	tagTimeout
+)
+
+// Drop implements simnet.FaultInjector. Widest-scope faults are consulted
+// first so the per-kind counters attribute each drop to the dominant cause.
+func (in *Injector) Drop(sc simnet.Scanner, addr netip.Addr, op simnet.Op, seq uint64, now time.Time) bool {
+	c := in.cfg
+	scID := strHash(sc.ID)
+	a := addrU32(addr)
+	n24 := addrU32(net24(addr))
+	unix := uint64(now.Unix())
+
+	if c.BlockRate > 0 {
+		day := unix / 86400
+		if frac(mix(c.Seed, tagBlock, uint64(n24), scID, day)) < c.BlockRate {
+			in.block.Add(1)
+			return true
+		}
+	}
+	if c.StormRate > 0 {
+		hour := unix / 3600
+		if frac(mix(c.Seed, tagStorm, uint64(n24), hour)) < c.StormRate {
+			in.storm.Add(1)
+			return true
+		}
+	}
+	if c.BurstRate > 0 && c.BurstLoss > 0 {
+		win := unix / (6 * 3600)
+		if frac(mix(c.Seed, tagBurstGate, uint64(a), scID, win)) < c.BurstRate &&
+			frac(mix(c.Seed, tagBurstPkt, uint64(a), seq)) < c.BurstLoss {
+			in.burst.Add(1)
+			return true
+		}
+	}
+	if c.TimeoutRate > 0 && op == simnet.OpConnect {
+		if frac(mix(c.Seed, tagTimeout, uint64(a), scID, seq)) < c.TimeoutRate {
+			in.timeout.Add(1)
+			return true
+		}
+	}
+	if c.Loss > 0 {
+		if frac(mix(c.Seed, tagLoss, uint64(a), scID, seq)) < c.Loss {
+			in.loss.Add(1)
+			return true
+		}
+	}
+	return false
+}
+
+// Hash helpers, mirroring the simnet's unexported deterministic draw
+// machinery so the injector's streams have the same statistical quality
+// without exporting simnet internals.
+
+func mix(vals ...uint64) uint64 {
+	x := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vals {
+		x ^= v + 0x9E3779B97F4A7C15 + (x << 6) + (x >> 2)
+		x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+		x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+		x ^= x >> 31
+	}
+	return x
+}
+
+func frac(h uint64) float64 { return float64(h>>11) / float64(1<<53) }
+
+func addrU32(a netip.Addr) uint32 {
+	b := a.As4()
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}
+
+func net24(a netip.Addr) netip.Addr {
+	v := addrU32(a) &^ 0xFF
+	return netip.AddrFrom4([4]byte{byte(v >> 24), byte(v >> 16), byte(v >> 8), byte(v)})
+}
+
+func strHash(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

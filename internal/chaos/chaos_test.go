@@ -1,0 +1,175 @@
+package chaos
+
+import (
+	"encoding/json"
+	"testing"
+
+	"censysmap/internal/core"
+)
+
+func mustComplete(t *testing.T, spec RunSpec) *Run {
+	t.Helper()
+	r, err := Complete(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustObserve(t *testing.T, m *core.Map) Observation {
+	t.Helper()
+	o, err := Observe(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+// retryOn enables a small deterministic backoff ladder on a spec.
+func retryOn(spec *RunSpec) {
+	spec.Pipeline.RetryPolicy = core.RetryPolicy{
+		MaxRetries: 2,
+		BaseDelay:  spec.Pipeline.Tick,
+		MaxDelay:   4 * spec.Pipeline.Tick,
+	}
+}
+
+// TestSameSeedSameSchedule: a chaos seed names one exact fault schedule —
+// two runs of the same spec inject identical drops of every kind and end in
+// identical externally visible state.
+func TestSameSeedSameSchedule(t *testing.T) {
+	spec := Lab(7, Severe(42), 24)
+	r1 := mustComplete(t, spec)
+	r2 := mustComplete(t, spec)
+
+	s1, s2 := r1.Injector.Stats(), r2.Injector.Stats()
+	if s1 != s2 {
+		t.Fatalf("fault schedules diverged: %+v vs %+v", s1, s2)
+	}
+	if s1.Total() == 0 {
+		t.Fatal("severe config injected no faults")
+	}
+	if d := Diff(mustObserve(t, r1.Map), mustObserve(t, r2.Map)); len(d) > 0 {
+		t.Fatalf("same-seed runs diverged: %v", d)
+	}
+}
+
+// TestFaultKindsAllFire: every injector code path fires. The lab universe
+// has only two /24s and the run spans two day-windows, so the blocking rate
+// is cranked far above Severe's to get draws that actually land.
+func TestFaultKindsAllFire(t *testing.T) {
+	spec := Lab(7, Config{Seed: 42, Loss: 0.05, BurstRate: 0.2, BurstLoss: 0.6,
+		StormRate: 0.1, BlockRate: 0.4, TimeoutRate: 0.1}, 24)
+	r := mustComplete(t, spec)
+	s := r.Injector.Stats()
+	if s.Loss == 0 || s.Burst == 0 || s.Storm == 0 || s.Block == 0 || s.Timeout == 0 {
+		t.Fatalf("some fault kinds never fired: %+v", s)
+	}
+}
+
+// TestLayoutInvarianceUnderFaults: the PR-1 determinism contract holds under
+// chaos too — Shards and InterroWorkers must not change the fault schedule,
+// the dataset, the journals, or any query answer. Retries are on, so the
+// backoff ladder is also exercised across layouts.
+func TestLayoutInvarianceUnderFaults(t *testing.T) {
+	base := Lab(11, Severe(99), 24)
+	retryOn(&base)
+
+	layouts := [][2]int{{1, 1}, {8, 4}, {3, 2}}
+	var ref Observation
+	var refFaults Stats
+	for i, l := range layouts {
+		spec := base
+		spec.Pipeline.Shards = l[0]
+		spec.Pipeline.InterroWorkers = l[1]
+		r := mustComplete(t, spec)
+		o := mustObserve(t, r.Map)
+		if i == 0 {
+			ref, refFaults = o, r.Injector.Stats()
+			continue
+		}
+		if got := r.Injector.Stats(); got != refFaults {
+			t.Fatalf("layout %v changed the fault schedule: %+v vs %+v", l, got, refFaults)
+		}
+		if d := Diff(ref, o); len(d) > 0 {
+			t.Fatalf("layout %v changed the outcome: %v", l, d)
+		}
+	}
+}
+
+// TestCheckpointLayoutInvariant: a checkpoint is canonical — two pipelines
+// in different Shards/InterroWorkers layouts checkpoint to identical bytes.
+func TestCheckpointLayoutInvariant(t *testing.T) {
+	base := Lab(5, Mild(5), 10)
+	retryOn(&base)
+
+	var ref []byte
+	for i, l := range [][2]int{{1, 1}, {8, 4}} {
+		spec := base
+		spec.Pipeline.Shards = l[0]
+		spec.Pipeline.InterroWorkers = l[1]
+		r, err := Start(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Step(spec.Ticks)
+		blob, err := json.Marshal(r.Map.Checkpoint())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = blob
+			continue
+		}
+		if string(blob) != string(ref) {
+			t.Fatalf("checkpoint bytes differ across layouts %d vs %d", len(ref), len(blob))
+		}
+	}
+}
+
+// TestRetryRecoversFromTimeouts: with interrogation timeouts injected, the
+// bounded-retry ladder must recover services the no-retry pipeline loses,
+// and must never lose any it would otherwise have found.
+func TestRetryRecoversFromTimeouts(t *testing.T) {
+	fault := Config{Seed: 5, TimeoutRate: 0.35}
+	specOff := Lab(3, fault, 30)
+	specOn := specOff
+	retryOn(&specOn)
+
+	rOff := mustComplete(t, specOff)
+	rOn := mustComplete(t, specOn)
+
+	servOff := rOff.Map.CurrentServices(false)
+	servOn := rOn.Map.CurrentServices(false)
+	if len(servOn) <= len(servOff) {
+		t.Fatalf("retries did not recover services: %d with retry vs %d without",
+			len(servOn), len(servOff))
+	}
+	if rOn.Map.Stats().Interrogations <= rOff.Map.Stats().Interrogations {
+		t.Fatal("retry run should attempt strictly more interrogations")
+	}
+}
+
+// TestZeroPolicyMatchesBaseline: a zero-value RetryPolicy and a zero-value
+// fault Config must be exact no-ops — byte-identical to a run without the
+// chaos layer in the loop at all.
+func TestZeroPolicyMatchesBaseline(t *testing.T) {
+	spec := Lab(13, Config{}, 12)
+	withInjector := mustComplete(t, spec)
+	if n := withInjector.Injector.Stats().Total(); n != 0 {
+		t.Fatalf("zero config injected %d drops", n)
+	}
+
+	// Same spec, but no injector attached at all.
+	bare, err := Start(RunSpec{Prefix: spec.Prefix, UniverseSeed: spec.UniverseSeed,
+		Net: spec.Net, Pipeline: spec.Pipeline, Ticks: spec.Ticks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare.Net.SetFaultInjector(nil)
+	bare.Step(spec.Ticks)
+
+	if d := Diff(mustObserve(t, withInjector.Map), mustObserve(t, bare.Map)); len(d) > 0 {
+		t.Fatalf("zero-value chaos layer changed the run: %v", d)
+	}
+}

@@ -1,0 +1,215 @@
+package core
+
+import (
+	"net/netip"
+	"sort"
+	"time"
+
+	"censysmap/internal/cqrs"
+	"censysmap/internal/discovery"
+	"censysmap/internal/entity"
+	"censysmap/internal/journal"
+	"censysmap/internal/predict"
+	"censysmap/internal/search"
+	"censysmap/internal/simnet"
+	"censysmap/internal/snapshot"
+	"censysmap/internal/webprop"
+)
+
+// This file is the crash-recovery surface. The storage split mirrors the
+// production system:
+//
+//   - Durable is what survives a process crash because it lives in external
+//     stores: the event journals (the CQRS source of truth), the certificate
+//     store, the analytics snapshots, and the asynchronously maintained read
+//     models (the search index and cert->host index — the ES / secondary
+//     Bigtable table analogues). Read models are durable rather than rebuilt
+//     because live index documents capture each host as of its last event
+//     drain; regenerating them from post-crash state would rewrite history.
+//   - The processor's materialized write-side state is NOT durable: it is
+//     rebuilt from the journal (snapshot + delta replay) on Resume — the
+//     whole point of event sourcing.
+//   - Checkpoint carries everything else: the small, fast-changing pipeline
+//     bookkeeping (refresh clocks, scan positions, model state, counters)
+//     serialized at a tick boundary. It is plain data and JSON round-trips.
+//
+// Checkpoints are only consistent at tick boundaries: mid-tick, probes have
+// consumed path-sequence numbers that no replay can reissue. Map.Checkpoint
+// must therefore be called between ticks (after Drain has run), which is
+// exactly when the chaos harness calls it.
+
+// Durable bundles the stores that survive a crash.
+type Durable struct {
+	// Journal is the host-event journal (the source of truth).
+	Journal *journal.Store
+	// WebJournal is the web-property pipeline's journal.
+	WebJournal *journal.Store
+	// Certs is the certificate store.
+	Certs *CertStore
+	// Analytics is the daily-snapshot store.
+	Analytics *snapshot.Store
+	// Index is the interactive search index.
+	Index *search.Index
+	// CertIdx is the certificate->host read model.
+	CertIdx *cqrs.CertIndex
+}
+
+// Durable returns the Map's crash-surviving stores, for handing to Resume.
+func (m *Map) Durable() Durable {
+	return Durable{
+		Journal:    m.processor.Journal(),
+		WebJournal: m.webProps.Journal(),
+		Certs:      m.certs,
+		Analytics:  m.analytics,
+		Index:      m.index,
+		CertIdx:    m.certIdx,
+	}
+}
+
+// KnownSlot is one dataset slot's refresh bookkeeping.
+type KnownSlot struct {
+	Addr        netip.Addr       `json:"addr"`
+	Port        uint16           `json:"port"`
+	Transport   entity.Transport `json:"transport"`
+	Last        time.Time        `json:"last"`
+	UDPProtocol string           `json:"udp_protocol,omitempty"`
+}
+
+// HostCount is a per-host counter entry (pseudo-detection bookkeeping).
+type HostCount struct {
+	Addr  netip.Addr `json:"addr"`
+	Count int        `json:"count"`
+}
+
+// RetryState is one scheduled retry.
+type RetryState struct {
+	Due     time.Time           `json:"due"`
+	Kind    int                 `json:"kind"`
+	Attempt int                 `json:"attempt"`
+	Cand    discovery.Candidate `json:"cand"`
+}
+
+// Checkpoint is the serializable non-durable, non-replayable state of a Map,
+// captured at a tick boundary. All slices are in canonical order, so two
+// checkpoints of identical pipelines encode to identical bytes regardless of
+// the Shards/InterroWorkers layout that produced them.
+type Checkpoint struct {
+	TakenAt   time.Time `json:"taken_at"`
+	Seeded    bool      `json:"seeded"`
+	LastDaily time.Time `json:"last_daily"`
+	Stats     RunStats  `json:"stats"`
+
+	Processor cqrs.Ephemeral `json:"processor"`
+
+	Known        []KnownSlot  `json:"known,omitempty"`
+	PseudoHosts  []netip.Addr `json:"pseudo_hosts,omitempty"`
+	FoundPerHost []HostCount  `json:"found_per_host,omitempty"`
+	Retries      []RetryState `json:"retries,omitempty"`
+	Exclusions   []Exclusion  `json:"exclusions,omitempty"`
+
+	Discovery discovery.State `json:"discovery"`
+	Predictor predict.State   `json:"predictor"`
+	WebProps  webprop.State   `json:"web_props"`
+}
+
+// Checkpoint captures the Map's recoverable state. Call it only between
+// ticks (e.g. after each clock advance of one Tick) — see the consistency
+// note at the top of this file.
+func (m *Map) Checkpoint() Checkpoint {
+	cp := Checkpoint{
+		TakenAt:    m.clock.Now(),
+		Seeded:     m.seeded,
+		LastDaily:  m.lastDaily,
+		Stats:      m.Stats(),
+		Processor:  m.processor.Ephemeral(),
+		Exclusions: append([]Exclusion(nil), m.exclusions...),
+		Discovery:  m.disc.State(),
+		Predictor:  m.predictor.State(),
+		WebProps:   m.webProps.State(),
+	}
+	for _, s := range m.shards {
+		s.mu.Lock()
+		for key, last := range s.known {
+			cp.Known = append(cp.Known, KnownSlot{Addr: key.addr, Port: key.port,
+				Transport: key.transport, Last: last, UDPProtocol: s.udpProto[key]})
+		}
+		for a := range s.pseudoHosts {
+			cp.PseudoHosts = append(cp.PseudoHosts, a)
+		}
+		for a, c := range s.foundPerHost {
+			cp.FoundPerHost = append(cp.FoundPerHost, HostCount{Addr: a, Count: c})
+		}
+		s.mu.Unlock()
+		for _, r := range s.retries {
+			cp.Retries = append(cp.Retries, RetryState{Due: r.due, Kind: int(r.task.kind),
+				Attempt: r.task.attempt, Cand: r.task.cand})
+		}
+	}
+	sort.Slice(cp.Known, func(i, j int) bool {
+		a, b := cp.Known[i], cp.Known[j]
+		if a.Addr != b.Addr {
+			return a.Addr.Less(b.Addr)
+		}
+		if a.Port != b.Port {
+			return a.Port < b.Port
+		}
+		return a.Transport < b.Transport
+	})
+	sort.Slice(cp.PseudoHosts, func(i, j int) bool { return cp.PseudoHosts[i].Less(cp.PseudoHosts[j]) })
+	sort.Slice(cp.FoundPerHost, func(i, j int) bool { return cp.FoundPerHost[i].Addr.Less(cp.FoundPerHost[j].Addr) })
+	sort.Slice(cp.Retries, func(i, j int) bool {
+		return lessRetry(retryEntry{due: cp.Retries[i].Due, task: pendingTask{cand: cp.Retries[i].Cand,
+			kind: taskKind(cp.Retries[i].Kind), attempt: cp.Retries[i].Attempt}},
+			retryEntry{due: cp.Retries[j].Due, task: pendingTask{cand: cp.Retries[j].Cand,
+				kind: taskKind(cp.Retries[j].Kind), attempt: cp.Retries[j].Attempt}})
+	})
+	return cp
+}
+
+// Resume rebuilds a Map from its durable stores plus a checkpoint, after a
+// crash. The processor's materialized state comes from journal replay; the
+// checkpoint supplies everything replay cannot reach. Call Start on the
+// result to continue scanning — a resumed run is bit-identical to one that
+// never crashed (see internal/chaos's differential suite).
+func Resume(cfg Config, net *simnet.Internet, d Durable, cp Checkpoint) (*Map, error) {
+	return build(cfg, net, &d, &cp)
+}
+
+// restore applies a checkpoint to a freshly built Map (the Resume tail).
+func (m *Map) restore(cp *Checkpoint) error {
+	m.seeded = cp.Seeded
+	m.lastDaily = cp.LastDaily
+	m.ticks.Store(cp.Stats.Ticks)
+	m.interrogations.Store(cp.Stats.Interrogations)
+	m.refreshScans.Store(cp.Stats.RefreshScans)
+	m.predictiveProbes.Store(cp.Stats.PredictiveProbes)
+	m.reinjected.Store(cp.Stats.Reinjected)
+	m.pseudoFiltered.Store(cp.Stats.PseudoFiltered)
+
+	for _, ks := range cp.Known {
+		s := m.shardFor(ks.Addr)
+		key := slotKey{ks.Addr, ks.Port, ks.Transport}
+		s.known[key] = ks.Last
+		if ks.UDPProtocol != "" {
+			s.udpProto[key] = ks.UDPProtocol
+		}
+	}
+	for _, a := range cp.PseudoHosts {
+		m.shardFor(a).pseudoHosts[a] = true
+	}
+	for _, hc := range cp.FoundPerHost {
+		m.shardFor(hc.Addr).foundPerHost[hc.Addr] = hc.Count
+	}
+	for _, r := range cp.Retries {
+		s := m.shardFor(r.Cand.Addr)
+		s.retries = append(s.retries, retryEntry{due: r.Due,
+			task: pendingTask{cand: r.Cand, kind: taskKind(r.Kind), attempt: r.Attempt}})
+	}
+	m.exclusions = append([]Exclusion(nil), cp.Exclusions...)
+	m.syncExclusions()
+	if err := m.disc.Restore(cp.Discovery); err != nil {
+		return err
+	}
+	m.predictor.Restore(cp.Predictor)
+	return m.webProps.Restore(cp.WebProps)
+}

@@ -93,6 +93,43 @@ type Config struct {
 	// <= 1 runs the batch on the calling goroutine. Results are identical
 	// for any worker count; see DESIGN.md.
 	InterroWorkers int
+	// RetryPolicy re-attempts failed interrogations with exponential backoff
+	// before a failure enters the eviction state machine. The zero value
+	// disables retries (the pre-retry pipeline, bit for bit).
+	RetryPolicy RetryPolicy
+}
+
+// RetryPolicy bounds interrogation retries. Backoff is deterministic
+// (BaseDelay doubling per attempt, capped at MaxDelay) and scheduled on the
+// simulated clock: a retry fires on the first tick at or after its due time,
+// so the schedule is a function of configuration alone.
+type RetryPolicy struct {
+	// MaxRetries is the number of re-attempts after the initial failure.
+	// <= 0 disables retries.
+	MaxRetries int
+	// BaseDelay is the delay before the first retry; it doubles each
+	// attempt. <= 0 means one hour.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff. <= 0 means uncapped.
+	MaxDelay time.Duration
+}
+
+// delay returns the backoff before re-attempt number attempt+1.
+func (rp RetryPolicy) delay(attempt int) time.Duration {
+	d := rp.BaseDelay
+	if d <= 0 {
+		d = time.Hour
+	}
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if rp.MaxDelay > 0 && d >= rp.MaxDelay {
+			return rp.MaxDelay
+		}
+	}
+	if rp.MaxDelay > 0 && d > rp.MaxDelay {
+		d = rp.MaxDelay
+	}
+	return d
 }
 
 // DefaultConfig returns the production-like configuration.
@@ -138,6 +175,15 @@ const (
 type pendingTask struct {
 	cand discovery.Candidate
 	kind taskKind
+	// attempt counts failed interrogations of this task so far (retry
+	// bookkeeping; 0 for first attempts).
+	attempt int
+}
+
+// retryEntry is a failed task waiting out its backoff.
+type retryEntry struct {
+	due  time.Time
+	task pendingTask
 }
 
 // stateShard holds the pipeline bookkeeping for one slice of the address
@@ -158,6 +204,11 @@ type stateShard struct {
 	// pending is the shard's FIFO task queue for the current batch, filled
 	// serially between batches.
 	pending []pendingTask
+	// retries buffers failed tasks awaiting their backoff. Appended by the
+	// owning worker during a batch, flushed serially at the start of each
+	// tick in canonical order (see flushRetries), so retry scheduling is
+	// invariant under shard and worker counts.
+	retries []retryEntry
 	// redirects buffers http.location values seen by this shard's worker;
 	// they are flushed to the web-property pipeline serially after the
 	// batch, in shard order, so its scan queue stays deterministic.
@@ -191,6 +242,9 @@ type Map struct {
 
 	lastDaily time.Time
 	stopTick  func()
+	// seeded records that the one-time seed scan ran, so a resumed Map does
+	// not repeat it.
+	seeded bool
 
 	// Pipeline counters, atomic because interrogation workers bump them
 	// concurrently.
@@ -215,6 +269,12 @@ type RunStats struct {
 // New builds a Map over a shared synthetic Internet. The Internet's clock
 // must be a *simclock.Sim (the Map schedules its own ticks on it).
 func New(cfg Config, net *simnet.Internet) (*Map, error) {
+	return build(cfg, net, nil, nil)
+}
+
+// build assembles a Map, either fresh (d and cp nil) or resumed from durable
+// stores plus a checkpoint (see Resume in checkpoint.go).
+func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, error) {
 	clk, ok := net.Clock().(*simclock.Sim)
 	if !ok {
 		return nil, fmt.Errorf("core: simnet must run on a simulated clock")
@@ -283,17 +343,33 @@ func New(cfg Config, net *simnet.Internet) (*Map, error) {
 
 	// Storage pipeline: journal, processor, and index all partition by the
 	// same shard hash, so one address's rows, events, and postings live on
-	// aligned shards.
-	j := journal.NewPartitioned(cfg.Shards)
-	m.processor = cqrs.NewProcessor(cqrs.Config{
-		EvictAfter: cfg.EvictAfter, SnapshotEvery: cfg.SnapshotEvery,
-		Shards: cfg.Shards}, j)
+	// aligned shards. On resume, the durable stores are carried over and the
+	// processor's materialized state is rebuilt from the journal.
+	pcfg := cqrs.Config{EvictAfter: cfg.EvictAfter, SnapshotEvery: cfg.SnapshotEvery,
+		Shards: cfg.Shards}
+	var j *journal.Store
+	if d != nil {
+		j = d.Journal
+		m.processor, err = cqrs.RebuildProcessor(pcfg, j, cp.TakenAt)
+		if err != nil {
+			return nil, err
+		}
+		m.processor.RestoreEphemeral(cp.Processor)
+	} else {
+		j = journal.NewPartitioned(cfg.Shards)
+		m.processor = cqrs.NewProcessor(pcfg, j)
+	}
 	geo, asn := enrichFeedsFor(net)
 	m.enricher = enrich.New(geo, asn)
 	m.reader = cqrs.NewReader(j, m.enricher)
-	m.certIdx = cqrs.NewCertIndex()
+	if d != nil {
+		m.certIdx = d.CertIdx
+		m.index = d.Index
+	} else {
+		m.certIdx = cqrs.NewCertIndex()
+		m.index = search.NewPartitioned(cfg.Shards)
+	}
 	m.certIdx.Follow(m.processor)
-	m.index = search.NewPartitioned(cfg.Shards)
 	m.processor.Subscribe(m.consumeEvent)
 	m.lookupSvc = lookup.New(m.reader, m.certIdx, clk)
 
@@ -301,11 +377,22 @@ func New(cfg Config, net *simnet.Internet) (*Map, error) {
 	m.predictor = predict.New(predict.DefaultConfig())
 
 	// Web properties & certificates.
-	m.webProps = webprop.New(webprop.DefaultConfig(), net, scanner)
-	m.certs = NewCertStore(net.Roots)
-	m.analytics = snapshot.NewStore()
+	if d != nil {
+		m.webProps = webprop.NewWithJournal(webprop.DefaultConfig(), net, scanner, d.WebJournal)
+		m.certs = d.Certs
+		m.analytics = d.Analytics
+	} else {
+		m.webProps = webprop.New(webprop.DefaultConfig(), net, scanner)
+		m.certs = NewCertStore(net.Roots)
+		m.analytics = snapshot.NewStore()
+	}
 
 	m.lastDaily = clk.Now()
+	if cp != nil {
+		if err := m.restore(cp); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
 }
 
@@ -389,7 +476,10 @@ func (m *Map) Start() {
 	if m.stopTick != nil {
 		return
 	}
-	m.seedScan()
+	if !m.seeded {
+		m.seedScan()
+		m.seeded = true
+	}
 	m.stopTick = m.clock.Every(m.cfg.Tick, m.Tick)
 }
 
@@ -456,6 +546,11 @@ func (m *Map) Run(d time.Duration) {
 func (m *Map) Tick(now time.Time) {
 	m.ticks.Add(1)
 
+	// Phase 0: retries whose backoff has elapsed fire before new work, in
+	// canonical order.
+	m.flushRetries(now)
+	m.runBatch(now)
+
 	// Phase 1: discovery. New candidates go to the interrogation pool.
 	m.disc.Tick(now, func(c discovery.Candidate) {
 		m.enqueue(pendingTask{cand: c, kind: taskCandidate})
@@ -491,6 +586,73 @@ func (m *Map) Tick(now time.Time) {
 		m.certs.RevalidateAll(m.crls(), now)
 		m.processor.Journal().Migrate()
 		m.snapshotDaily(now)
+	}
+}
+
+// scheduleRetry defers a failed task for a later re-attempt. It returns
+// false — and the caller records the failure normally — when retries are
+// disabled or exhausted. Appending to the shard-local buffer is safe without
+// the lock: only the owning worker touches it during a batch.
+func (m *Map) scheduleRetry(s *stateShard, t pendingTask, now time.Time) bool {
+	rp := m.cfg.RetryPolicy
+	if rp.MaxRetries <= 0 || t.attempt >= rp.MaxRetries {
+		return false
+	}
+	due := now.Add(rp.delay(t.attempt))
+	t.attempt++
+	s.retries = append(s.retries, retryEntry{due: due, task: t})
+	return true
+}
+
+// lessRetry is the canonical order retries fire in. Sorting due entries by
+// content rather than buffer position makes the retry schedule a function of
+// which tasks failed — never of how the failing batch was sharded.
+func lessRetry(a, b retryEntry) bool {
+	if !a.due.Equal(b.due) {
+		return a.due.Before(b.due)
+	}
+	if a.task.cand.Addr != b.task.cand.Addr {
+		return a.task.cand.Addr.Less(b.task.cand.Addr)
+	}
+	if a.task.cand.Port != b.task.cand.Port {
+		return a.task.cand.Port < b.task.cand.Port
+	}
+	if a.task.cand.Transport != b.task.cand.Transport {
+		return a.task.cand.Transport < b.task.cand.Transport
+	}
+	if a.task.kind != b.task.kind {
+		return a.task.kind < b.task.kind
+	}
+	if a.task.attempt != b.task.attempt {
+		return a.task.attempt < b.task.attempt
+	}
+	if a.task.cand.Method != b.task.cand.Method {
+		return a.task.cand.Method < b.task.cand.Method
+	}
+	return a.task.cand.PoP < b.task.cand.PoP
+}
+
+// flushRetries enqueues every retry whose backoff has elapsed, in canonical
+// order. Runs serially at the start of each tick.
+func (m *Map) flushRetries(now time.Time) {
+	var due []retryEntry
+	for _, s := range m.shards {
+		kept := s.retries[:0]
+		for _, r := range s.retries {
+			if r.due.After(now) {
+				kept = append(kept, r)
+			} else {
+				due = append(due, r)
+			}
+		}
+		s.retries = kept
+	}
+	if len(due) == 0 {
+		return
+	}
+	sort.Slice(due, func(i, j int) bool { return lessRetry(due[i], due[j]) })
+	for _, r := range due {
+		m.enqueue(r.task)
 	}
 }
 
@@ -574,7 +736,7 @@ func (m *Map) processTask(s *stateShard, t pendingTask, now time.Time) {
 		if ok && now.Sub(last) < m.cfg.RefreshEvery-2*time.Hour {
 			return // fresh enough; the refresh loop owns this slot
 		}
-		m.interrogateOn(s, c, now)
+		m.attemptInterrogate(s, t, now)
 
 	case taskRefresh:
 		s.mu.Lock()
@@ -585,11 +747,30 @@ func (m *Map) processTask(s *stateShard, t pendingTask, now time.Time) {
 			return // flagged or evicted earlier in this batch
 		}
 		m.refreshScans.Add(1)
-		m.refreshSlot(s, key, c.UDPProtocol, now)
+		m.refreshSlot(s, key, c.UDPProtocol, t.attempt, now)
 
 	case taskDirect:
-		m.interrogateOn(s, c, now)
+		m.attemptInterrogate(s, t, now)
 	}
+}
+
+// attemptInterrogate runs one candidate/direct interrogation with retry
+// semantics: a failure whose retry budget remains is deferred (nothing enters
+// the eviction state machine) rather than applied.
+func (m *Map) attemptInterrogate(s *stateShard, t pendingTask, now time.Time) {
+	c := t.cand
+	in := m.inter[c.PoP]
+	if in == nil {
+		in = m.inter[m.pops[0].Name]
+		c.PoP = m.pops[0].Name
+		t.cand.PoP = c.PoP
+	}
+	m.interrogations.Add(1)
+	obs := in.Interrogate(c, now)
+	if !obs.Success && m.scheduleRetry(s, t, now) {
+		return
+	}
+	m.apply(s, obs, c, now)
 }
 
 // snapshotDaily appends today's full map state to the analytics store.
@@ -733,11 +914,22 @@ func (m *Map) markPseudo(s *stateShard, addr netip.Addr, now time.Time) {
 // sequence.
 func (m *Map) refreshDue(now time.Time) {
 	m.pruneExclusions(now)
+	// Slots with an in-flight retry chain are owned by that chain until it
+	// succeeds or exhausts; re-enqueueing them here would fork parallel
+	// retry ladders for the same slot.
+	retrying := make(map[slotKey]bool)
+	for _, s := range m.shards {
+		for _, r := range s.retries {
+			if r.task.kind == taskRefresh {
+				retrying[slotKey{r.task.cand.Addr, r.task.cand.Port, r.task.cand.Transport}] = true
+			}
+		}
+	}
 	var due []slotKey
 	for _, s := range m.shards {
 		s.mu.Lock()
 		for key, last := range s.known {
-			if now.Sub(last) < m.cfg.RefreshEvery {
+			if now.Sub(last) < m.cfg.RefreshEvery || retrying[key] {
 				continue
 			}
 			due = append(due, key)
@@ -769,8 +961,9 @@ func (m *Map) refreshDue(now time.Time) {
 }
 
 // refreshSlot retries across PoPs: the slot only registers as failed if no
-// vantage point can reach it.
-func (m *Map) refreshSlot(s *stateShard, key slotKey, udpProto string, now time.Time) {
+// vantage point can reach it — and, when a retry policy is set, only after
+// the backoff ladder is exhausted too.
+func (m *Map) refreshSlot(s *stateShard, key slotKey, udpProto string, attempt int, now time.Time) {
 	cand := discovery.Candidate{
 		Addr: key.addr, Port: key.port, Transport: key.transport,
 		Method: entity.DetectRefresh, Time: now,
@@ -786,7 +979,14 @@ func (m *Map) refreshSlot(s *stateShard, key slotKey, udpProto string, now time.
 			return
 		}
 	}
-	// All PoPs failed: record the failure (starts/advances eviction).
+	// All PoPs failed. Defer the failure while retries remain: the slot
+	// does not start its eviction timer for a fault a later attempt rides
+	// out.
+	cand.PoP = ""
+	if m.scheduleRetry(s, pendingTask{cand: cand, kind: taskRefresh, attempt: attempt}, now) {
+		return
+	}
+	// Retries exhausted: record the failure (starts/advances eviction).
 	cand.PoP = m.pops[0].Name
 	obs := m.inter[cand.PoP].Interrogate(cand, now)
 	m.apply(s, obs, cand, now)

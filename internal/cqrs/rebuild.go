@@ -1,0 +1,126 @@
+package cqrs
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"censysmap/internal/entity"
+	"censysmap/internal/journal"
+)
+
+// RebuildProcessor reconstructs a write-side Processor from a journal alone —
+// the crash-recovery path. Every entity's materialized state is rebuilt from
+// its latest snapshot plus delta replay (the same reducer the query side
+// uses), and the per-entity snapshot cadence counter is recomputed from the
+// journal's own bookkeeping, so a resumed processor journals its next
+// snapshot at exactly the tick the uninterrupted run would have.
+//
+// What replay cannot reconstruct is the deliberately un-journaled liveness
+// bookkeeping (per-slot last-seen times moved by no-change refreshes); the
+// caller restores that from a Checkpoint via RestoreEphemeral.
+func RebuildProcessor(cfg Config, j *journal.Store, asOf time.Time) (*Processor, error) {
+	p := NewProcessor(cfg, j)
+	for _, id := range j.Entities() {
+		snap, deltas, found := j.Replay(id, asOf)
+		if !found {
+			continue
+		}
+		var h *entity.Host
+		if snap.Kind == journal.SnapshotKind {
+			decoded, err := DecodeHostSnapshot(snap.Payload)
+			if err != nil {
+				return nil, fmt.Errorf("cqrs: rebuild %s: %w", id, err)
+			}
+			h = decoded
+		} else {
+			addr, err := netip.ParseAddr(id)
+			if err != nil {
+				return nil, fmt.Errorf("cqrs: rebuild %s: %w", id, err)
+			}
+			h = entity.NewHost(addr)
+		}
+		for _, ev := range deltas {
+			if err := ApplyEvent(h, ev); err != nil {
+				return nil, fmt.Errorf("cqrs: rebuild %s: %w", id, err)
+			}
+		}
+		s := p.shardFor(id)
+		s.state[id] = h
+		s.sinceSnap[id] = j.EventsSinceSnapshot(id)
+	}
+	return p, nil
+}
+
+// SlotLiveness is one slot's un-journaled refresh bookkeeping, exported for
+// checkpointing.
+type SlotLiveness struct {
+	Entity string    `json:"entity"`
+	Key    string    `json:"key"`
+	At     time.Time `json:"at"`
+	PoP    string    `json:"pop,omitempty"`
+}
+
+// Ephemeral is the write-side state that lives outside the journal: the
+// per-slot last-seen bookkeeping and the evaluation counters. Together with
+// RebuildProcessor it makes a processor restart bit-exact.
+type Ephemeral struct {
+	Observations uint64         `json:"observations"`
+	NoChange     uint64         `json:"no_change"`
+	Slots        []SlotLiveness `json:"slots,omitempty"`
+}
+
+// Ephemeral captures the un-journaled write-side state in canonical order.
+func (p *Processor) Ephemeral() Ephemeral {
+	e := Ephemeral{Observations: p.observations.Load(), NoChange: p.noChange.Load()}
+	for _, s := range p.shards {
+		s.mu.Lock()
+		for id, slots := range s.lastSeen {
+			for key, ls := range slots {
+				e.Slots = append(e.Slots, SlotLiveness{Entity: id, Key: key, At: ls.at, PoP: ls.pop})
+			}
+		}
+		s.mu.Unlock()
+	}
+	sort.Slice(e.Slots, func(i, j int) bool {
+		if e.Slots[i].Entity != e.Slots[j].Entity {
+			return e.Slots[i].Entity < e.Slots[j].Entity
+		}
+		return e.Slots[i].Key < e.Slots[j].Key
+	})
+	return e
+}
+
+// RestoreEphemeral reinstates captured un-journaled state onto a rebuilt
+// processor. Beyond refilling the last-seen map it patches the materialized
+// service records: a no-change refresh moves LastSeen/SourcePoP without
+// journaling, so the journal-rebuilt record can trail the live one — the
+// checkpointed liveness entry is authoritative for both fields. (For slots
+// whose latest movement was journaled the patch is a no-op: the journaled
+// delta carries the same LastSeen/SourcePoP the touch recorded.)
+func (p *Processor) RestoreEphemeral(e Ephemeral) {
+	p.observations.Store(e.Observations)
+	p.noChange.Store(e.NoChange)
+	for _, sl := range e.Slots {
+		s := p.shardFor(sl.Entity)
+		s.mu.Lock()
+		m := s.lastSeen[sl.Entity]
+		if m == nil {
+			m = make(map[string]slotSeen)
+			s.lastSeen[sl.Entity] = m
+		}
+		m[sl.Key] = slotSeen{at: sl.At, pop: sl.PoP}
+		// The liveness entry records the slot's last *successful*
+		// observation, which is also the last thing to have set the live
+		// record's LastSeen/SourcePoP — pending events never touch those
+		// fields, so the patch is correct for pending slots too.
+		if h := s.state[sl.Entity]; h != nil {
+			if svc := h.Services[sl.Key]; svc != nil {
+				svc.LastSeen = sl.At
+				svc.SourcePoP = sl.PoP
+			}
+		}
+		s.mu.Unlock()
+	}
+}

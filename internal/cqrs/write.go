@@ -74,10 +74,19 @@ type procShard struct {
 	sinceSnap map[string]int
 	// lastSeen tracks per-slot refresh liveness without journaling it:
 	// "last time Censys saw the service" changes every scan and would
-	// defeat delta encoding if journaled.
-	lastSeen map[string]map[string]time.Time
+	// defeat delta encoding if journaled. It is exactly the state a
+	// checkpoint must carry to make journal replay bit-exact (see
+	// Ephemeral): the PoP rides along because no-change refreshes also
+	// move SourcePoP without journaling.
+	lastSeen map[string]map[string]slotSeen
 
 	queue []OutEvent
+}
+
+// slotSeen is the un-journaled liveness bookkeeping for one service slot.
+type slotSeen struct {
+	at  time.Time
+	pop string
 }
 
 // Processor is the write side: it turns observations into journaled deltas
@@ -112,7 +121,7 @@ func NewProcessor(cfg Config, j *journal.Store) *Processor {
 		p.shards[i] = &procShard{
 			state:     make(map[string]*entity.Host),
 			sinceSnap: make(map[string]int),
-			lastSeen:  make(map[string]map[string]time.Time),
+			lastSeen:  make(map[string]map[string]slotSeen),
 		}
 	}
 	return p
@@ -159,7 +168,7 @@ func (p *Processor) Apply(obs Observation) error {
 
 	switch {
 	case obs.Success && obs.Service != nil:
-		s.touch(id, key, obs.Time)
+		s.touch(id, key, obs.Time, obs.PoP)
 		svc := obs.Service.Clone()
 		svc.LastSeen = obs.Time
 		svc.SourcePoP = obs.PoP
@@ -204,13 +213,13 @@ func (p *Processor) Apply(obs Observation) error {
 	}
 }
 
-func (s *procShard) touch(id string, key entity.ServiceKey, t time.Time) {
+func (s *procShard) touch(id string, key entity.ServiceKey, t time.Time, pop string) {
 	m := s.lastSeen[id]
 	if m == nil {
-		m = make(map[string]time.Time)
+		m = make(map[string]slotSeen)
 		s.lastSeen[id] = m
 	}
-	m[key.String()] = t
+	m[key.String()] = slotSeen{at: t, pop: pop}
 }
 
 // emit journals a service-carrying delta and updates write-side state. The
@@ -303,8 +312,8 @@ func (p *Processor) LastSeen(id string, key entity.ServiceKey) (time.Time, bool)
 	s := p.shardFor(id)
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	t, ok := s.lastSeen[id][key.String()]
-	return t, ok
+	ls, ok := s.lastSeen[id][key.String()]
+	return ls.at, ok
 }
 
 // EntityIDs lists entities with materialized state, sorted. Sorting is load

@@ -260,3 +260,26 @@ func (c *Cycle) Reset() {
 	c.steps = 0
 	c.emitted = 0
 }
+
+// CycleState is the serializable iteration position of a Cycle. The group
+// parameters (prime, generator, start, stride) are re-derived from the same
+// (n, seed, shard, shards) on restore, so only the moving parts are captured.
+type CycleState struct {
+	Cur     uint64 `json:"cur"`
+	Steps   uint64 `json:"steps"`
+	Emitted uint64 `json:"emitted"`
+}
+
+// State captures the cycle's current position for checkpointing.
+func (c *Cycle) State() CycleState {
+	return CycleState{Cur: c.cur, Steps: c.steps, Emitted: c.emitted}
+}
+
+// Restore rewinds or fast-forwards the cycle to a previously captured
+// position. The cycle must have been constructed with the same parameters
+// (n, seed, shard, shards) that produced the state.
+func (c *Cycle) Restore(st CycleState) {
+	c.cur = st.Cur
+	c.steps = st.Steps
+	c.emitted = st.Emitted
+}

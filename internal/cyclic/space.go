@@ -123,6 +123,14 @@ func (it *Iterator) Reset() { it.cycle.Reset() }
 // Emitted returns the number of targets produced so far.
 func (it *Iterator) Emitted() uint64 { return it.cycle.Emitted() }
 
+// State captures the iterator's position for checkpointing.
+func (it *Iterator) State() CycleState { return it.cycle.State() }
+
+// Restore repositions the iterator to a previously captured state. The
+// iterator must have been constructed over the same space with the same seed
+// and sharding as the one that produced the state.
+func (it *Iterator) Restore(st CycleState) { it.cycle.Restore(st) }
+
 // Space returns the underlying probe space.
 func (it *Iterator) Space() *Space { return it.space }
 

@@ -312,6 +312,59 @@ func (e *Engine) wireProbeUDP(sc simnet.Scanner, pop PoP, addr netip.Addr, port 
 // Stats returns cumulative counters.
 func (e *Engine) Stats() Stats { return e.stats }
 
+// ClassPosition is one scan class's serializable coverage position.
+type ClassPosition struct {
+	Name  string            `json:"name"`
+	Gen   uint64            `json:"gen"`
+	Cycle cyclic.CycleState `json:"cycle"`
+}
+
+// State is the engine's serializable position: PoP rotation, counters, and
+// each class's place in its coverage cycle. The cycles themselves re-derive
+// from the engine seed, so a restored engine probes the exact targets the
+// original would have probed next.
+type State struct {
+	PopIdx  int             `json:"pop_idx"`
+	Stats   Stats           `json:"stats"`
+	Classes []ClassPosition `json:"classes"`
+}
+
+// State captures the engine's position for checkpointing.
+func (e *Engine) State() State {
+	st := State{PopIdx: e.popIdx, Stats: e.stats}
+	for _, cs := range e.classes {
+		st.Classes = append(st.Classes, ClassPosition{
+			Name: cs.cfg.Name, Gen: cs.gen, Cycle: cs.iter.State()})
+	}
+	return st
+}
+
+// Restore repositions an engine built with the same Config to a captured
+// state. Classes are matched by name; unknown names are ignored.
+func (e *Engine) Restore(st State) error {
+	e.popIdx = st.PopIdx
+	e.stats = st.Stats
+	for _, cp := range st.Classes {
+		for _, cs := range e.classes {
+			if cs.cfg.Name != cp.Name {
+				continue
+			}
+			if cp.Gen != cs.gen {
+				// The class restarted its coverage cycle with a reseeded
+				// order; rebuild the same generation's iterator.
+				it, err := cyclic.NewIterator(cs.cfg.Space, e.cfg.Seed^strSeed(cs.cfg.Name)^cp.Gen)
+				if err != nil {
+					return fmt.Errorf("discovery: restore class %q: %w", cp.Name, err)
+				}
+				cs.iter = it
+				cs.gen = cp.Gen
+			}
+			cs.iter.Restore(cp.Cycle)
+		}
+	}
+	return nil
+}
+
 // PriorityPorts returns the ~top responsive ports plus IANA-assigned ports
 // of interest that the Common Ports class covers daily (a scaled-down
 // version of the paper's ~200).

@@ -1,0 +1,51 @@
+package fingerdsl
+
+import "testing"
+
+// FuzzParse: the fingerprint-DSL parser must never panic, and anything it
+// accepts must evaluate without panicking and re-parse from its own String.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		``,
+		`http.title`,
+		`(= http.server "nginx/1.24.0")`,
+		`(!= http.server "apache")`,
+		`(= port 8080)`,
+		`(contains http.title "RouterOS")`,
+		`(prefix http.server "nginx")`,
+		`(suffix http.server "1.24.0")`,
+		`(= (lower http.title) "routeros router configuration page")`,
+		`(contains (upper http.title) "ROUTEROS")`,
+		`(and (= port 443) (contains http.title "login"))`,
+		`(or (= a "x") (= b "y"))`,
+		`(not (= http.server ""))`,
+		`(= a "unterminated`,
+		`((((`,
+		`(= a b c d e f)`,
+		`(bogusop x "y")`,
+		"(= a \"\\\"escaped\\\"\")",
+		`(= a "unicode ☃")`,
+		"\x00\xff(=",
+	} {
+		f.Add(seed)
+	}
+	ctx := MapContext{
+		"http.title":  "RouterOS router configuration page",
+		"http.server": "nginx/1.24.0",
+		"port":        "8080",
+		"a":           "x",
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted input: evaluation must not panic (errors are fine),
+		// and the expression must round-trip through its source form.
+		e.Eval(ctx)
+		e.Match(ctx)
+		if _, err := Parse(e.String()); err != nil {
+			t.Fatalf("accepted %q but re-parse of String %q failed: %v", src, e.String(), err)
+		}
+	})
+}

@@ -319,3 +319,128 @@ func net24(a netip.Addr) netip.Addr {
 	b[3] = 0
 	return netip.AddrFrom4(b)
 }
+
+// SuggestedEntry is one cooldown-clock entry, exported for checkpointing.
+type SuggestedEntry struct {
+	Target Target    `json:"target"`
+	At     time.Time `json:"at"`
+}
+
+// EvictedState is one re-injection-queue entry, exported for checkpointing.
+type EvictedState struct {
+	Target    Target    `json:"target"`
+	At        time.Time `json:"at"`
+	LastRetry time.Time `json:"last_retry,omitempty"`
+}
+
+// State is the engine's full serializable model state. Map-shaped signals
+// stay maps (their iteration order never reaches output); the cooldown and
+// re-injection books become canonically sorted slices because their struct
+// keys cannot be JSON map keys.
+type State struct {
+	Net24Ports map[netip.Addr]map[uint16]int              `json:"net24_ports,omitempty"`
+	Cooc       map[uint16]map[uint16]int                  `json:"cooc,omitempty"`
+	HostPorts  map[netip.Addr]map[uint16]entity.Transport `json:"host_ports,omitempty"`
+	Suggested  []SuggestedEntry                           `json:"suggested,omitempty"`
+	Evicted    []EvictedState                             `json:"evicted,omitempty"`
+	Cursor     int                                        `json:"cursor"`
+}
+
+func lessTarget(a, b Target) bool {
+	if a.Addr != b.Addr {
+		return a.Addr.Less(b.Addr)
+	}
+	if a.Port != b.Port {
+		return a.Port < b.Port
+	}
+	if a.Transport != b.Transport {
+		return a.Transport < b.Transport
+	}
+	return a.Reason < b.Reason
+}
+
+// State deep-copies the model for checkpointing.
+func (e *Engine) State() State {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := State{
+		Net24Ports: make(map[netip.Addr]map[uint16]int, len(e.net24Ports)),
+		Cooc:       make(map[uint16]map[uint16]int, len(e.cooc)),
+		HostPorts:  make(map[netip.Addr]map[uint16]entity.Transport, len(e.hostPorts)),
+		Cursor:     e.cursor,
+	}
+	for k, m := range e.net24Ports {
+		c := make(map[uint16]int, len(m))
+		for p, n := range m {
+			c[p] = n
+		}
+		st.Net24Ports[k] = c
+	}
+	for k, m := range e.cooc {
+		c := make(map[uint16]int, len(m))
+		for p, n := range m {
+			c[p] = n
+		}
+		st.Cooc[k] = c
+	}
+	for k, m := range e.hostPorts {
+		c := make(map[uint16]entity.Transport, len(m))
+		for p, t := range m {
+			c[p] = t
+		}
+		st.HostPorts[k] = c
+	}
+	for tgt, at := range e.suggested {
+		st.Suggested = append(st.Suggested, SuggestedEntry{Target: tgt, At: at})
+	}
+	sort.Slice(st.Suggested, func(i, j int) bool { return lessTarget(st.Suggested[i].Target, st.Suggested[j].Target) })
+	for tgt, entry := range e.evicted {
+		st.Evicted = append(st.Evicted, EvictedState{Target: tgt, At: entry.at, LastRetry: entry.lastRetry})
+	}
+	sort.Slice(st.Evicted, func(i, j int) bool { return lessTarget(st.Evicted[i].Target, st.Evicted[j].Target) })
+	return st
+}
+
+// Restore replaces the engine's model with a captured state. The sorted host
+// rotation list is rebuilt from the host-port map, so the Recommend order
+// matches the engine that produced the state.
+func (e *Engine) Restore(st State) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.net24Ports = make(map[netip.Addr]map[uint16]int, len(st.Net24Ports))
+	for k, m := range st.Net24Ports {
+		c := make(map[uint16]int, len(m))
+		for p, n := range m {
+			c[p] = n
+		}
+		e.net24Ports[k] = c
+	}
+	e.cooc = make(map[uint16]map[uint16]int, len(st.Cooc))
+	for k, m := range st.Cooc {
+		c := make(map[uint16]int, len(m))
+		for p, n := range m {
+			c[p] = n
+		}
+		e.cooc[k] = c
+	}
+	e.hostPorts = make(map[netip.Addr]map[uint16]entity.Transport, len(st.HostPorts))
+	e.hosts = e.hosts[:0]
+	for k, m := range st.HostPorts {
+		c := make(map[uint16]entity.Transport, len(m))
+		for p, t := range m {
+			c[p] = t
+		}
+		e.hostPorts[k] = c
+		e.hosts = append(e.hosts, k)
+	}
+	sort.Slice(e.hosts, func(i, j int) bool { return e.hosts[i].Less(e.hosts[j]) })
+	e.suggested = make(map[Target]time.Time, len(st.Suggested))
+	for _, s := range st.Suggested {
+		e.suggested[s.Target] = s.At
+	}
+	e.evicted = make(map[Target]evictedEntry, len(st.Evicted))
+	for _, ev := range st.Evicted {
+		e.evicted[ev.Target] = evictedEntry{at: ev.At, lastRetry: ev.LastRetry}
+	}
+	e.cursor = st.Cursor
+}

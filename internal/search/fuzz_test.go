@@ -1,0 +1,43 @@
+package search
+
+import "testing"
+
+// FuzzParseQuery: the search-query parser must never panic, and any query
+// it accepts must re-parse from its own String form.
+func FuzzParseQuery(f *testing.F) {
+	for _, seed := range []string{
+		``,
+		`services.protocol: MODBUS`,
+		`services.service_name="MODBUS"`,
+		`location.country: US and services.protocol: HTTP`,
+		`services.port: 502 or services.port: 443`,
+		`location.country: US AND NOT services.protocol: MODBUS`,
+		`(location.country: US or location.country: DE) and services.protocol: HTTP`,
+		`"MOVEit Transfer"`,
+		`services.http.title: "Welcome to nginx"`,
+		`services.port: [8000 TO 9000]`,
+		`services.port: [8000 TO 9000] and not services.tls: true`,
+		`ip: 10.0.0.2`,
+		`nginx`,
+		`not not not x`,
+		`a and or b`,
+		`(broken and`,
+		`field:`,
+		`: value`,
+		`a:"unterminated`,
+		`[1 TO`,
+		"\"\x00\xff\"",
+		`🦀: 🦀`,
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := ParseQuery(src)
+		if err != nil {
+			return
+		}
+		if _, err := ParseQuery(q.String()); err != nil {
+			t.Fatalf("accepted %q but re-parse of String %q failed: %v", src, q.String(), err)
+		}
+	})
+}

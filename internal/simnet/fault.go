@@ -1,0 +1,39 @@
+package simnet
+
+import (
+	"net/netip"
+	"time"
+)
+
+// Op classifies the network operation a fault injector is consulted about,
+// so an injector can target discovery probes and interrogation connections
+// independently (e.g. interrogation timeouts leave SYN scanning untouched).
+type Op int
+
+// Operation kinds passed to FaultInjector.Drop.
+const (
+	// OpProbe is a stateless discovery probe (ProbeTCP / ProbeUDP).
+	OpProbe Op = iota
+	// OpConnect is an application-layer interrogation connection.
+	OpConnect
+	// OpConnectName is a name-addressed web-property connection.
+	OpConnectName
+)
+
+// FaultInjector decides whether an otherwise-deliverable probe is dropped.
+// It is consulted once per probe that reaches the path model, immediately
+// after the per-(scanner, addr) sequence number is assigned — so an injected
+// drop consumes a sequence number exactly like natural path loss, and the
+// natural loss draws for subsequent probes are unchanged.
+//
+// Implementations must be deterministic functions of their own seed and the
+// arguments (never of call interleaving), and safe for concurrent use:
+// parallel interrogation workers probe concurrently.
+type FaultInjector interface {
+	Drop(sc Scanner, addr netip.Addr, op Op, seq uint64, now time.Time) bool
+}
+
+// SetFaultInjector installs (or removes, with nil) a fault injector on the
+// network path. It must only be called while no probes are in flight —
+// between runs, not mid-tick.
+func (n *Internet) SetFaultInjector(f FaultInjector) { n.fault = f }

@@ -118,6 +118,10 @@ type Internet struct {
 	// independent of worker count and goroutine scheduling.
 	pathSeq map[pathKey]uint64
 
+	// fault, when set, injects additional deterministic drops on the path
+	// (see FaultInjector). Written only between runs; read per probe.
+	fault FaultInjector
+
 	// Stats counters.
 	probesSeen atomic.Uint64
 }

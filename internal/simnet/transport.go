@@ -48,7 +48,7 @@ func (n *Internet) ProbeTCP(sc Scanner, addr netip.Addr, port uint16) Outcome {
 		n.probesSeen.Add(1)
 		return Dropped
 	}
-	if !n.pathOK(sc, addr) {
+	if !n.pathOK(sc, addr, OpProbe) {
 		return Dropped
 	}
 	if h.Pseudo {
@@ -72,7 +72,7 @@ func (n *Internet) ProbeUDP(sc Scanner, addr netip.Addr, port uint16, payload []
 		n.probesSeen.Add(1)
 		return nil, Dropped // dead space / pseudo-hosts (a TCP phenomenon)
 	}
-	if !n.pathOK(sc, addr) {
+	if !n.pathOK(sc, addr, OpProbe) {
 		return nil, Dropped
 	}
 	now := n.clock.Now()
@@ -101,7 +101,7 @@ func (n *Internet) Connect(sc Scanner, addr netip.Addr, port uint16, transport e
 		n.probesSeen.Add(1)
 		return nil, false
 	}
-	if !n.pathOK(sc, addr) {
+	if !n.pathOK(sc, addr, OpConnect) {
 		return nil, false
 	}
 	now := n.clock.Now()
@@ -138,7 +138,7 @@ func (n *Internet) ConnectName(sc Scanner, name string, port uint16) (io.ReadWri
 		return nil, false
 	}
 	addr := site.Addrs[int(n.probesSeen.Load())%len(site.Addrs)]
-	if !n.pathOK(sc, addr) {
+	if !n.pathOK(sc, addr, OpConnectName) {
 		return nil, false
 	}
 	if n.hosts[addr] == nil {
@@ -204,7 +204,7 @@ func (n *Internet) HandlePacket(sc Scanner, pkt []byte) []byte {
 // pathOK models everything between scanner and host: blocking, geoblocking,
 // transient outages, and path loss. It also feeds the rate-based blocking
 // counters.
-func (n *Internet) pathOK(sc Scanner, addr netip.Addr) bool {
+func (n *Internet) pathOK(sc Scanner, addr netip.Addr, op Op) bool {
 	n.probesSeen.Add(1)
 	now := n.clock.Now()
 	net := net24(addr)
@@ -237,6 +237,12 @@ func (n *Internet) pathOK(sc Scanner, addr netip.Addr) bool {
 	seq := n.pathSeq[pk]
 	n.pathSeq[pk] = seq + 1
 	n.pathMu.Unlock()
+
+	// Injected faults: consulted after the sequence number is consumed, so an
+	// injected drop is indistinguishable from natural loss to later draws.
+	if n.fault != nil && n.fault.Drop(sc, addr, op, seq, now) {
+		return false
+	}
 
 	netID := uint64(addrU32(net))
 	// Reputation blocklists: some networks drop this scanner wholesale.

@@ -92,8 +92,83 @@ func New(cfg Config, net *simnet.Internet, scanner simnet.Scanner) *Pipeline {
 	}
 }
 
+// NewWithJournal creates a pipeline that appends to an existing journal —
+// the crash-recovery path, where the journal survives the process and the
+// resumed pipeline must continue its event sequence.
+func NewWithJournal(cfg Config, net *simnet.Internet, scanner simnet.Scanner, j *journal.Store) *Pipeline {
+	p := New(cfg, net, scanner)
+	p.journal = j
+	return p
+}
+
 // Journal exposes the property journal (for history queries).
 func (p *Pipeline) Journal() *journal.Store { return p.journal }
+
+// NameRecord is one tracked name's scheduling state, exported for
+// checkpointing.
+type NameRecord struct {
+	Name        string    `json:"name"`
+	Sources     []string  `json:"sources"`
+	NextScan    time.Time `json:"next_scan"`
+	FailedSince time.Time `json:"failed_since,omitempty"`
+}
+
+// State is the pipeline's serializable state: tracked names, current
+// properties, the CT log cursor, and the scan queue (whose order is state —
+// it decides which names each tick's budget reaches).
+type State struct {
+	Names    []NameRecord      `json:"names,omitempty"`
+	Props    []json.RawMessage `json:"props,omitempty"`
+	CTCursor uint64            `json:"ct_cursor"`
+	Queue    []string          `json:"queue,omitempty"`
+}
+
+// State captures the pipeline for checkpointing.
+func (p *Pipeline) State() State {
+	st := State{CTCursor: p.ctCursor, Queue: append([]string(nil), p.queue...)}
+	for _, ns := range p.names {
+		rec := NameRecord{Name: ns.name, NextScan: ns.nextScan, FailedSince: ns.failedSince}
+		for src := range ns.sources {
+			rec.Sources = append(rec.Sources, src)
+		}
+		sort.Strings(rec.Sources)
+		st.Names = append(st.Names, rec)
+	}
+	sort.Slice(st.Names, func(i, j int) bool { return st.Names[i].Name < st.Names[j].Name })
+	var names []string
+	for name := range p.state {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st.Props = append(st.Props, encodeProp(p.state[name]))
+	}
+	return st
+}
+
+// Restore replaces the pipeline's tracking state with a captured one.
+func (p *Pipeline) Restore(st State) error {
+	p.ctCursor = st.CTCursor
+	p.queue = append([]string(nil), st.Queue...)
+	p.names = make(map[string]*nameState, len(st.Names))
+	for _, rec := range st.Names {
+		ns := &nameState{name: rec.Name, sources: map[string]bool{},
+			nextScan: rec.NextScan, failedSince: rec.FailedSince}
+		for _, src := range rec.Sources {
+			ns.sources[src] = true
+		}
+		p.names[rec.Name] = ns
+	}
+	p.state = make(map[string]*entity.WebProperty, len(st.Props))
+	for _, raw := range st.Props {
+		prop, err := DecodeProperty(raw)
+		if err != nil {
+			return err
+		}
+		p.state[prop.Name] = prop
+	}
+	return nil
+}
 
 // AddName registers a candidate name from a source; duplicates merge
 // sources. New names are scheduled for immediate scanning.
