@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos fuzz bench check
+.PHONY: all vet build test race chaos fuzz bench bench-search check
 
 all: check
 
@@ -27,15 +27,23 @@ chaos:
 	$(GO) test -race ./internal/chaos/ ./internal/core/ ./internal/cqrs/
 	$(GO) test -race . -run TestSystemCrashRecoveryUnderChaos
 
-# Short coverage-guided fuzzing of the three parsers that face untrusted
-# bytes. Seed corpora also run as part of plain `make test`.
+# Short coverage-guided fuzzing: the three parsers that face untrusted
+# bytes, plus the search differential (random queries against a naive
+# reference evaluator, serial and partitioned engines must agree). Seed
+# corpora also run as part of plain `make test`.
 fuzz:
 	$(GO) test ./internal/fingerdsl/ -fuzz FuzzParse -fuzztime 30s
 	$(GO) test ./internal/search/ -fuzz FuzzParseQuery -fuzztime 30s
+	$(GO) test ./internal/search/ -fuzz FuzzSearchDifferential -fuzztime 30s
 	$(GO) test ./internal/wire/ -fuzz FuzzDecode -fuzztime 30s
 
 # Serial vs sharded pipeline throughput (1/4/8 workers).
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkPipelineThroughput -benchtime 2x .
+
+# Read-path query engine benchmarks (the EXPERIMENTS.md "Read path" table).
+bench-search:
+	$(GO) test -run '^$$' -bench 'BenchmarkSearch|BenchmarkIndexUpsert' \
+		-benchmem -benchtime 20x ./internal/search/
 
 check: vet build race chaos

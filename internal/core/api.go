@@ -48,6 +48,23 @@ func (m *Map) Count(query string) (int, error) {
 // Index exposes the search index (for advanced callers).
 func (m *Map) Index() *search.Index { return m.index }
 
+// SearchCacheStats exposes the query-cache counters (hits, misses, resident
+// entries, summed partition generation). Generations advance on every index
+// mutation — the invalidation feed the cqrs processor's Subscribe hook drives.
+func (m *Map) SearchCacheStats() search.CacheStats { return m.index.Stats() }
+
+// ExportQuery materializes the matching hosts as analytics export rows — the
+// ad-hoc "query to BigQuery rows" path of §5.3, stamped with the current
+// simulated time. Hosts come off the search index's batched per-partition
+// fetch, already enriched by the event feed.
+func (m *Map) ExportQuery(query string) ([]snapshot.Row, error) {
+	hosts, err := m.index.SearchHosts(query)
+	if err != nil {
+		return nil, err
+	}
+	return snapshot.RowsFromHosts(m.clock.Now(), hosts), nil
+}
+
 // Lookup exposes the fast lookup API (also usable as an http.Handler).
 func (m *Map) Lookup() *lookup.Service { return m.lookupSvc }
 

@@ -372,6 +372,7 @@ func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, 
 	m.certIdx.Follow(m.processor)
 	m.processor.Subscribe(m.consumeEvent)
 	m.lookupSvc = lookup.New(m.reader, m.certIdx, clk)
+	m.lookupSvc.AttachSearch(m.index)
 
 	// Prediction & re-injection.
 	m.predictor = predict.New(predict.DefaultConfig())

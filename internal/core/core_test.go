@@ -1,7 +1,10 @@
 package core
 
 import (
+	"encoding/json"
+	"net/http/httptest"
 	"net/netip"
+	"net/url"
 	"testing"
 	"time"
 
@@ -108,6 +111,52 @@ func TestServicesAreVerifiedAndEnriched(t *testing.T) {
 		if h.Location == nil || h.Location.Country != "US" {
 			t.Fatalf("country filter violated: %+v", h.Location)
 		}
+	}
+}
+
+// TestReadPathWiring covers the read-path surface over a live pipeline: the
+// lookup service's search endpoint, the query-cache counters, and the ad-hoc
+// export path all answer from the same index.
+func TestReadPathWiring(t *testing.T) {
+	net, _ := testUniverse(t)
+	m := testMap(t, net)
+	m.Run(26 * time.Hour)
+
+	const q = `services.protocol: HTTP`
+	n, err := m.Count(q)
+	if err != nil || n == 0 {
+		t.Fatalf("HTTP count = %d err=%v", n, err)
+	}
+
+	// HTTP endpoint is attached and agrees with the Go API.
+	rec := httptest.NewRecorder()
+	m.Lookup().ServeHTTP(rec, httptest.NewRequest("GET",
+		"/v2/hosts/search?q="+url.QueryEscape(q), nil))
+	if rec.Code != 200 {
+		t.Fatalf("search endpoint status = %d body=%s", rec.Code, rec.Body)
+	}
+	var body struct {
+		Total int `json:"total"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Total != n {
+		t.Fatalf("endpoint total = %d, Count = %d", body.Total, n)
+	}
+
+	// Export rows come straight off the index's batched host fetch.
+	rows, err := m.ExportQuery(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("export produced no rows")
+	}
+
+	// The repeated query above must have hit the generation-stamped cache.
+	if st := m.SearchCacheStats(); st.Hits == 0 {
+		t.Fatalf("no query-cache hits recorded: %+v", st)
 	}
 }
 

@@ -9,11 +9,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/netip"
+	"strconv"
 	"strings"
 	"time"
 
 	"censysmap/internal/cqrs"
 	"censysmap/internal/entity"
+	"censysmap/internal/search"
 	"censysmap/internal/simclock"
 )
 
@@ -23,6 +25,7 @@ type Service struct {
 	certs  *cqrs.CertIndex
 	clock  simclock.Clock
 	mux    *http.ServeMux
+	index  *search.Index
 }
 
 // New creates a lookup service. certs may be nil.
@@ -34,6 +37,15 @@ func New(reader *cqrs.Reader, certs *cqrs.CertIndex, clock simclock.Clock) *Serv
 	mux.HandleFunc("GET /v2/certificates/{fp}/hosts", s.handleCertHosts)
 	s.mux = mux
 	return s
+}
+
+// AttachSearch registers the interactive-search endpoint
+// (GET /v2/hosts/search?q=<query>[&limit=n]) backed by the query engine.
+// Result fetches use the engine's batched per-partition host path — one lock
+// acquisition per partition, not one per matching host.
+func (s *Service) AttachSearch(ix *search.Index) {
+	s.index = ix
+	s.mux.HandleFunc("GET /v2/hosts/search", s.handleSearch)
 }
 
 // Host returns the host record as of the given time (zero time = now).
@@ -121,6 +133,37 @@ func (s *Service) handleHistory(w http.ResponseWriter, r *http.Request) {
 			Body: json.RawMessage(ev.Payload)})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		writeJSON(w, http.StatusBadRequest, errorBody{"missing q parameter"})
+		return
+	}
+	limit := 0
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			writeJSON(w, http.StatusBadRequest, errorBody{"invalid limit"})
+			return
+		}
+		limit = n
+	}
+	hosts, err := s.index.SearchHosts(q)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	total := len(hosts)
+	if limit > 0 && total > limit {
+		hosts = hosts[:limit]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"query": q,
+		"total": total,
+		"hosts": hosts,
+	})
 }
 
 func (s *Service) handleCertHosts(w http.ResponseWriter, r *http.Request) {

@@ -4,12 +4,14 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"net/netip"
+	"net/url"
 	"testing"
 	"time"
 
 	"censysmap/internal/cqrs"
 	"censysmap/internal/entity"
 	"censysmap/internal/journal"
+	"censysmap/internal/search"
 	"censysmap/internal/simclock"
 )
 
@@ -144,6 +146,92 @@ func TestCertHostsEndpoint(t *testing.T) {
 	}
 	if len(body.Hosts) != 1 || body.Hosts[0] != "10.0.0.1 443/tcp" {
 		t.Fatalf("hosts = %v", body.Hosts)
+	}
+}
+
+// searchFixture attaches a partitioned search index holding three hosts.
+func searchFixture(t *testing.T) *Service {
+	t.Helper()
+	s, _ := fixture(t)
+	ix := search.NewPartitioned(4)
+	for i, country := range []string{"US", "DE", "US"} {
+		h := entity.NewHost(netip.MustParseAddr("10.0.0." + string(rune('1'+i))))
+		h.Location = &entity.Location{Country: country}
+		h.SetService(&entity.Service{Port: 443, Transport: entity.TCP,
+			Protocol: "HTTP", Verified: true})
+		ix.Upsert(h)
+	}
+	s.AttachSearch(ix)
+	return s
+}
+
+type searchBody struct {
+	Query string        `json:"query"`
+	Total int           `json:"total"`
+	Hosts []entity.Host `json:"hosts"`
+}
+
+func TestSearchEndpoint(t *testing.T) {
+	s := searchFixture(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/v2/hosts/search?q="+url.QueryEscape("location.country: US"), nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body)
+	}
+	var body searchBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Total != 2 || len(body.Hosts) != 2 {
+		t.Fatalf("body = %+v", body)
+	}
+	// Hosts striped over 4 partitions must come back merged in ID order.
+	if body.Hosts[0].IP.String() != "10.0.0.1" || body.Hosts[1].IP.String() != "10.0.0.3" {
+		t.Fatalf("order = %s, %s", body.Hosts[0].IP, body.Hosts[1].IP)
+	}
+}
+
+func TestSearchEndpointLimit(t *testing.T) {
+	s := searchFixture(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET",
+		"/v2/hosts/search?limit=1&q="+url.QueryEscape("services.protocol: HTTP"), nil))
+	var body searchBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	// total reports the full match count; hosts is truncated to the limit.
+	if body.Total != 3 || len(body.Hosts) != 1 || body.Hosts[0].IP.String() != "10.0.0.1" {
+		t.Fatalf("body = %+v", body)
+	}
+}
+
+func TestSearchEndpointErrors(t *testing.T) {
+	s := searchFixture(t)
+	cases := []string{
+		"/v2/hosts/search",                 // missing q
+		"/v2/hosts/search?q=" + url.QueryEscape("location.country: US and"), // parse error
+		"/v2/hosts/search?limit=-2&q=x",    // bad limit
+		"/v2/hosts/search?limit=banana&q=x",
+	}
+	for _, u := range cases {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, httptest.NewRequest("GET", u, nil))
+		if rec.Code != 400 {
+			t.Errorf("%s -> %d, want 400", u, rec.Code)
+		}
+	}
+}
+
+func TestSearchEndpointAbsentWithoutAttach(t *testing.T) {
+	s, _ := fixture(t)
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, httptest.NewRequest("GET", "/v2/hosts/search?q=x", nil))
+	// Without AttachSearch the path falls through to /v2/hosts/{ip} and is
+	// rejected as an invalid address.
+	if rec.Code != 400 {
+		t.Fatalf("status = %d, want 400 (route not registered)", rec.Code)
 	}
 }
 

@@ -1,0 +1,66 @@
+package search
+
+// The per-partition query cache maps a normalized query (the planner's
+// canonical key, so `a and b` and `b and a` share an entry) to its sorted
+// result IDs, stamped with the partition generation that produced it. Every
+// Upsert/Remove bumps the partition's generation — in the assembled system
+// those arrive through the cqrs.Processor.Subscribe feed that core wires to
+// the index — so a stale entry fails its stamp comparison and is simply
+// recomputed; there is no explicit invalidation walk. Repeated
+// dashboard-style queries over an unchanged partition are near-free.
+
+// maxCacheEntries bounds one partition's cache; on overflow the whole map is
+// dropped (entries are cheap to recompute and churn implies stale stamps).
+const maxCacheEntries = 512
+
+// cacheEntry is one cached per-partition result.
+type cacheEntry struct {
+	gen uint64
+	ids []string // sorted; treated as read-only by all readers
+}
+
+// cachedIDs returns the cached result for key if it is still current.
+func (p *indexPart) cachedIDs(key string) ([]string, bool) {
+	p.cacheMu.Lock()
+	e, ok := p.cache[key]
+	p.cacheMu.Unlock()
+	if !ok || e.gen != p.gen.Load() {
+		return nil, false
+	}
+	return e.ids, true
+}
+
+// storeIDs caches a result computed at generation gen.
+func (p *indexPart) storeIDs(key string, gen uint64, ids []string) {
+	p.cacheMu.Lock()
+	if len(p.cache) >= maxCacheEntries {
+		p.cache = make(map[string]cacheEntry)
+	}
+	p.cache[key] = cacheEntry{gen: gen, ids: ids}
+	p.cacheMu.Unlock()
+}
+
+// SetQueryCache enables or disables the query cache (it is on by default).
+// Benchmarks turn it off to measure raw evaluation cost.
+func (ix *Index) SetQueryCache(on bool) { ix.cacheOff.Store(!on) }
+
+// CacheStats reports query-cache effectiveness and the summed partition
+// generation (which advances on every index mutation).
+type CacheStats struct {
+	Hits       uint64
+	Misses     uint64
+	Entries    int
+	Generation uint64
+}
+
+// Stats returns the index's cache counters.
+func (ix *Index) Stats() CacheStats {
+	st := CacheStats{Hits: ix.hits.Load(), Misses: ix.misses.Load()}
+	for _, p := range ix.parts {
+		p.cacheMu.Lock()
+		st.Entries += len(p.cache)
+		p.cacheMu.Unlock()
+		st.Generation += p.gen.Load()
+	}
+	return st
+}

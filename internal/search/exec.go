@@ -1,47 +1,75 @@
 package search
 
 import (
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
 	"censysmap/internal/entity"
 )
 
+// MaxQueryWorkers bounds the per-query fan-out over partitions. Partition
+// evaluations are independent and the merge is order-deterministic, so the
+// result is identical for any worker count.
+var MaxQueryWorkers = 8
+
 // Search parses and executes a query, returning matching entity IDs sorted.
 func (ix *Index) Search(query string) ([]string, error) {
-	q, err := ParseQuery(query)
+	q, err := ix.parseCached(query)
 	if err != nil {
 		return nil, err
 	}
 	return ix.Execute(q), nil
 }
 
-// SearchHosts is Search returning the matched host records.
-func (ix *Index) SearchHosts(query string) ([]*entity.Host, error) {
-	ids, err := ix.Search(query)
+// parseCached compiles a query through the prepared-statement cache: a
+// repeated query string skips lexing, parsing, and planning entirely.
+// Compiled queries are immutable, so one *Query is safely shared by
+// concurrent executions.
+func (ix *Index) parseCached(query string) (*Query, error) {
+	ix.planMu.Lock()
+	q := ix.plans[query]
+	ix.planMu.Unlock()
+	if q != nil {
+		return q, nil
+	}
+	q, err := ParseQuery(query)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]*entity.Host, 0, len(ids))
-	for _, id := range ids {
-		if h := ix.Host(id); h != nil {
-			out = append(out, h)
-		}
+	ix.planMu.Lock()
+	if len(ix.plans) >= maxCacheEntries {
+		ix.plans = make(map[string]*Query)
 	}
-	return out, nil
+	ix.plans[query] = q
+	ix.planMu.Unlock()
+	return q, nil
+}
+
+// SearchHosts is Search returning the matched host records. Hosts are
+// fetched with one batched pass per partition (a single lock acquisition
+// cloning every match), not one lock round-trip per result.
+func (ix *Index) SearchHosts(query string) ([]*entity.Host, error) {
+	q, err := ix.parseCached(query)
+	if err != nil {
+		return nil, err
+	}
+	perPart := ix.partResults(q)
+	hosts := make([][]*entity.Host, len(ix.parts))
+	for i, p := range ix.parts {
+		hosts[i] = p.hostsFor(perPart[i])
+	}
+	return mergeHostsByID(hosts), nil
 }
 
 // Execute runs a compiled query. Partitions hold disjoint document sets and
 // every query operator is a per-document predicate, so the query is
-// evaluated independently against each partition and the results unioned —
+// evaluated independently against each partition (in parallel, on a bounded
+// worker pool) and the pre-sorted per-partition results are k-way merged —
 // the merged query path over the sharded index.
 func (ix *Index) Execute(q *Query) []string {
-	merged := make(map[string]struct{})
-	for _, p := range ix.parts {
-		p.mu.RLock()
-		for id := range p.eval(q.root) {
-			merged[id] = struct{}{}
-		}
-		p.mu.RUnlock()
-	}
-	return sortedIDs(merged)
+	return mergeSortedStrings(ix.partResults(q))
 }
 
 // Count returns the number of matches.
@@ -53,67 +81,267 @@ func (ix *Index) Count(query string) (int, error) {
 	return len(ids), nil
 }
 
-func (p *indexPart) eval(n queryNode) map[string]struct{} {
+// partResults evaluates a query against every partition, fanning out over a
+// bounded worker pool, returning each partition's sorted ID list.
+func (ix *Index) partResults(q *Query) [][]string {
+	out := make([][]string, len(ix.parts))
+	workers := MaxQueryWorkers
+	if workers > len(ix.parts) {
+		workers = len(ix.parts)
+	}
+	if workers <= 1 {
+		for i, p := range ix.parts {
+			out[i] = ix.partQuery(p, q)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ix.parts) {
+					return
+				}
+				out[i] = ix.partQuery(ix.parts[i], q)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// partQuery answers a query on one partition: cache probe, then plan
+// evaluation under the read lock, then cache fill.
+func (ix *Index) partQuery(p *indexPart, q *Query) []string {
+	useCache := !ix.cacheOff.Load()
+	if useCache {
+		if ids, ok := p.cachedIDs(q.key); ok {
+			ix.hits.Add(1)
+			return ids
+		}
+		ix.misses.Add(1)
+	}
+	p.mu.RLock()
+	gen := p.gen.Load()
+	locals := p.evalPlan(q.plan)
+	ids := make([]string, len(locals))
+	for i, lid := range locals {
+		ids[i] = p.byLocal[lid].id
+	}
+	p.mu.RUnlock()
+	// Local IDs are dense ints in insertion order, not lexicographic order;
+	// the contract is sorted entity IDs.
+	sort.Strings(ids)
+	if useCache {
+		p.storeIDs(q.key, gen, ids)
+	}
+	return ids
+}
+
+// --- plan evaluation (caller holds the partition read lock) ---
+
+// evalPlan returns the sorted local-ID result for a plan node. Returned
+// slices may alias live posting lists and must be treated as read-only;
+// every set operator allocates its output.
+func (p *indexPart) evalPlan(n planNode) []uint32 {
 	switch t := n.(type) {
-	case termNode:
+	case planTerm:
 		return p.evalTerm(t)
-	case andNode:
-		var acc map[string]struct{}
-		for _, c := range t.children {
-			set := p.eval(c)
-			if acc == nil {
-				acc = set
+	case planAnd:
+		return p.evalAnd(t)
+	case planOr:
+		var acc []uint32
+		for i, c := range t.children {
+			if i == 0 {
+				acc = p.evalPlan(c)
 				continue
 			}
-			acc = intersect(acc, set)
-			if len(acc) == 0 {
-				return acc
-			}
+			acc = unionU32(acc, p.evalPlan(c))
 		}
 		return acc
-	case orNode:
-		acc := make(map[string]struct{})
-		for _, c := range t.children {
-			for id := range p.eval(c) {
-				acc[id] = struct{}{}
-			}
-		}
-		return acc
-	case notNode:
-		all := p.allDocs()
-		for id := range p.eval(t.child) {
-			delete(all, id)
-		}
-		return all
+	case planNot:
+		return diffU32(p.live, p.evalPlan(t.child))
 	default:
-		return map[string]struct{}{}
+		return nil
 	}
 }
 
-func (p *indexPart) evalTerm(t termNode) map[string]struct{} {
+// evalAnd intersects include children in ascending estimated-selectivity
+// order with early exit on empty, then subtracts each exclude child — the
+// AND(x, NOT(y)) rewrite never materializes the partition's full doc set.
+func (p *indexPart) evalAnd(a planAnd) []uint32 {
+	acc := p.live // read-only alias; conjunction of only negations starts here
+	if len(a.include) == 1 {
+		acc = p.evalPlan(a.include[0])
+	} else if len(a.include) > 0 {
+		order := make([]int, len(a.include))
+		for i := range order {
+			order[i] = i
+		}
+		ests := make([]int, len(a.include))
+		for i, c := range a.include {
+			ests[i] = p.estimate(c)
+		}
+		sort.SliceStable(order, func(x, y int) bool { return ests[order[x]] < ests[order[y]] })
+		acc = p.evalPlan(a.include[order[0]])
+		for _, idx := range order[1:] {
+			if len(acc) == 0 {
+				return acc
+			}
+			acc = intersectU32(acc, p.evalPlan(a.include[idx]))
+		}
+	}
+	for _, c := range a.exclude {
+		if len(acc) == 0 {
+			return acc
+		}
+		acc = diffU32(acc, p.evalPlan(c))
+	}
+	return acc
+}
+
+// estimate bounds a node's result size cheaply (posting-list lengths for
+// terms, column entry counts for ranges, partition size for scans). It only
+// orders conjuncts; correctness never depends on it.
+func (p *indexPart) estimate(n planNode) int {
+	switch t := n.(type) {
+	case planTerm:
+		switch {
+		case t.isRange:
+			i, j := p.numeric[t.field].bounds(t.lo, t.hi)
+			return j - i
+		case t.phrase, t.prefix:
+			return len(p.live)
+		case t.field == "":
+			sum := 0
+			for _, f := range textFieldList {
+				sum += len(p.inverted[f][t.value])
+			}
+			return sum
+		default:
+			return len(p.inverted[t.field][t.value])
+		}
+	case planAnd:
+		min := len(p.live)
+		for _, c := range t.include {
+			if e := p.estimate(c); e < min {
+				min = e
+			}
+		}
+		return min
+	case planOr:
+		sum := 0
+		for _, c := range t.children {
+			sum += p.estimate(c)
+		}
+		return sum
+	case planNot:
+		return len(p.live)
+	default:
+		return 0
+	}
+}
+
+// evalTerm answers a single match primitive as a sorted local-ID list.
+func (p *indexPart) evalTerm(t planTerm) []uint32 {
 	switch {
 	case t.isRange:
-		return p.lookupRange(t.field, t.lo, t.hi)
+		return p.numeric[t.field].rangeDocs(t.lo, t.hi)
 	case t.prefix:
 		return p.lookupPrefix(t.field, t.value)
 	case t.phrase:
 		return p.lookupPhrase(t.field, t.value)
 	case t.field == "":
-		return p.lookupBare(t.value)
+		var acc []uint32
+		for _, f := range textFieldList {
+			if list := p.inverted[f][t.value]; len(list) > 0 {
+				acc = unionU32(acc, list)
+			}
+		}
+		return acc
 	default:
-		return p.lookupTerm(t.field, t.value)
+		return p.inverted[t.field][t.value]
 	}
 }
 
-func intersect(a, b map[string]struct{}) map[string]struct{} {
-	if len(b) < len(a) {
-		a, b = b, a
-	}
-	out := make(map[string]struct{})
-	for id := range a {
-		if _, ok := b[id]; ok {
-			out[id] = struct{}{}
+// lookupPrefix unions the posting lists of every token with the given
+// (pre-lowercased) prefix in field, or in all text fields when field is
+// empty.
+func (p *indexPart) lookupPrefix(field, prefix string) []uint32 {
+	var acc []uint32
+	scan := func(f string) {
+		for tok, list := range p.inverted[f] {
+			if strings.HasPrefix(tok, prefix) {
+				acc = unionU32(acc, list)
+			}
 		}
+	}
+	if field != "" {
+		scan(field)
+		return acc
+	}
+	for _, f := range textFieldList {
+		scan(f)
+	}
+	return acc
+}
+
+// lookupPhrase scans live documents in order for a (pre-lowercased)
+// substring match against the precomputed lowercased raw values — no
+// per-query lowercasing. Output is sorted by construction.
+func (p *indexPart) lookupPhrase(field, phrase string) []uint32 {
+	var acc []uint32
+	match := func(d *document, f string) bool {
+		for _, v := range d.lowered[f] {
+			if strings.Contains(v, phrase) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, lid := range p.live {
+		d := p.byLocal[lid]
+		if field != "" {
+			if match(d, field) {
+				acc = append(acc, lid)
+			}
+			continue
+		}
+		for _, f := range textFieldList {
+			if match(d, f) {
+				acc = append(acc, lid)
+				break
+			}
+		}
+	}
+	return acc
+}
+
+// mergeHostsByID k-way merges per-partition host lists (each sorted by
+// entity ID) into one list sorted by entity ID.
+func mergeHostsByID(lists [][]*entity.Host) []*entity.Host {
+	total := 0
+	for _, l := range lists {
+		total += len(l)
+	}
+	out := make([]*entity.Host, 0, total)
+	heads := make([]int, len(lists))
+	for len(out) < total {
+		min := -1
+		for i, l := range lists {
+			if heads[i] >= len(l) {
+				continue
+			}
+			if min < 0 || l[heads[i]].ID() < lists[min][heads[min]].ID() {
+				min = i
+			}
+		}
+		out = append(out, lists[min][heads[min]])
+		heads[min]++
 	}
 	return out
 }

@@ -2,6 +2,15 @@
 // an inverted index over the current state of every entity, queried with a
 // Lucene-like language (field references, boolean operators, phrases,
 // wildcards, numeric ranges). It stands in for the Elasticsearch tier.
+//
+// The execution engine is built around compressed integer postings: each
+// partition keeps a dense docID dictionary (entity ID → uint32) and stores
+// every posting list as a sorted []uint32, so boolean operators are linear
+// merges; numeric fields are sorted (value, doc) columns, so range queries
+// are two binary searches; and documents carry their lowercased raw values
+// and token lists, so phrase matching and removal never re-lowercase or
+// re-tokenize. A query planner (planner.go) and a generation-stamped query
+// cache (cache.go) sit on top. See DESIGN.md, "Read path".
 package search
 
 import (
@@ -9,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"censysmap/internal/entity"
 	"censysmap/internal/shard"
@@ -27,22 +37,62 @@ import (
 // result.
 type Index struct {
 	parts []*indexPart
+
+	// cacheOff disables the per-partition query cache (benchmarks measuring
+	// raw evaluation; differential tests exercising both paths).
+	cacheOff atomic.Bool
+	// hits/misses count query-cache outcomes across all partitions.
+	hits, misses atomic.Uint64
+
+	// plans caches compiled queries by raw query text — the prepared-
+	// statement cache. Compilation is pure (independent of index contents),
+	// so entries never go stale and survive the result cache's generation
+	// churn.
+	planMu sync.Mutex
+	plans  map[string]*Query
 }
 
 // indexPart is one independently locked stripe of the index.
 type indexPart struct {
-	mu   sync.RWMutex
+	mu sync.RWMutex
+
+	// docID dictionary: entity ID ↔ dense partition-local uint32. Entries
+	// are never recycled — a re-upserted entity keeps its local ID — so the
+	// dictionary is bounded by the number of distinct entities ever seen.
+	idOf    map[string]uint32
+	byLocal []*document // local ID -> live document (nil when removed)
+
+	// live is the sorted local-ID list of present documents: the base set
+	// for NOT complements and the scan order for phrase evaluation.
+	live []uint32
+
 	docs map[string]*document
-	// inverted maps field -> token -> docID set.
-	inverted map[string]map[string]map[string]struct{}
+	// inverted maps field -> token -> sorted local-ID posting list.
+	inverted map[string]map[string][]uint32
+	// numeric maps field -> sorted (value, doc) column.
+	numeric map[string]numCol
+
+	// gen counts mutations; the query cache stamps entries with it. Bumped
+	// under mu (write), read atomically by the cache probe.
+	gen atomic.Uint64
+
+	cacheMu sync.Mutex
+	cache   map[string]cacheEntry
 }
 
-// document keeps the raw values needed for phrase and range evaluation.
+// document keeps the per-entity state needed for evaluation and teardown.
 type document struct {
-	id string
+	id    string
+	local uint32
 	// fields holds raw (not tokenized) values per field, multi-valued.
 	fields map[string][]string
-	// numbers holds numeric field values for range queries.
+	// lowered holds the lowercased raw values, precomputed at Upsert so
+	// phrase queries stop re-lowercasing per evaluation.
+	lowered map[string][]string
+	// tokens holds the deduped token list actually posted per field, so
+	// removal reverses the postings without re-running Tokenize.
+	tokens map[string][]string
+	// numbers holds the deduped numeric values entered per field column.
 	numbers map[string][]int64
 	host    *entity.Host
 }
@@ -56,11 +106,14 @@ func NewPartitioned(n int) *Index {
 	if n < 1 {
 		n = 1
 	}
-	ix := &Index{parts: make([]*indexPart, n)}
+	ix := &Index{parts: make([]*indexPart, n), plans: make(map[string]*Query)}
 	for i := range ix.parts {
 		ix.parts[i] = &indexPart{
+			idOf:     make(map[string]uint32),
 			docs:     make(map[string]*document),
-			inverted: make(map[string]map[string]map[string]struct{}),
+			inverted: make(map[string]map[string][]uint32),
+			numeric:  make(map[string]numCol),
+			cache:    make(map[string]cacheEntry),
 		}
 	}
 	return ix
@@ -79,6 +132,16 @@ var textFields = map[string]bool{
 	"services.http.server": true, "as.org": true, "labels": true,
 	"services.protocol": true, "software.product": true,
 }
+
+// textFieldList is textFields in sorted order, for deterministic iteration.
+var textFieldList = func() []string {
+	out := make([]string, 0, len(textFields))
+	for f := range textFields {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}()
 
 // Tokenize lowercases and splits a value into index tokens; the full
 // lowercased value is always included as a token for exact matches.
@@ -147,40 +210,91 @@ func Flatten(h *entity.Host) map[string][]string {
 	return out
 }
 
+// buildDocument precomputes everything a document needs for evaluation and
+// teardown: lowercased values, deduped per-field tokens, deduped numbers.
+func buildDocument(id string, h *entity.Host) *document {
+	doc := &document{
+		id:      id,
+		fields:  Flatten(h),
+		lowered: make(map[string][]string),
+		tokens:  make(map[string][]string),
+		numbers: make(map[string][]int64),
+		host:    h.Clone(),
+	}
+	for field, values := range doc.fields {
+		lows := make([]string, len(values))
+		var toks []string
+		seenTok := make(map[string]bool)
+		for i, v := range values {
+			lows[i] = strings.ToLower(v)
+			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
+				doc.numbers[field] = appendUniqueInt64(doc.numbers[field], n)
+			}
+			for _, tok := range Tokenize(v) {
+				if !seenTok[tok] {
+					seenTok[tok] = true
+					toks = append(toks, tok)
+				}
+			}
+		}
+		doc.lowered[field] = lows
+		doc.tokens[field] = toks
+	}
+	return doc
+}
+
+func appendUniqueInt64(s []int64, v int64) []int64 {
+	for _, x := range s {
+		if x == v {
+			return s
+		}
+	}
+	return append(s, v)
+}
+
+// localID returns the partition-local dense ID for an entity, allocating on
+// first sight. Caller holds the write lock.
+func (p *indexPart) localID(id string) uint32 {
+	if lid, ok := p.idOf[id]; ok {
+		return lid
+	}
+	lid := uint32(len(p.byLocal))
+	p.idOf[id] = lid
+	p.byLocal = append(p.byLocal, nil)
+	return lid
+}
+
 // Upsert indexes (or reindexes) a host's current state.
 func (ix *Index) Upsert(h *entity.Host) {
 	id := h.ID()
 	p := ix.part(id)
+	doc := buildDocument(id, h)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.gen.Add(1)
 	p.removeLocked(id)
-	doc := &document{id: id, fields: Flatten(h),
-		numbers: make(map[string][]int64), host: h.Clone()}
-	for field, values := range doc.fields {
-		for _, v := range values {
-			if n, err := strconv.ParseInt(v, 10, 64); err == nil {
-				doc.numbers[field] = append(doc.numbers[field], n)
-			}
-			for _, tok := range Tokenize(v) {
-				p.post(field, tok, id)
-			}
+	lid := p.localID(id)
+	doc.local = lid
+	for field, toks := range doc.tokens {
+		byTok := p.inverted[field]
+		if byTok == nil {
+			byTok = make(map[string][]uint32)
+			p.inverted[field] = byTok
+		}
+		for _, tok := range toks {
+			byTok[tok] = insertU32(byTok[tok], lid)
 		}
 	}
+	for field, ns := range doc.numbers {
+		col := p.numeric[field]
+		for _, n := range ns {
+			col = col.insert(numEntry{val: n, doc: lid})
+		}
+		p.numeric[field] = col
+	}
+	p.live = insertU32(p.live, lid)
+	p.byLocal[lid] = doc
 	p.docs[id] = doc
-}
-
-func (p *indexPart) post(field, token, id string) {
-	byTok := p.inverted[field]
-	if byTok == nil {
-		byTok = make(map[string]map[string]struct{})
-		p.inverted[field] = byTok
-	}
-	set := byTok[token]
-	if set == nil {
-		set = make(map[string]struct{})
-		byTok[token] = set
-	}
-	set[id] = struct{}{}
 }
 
 // Remove deletes an entity from the index.
@@ -188,26 +302,47 @@ func (ix *Index) Remove(id string) {
 	p := ix.part(id)
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.docs[id] == nil {
+		return
+	}
+	p.gen.Add(1)
 	p.removeLocked(id)
 }
 
+// removeLocked unposts a document using its stored token and number lists —
+// no re-tokenization of field values. Caller holds the write lock.
 func (p *indexPart) removeLocked(id string) {
 	doc := p.docs[id]
 	if doc == nil {
 		return
 	}
-	for field, values := range doc.fields {
-		for _, v := range values {
-			for _, tok := range Tokenize(v) {
-				if set := p.inverted[field][tok]; set != nil {
-					delete(set, id)
-					if len(set) == 0 {
-						delete(p.inverted[field], tok)
-					}
-				}
+	lid := doc.local
+	for field, toks := range doc.tokens {
+		byTok := p.inverted[field]
+		for _, tok := range toks {
+			if list := removeU32(byTok[tok], lid); len(list) == 0 {
+				delete(byTok, tok)
+			} else {
+				byTok[tok] = list
 			}
 		}
+		if len(byTok) == 0 {
+			delete(p.inverted, field)
+		}
 	}
+	for field, ns := range doc.numbers {
+		col := p.numeric[field]
+		for _, n := range ns {
+			col = col.remove(numEntry{val: n, doc: lid})
+		}
+		if len(col) == 0 {
+			delete(p.numeric, field)
+		} else {
+			p.numeric[field] = col
+		}
+	}
+	p.live = removeU32(p.live, lid)
+	p.byLocal[lid] = nil
 	delete(p.docs, id)
 }
 
@@ -233,112 +368,20 @@ func (ix *Index) Host(id string) *entity.Host {
 	return nil
 }
 
-// --- primitive query operations used by the executor ---
-// All primitives run against one partition with its lock held by the caller.
-
-// lookupTerm returns docs whose field contains token (exact token match).
-func (p *indexPart) lookupTerm(field, token string) map[string]struct{} {
-	out := make(map[string]struct{})
-	if set := p.inverted[field][strings.ToLower(token)]; set != nil {
-		for id := range set {
-			out[id] = struct{}{}
+// hostsFor clones the indexed hosts for a sorted per-partition ID list in
+// one pass under a single read-lock acquisition (the batched fetch behind
+// SearchHosts — one lock per partition, not one per result).
+func (p *indexPart) hostsFor(ids []string) []*entity.Host {
+	if len(ids) == 0 {
+		return nil
+	}
+	out := make([]*entity.Host, 0, len(ids))
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, id := range ids {
+		if d := p.docs[id]; d != nil {
+			out = append(out, d.host.Clone())
 		}
 	}
-	return out
-}
-
-// lookupBare returns docs matching token in any text field.
-func (p *indexPart) lookupBare(token string) map[string]struct{} {
-	out := make(map[string]struct{})
-	for field := range textFields {
-		for id := range p.lookupTerm(field, token) {
-			out[id] = struct{}{}
-		}
-	}
-	return out
-}
-
-// lookupPrefix returns docs whose field has a token with the given prefix.
-func (p *indexPart) lookupPrefix(field, prefix string) map[string]struct{} {
-	out := make(map[string]struct{})
-	prefix = strings.ToLower(prefix)
-	scan := func(f string) {
-		for tok, set := range p.inverted[f] {
-			if strings.HasPrefix(tok, prefix) {
-				for id := range set {
-					out[id] = struct{}{}
-				}
-			}
-		}
-	}
-	if field != "" {
-		scan(field)
-		return out
-	}
-	for f := range textFields {
-		scan(f)
-	}
-	return out
-}
-
-// lookupPhrase returns docs whose field raw value contains the phrase
-// (case-insensitive substring).
-func (p *indexPart) lookupPhrase(field, phrase string) map[string]struct{} {
-	out := make(map[string]struct{})
-	phrase = strings.ToLower(phrase)
-	match := func(d *document, f string) bool {
-		for _, v := range d.fields[f] {
-			if strings.Contains(strings.ToLower(v), phrase) {
-				return true
-			}
-		}
-		return false
-	}
-	for id, d := range p.docs {
-		if field != "" {
-			if match(d, field) {
-				out[id] = struct{}{}
-			}
-			continue
-		}
-		for f := range textFields {
-			if match(d, f) {
-				out[id] = struct{}{}
-				break
-			}
-		}
-	}
-	return out
-}
-
-// lookupRange returns docs with a numeric value of field in [lo, hi].
-func (p *indexPart) lookupRange(field string, lo, hi int64) map[string]struct{} {
-	out := make(map[string]struct{})
-	for id, d := range p.docs {
-		for _, n := range d.numbers[field] {
-			if n >= lo && n <= hi {
-				out[id] = struct{}{}
-				break
-			}
-		}
-	}
-	return out
-}
-
-// allDocs returns the partition's full doc id set (for NOT complement).
-func (p *indexPart) allDocs() map[string]struct{} {
-	out := make(map[string]struct{}, len(p.docs))
-	for id := range p.docs {
-		out[id] = struct{}{}
-	}
-	return out
-}
-
-func sortedIDs(set map[string]struct{}) []string {
-	out := make([]string, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	sort.Strings(out)
 	return out
 }

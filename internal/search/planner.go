@@ -1,0 +1,221 @@
+package search
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The planner lowers the parsed AST into a normalized plan the executor
+// evaluates per partition:
+//
+//   - nested AND/OR nodes are flattened into n-ary nodes;
+//   - negation chains collapse (NOT NOT x → x);
+//   - duplicate children of AND/OR are deduped and children are put in
+//     canonical order, so `a and b` and `b and a` share one cache entry;
+//   - negated conjuncts are split out: AND(x, NOT(y)) becomes a plan with
+//     include=[x], exclude=[y], executed as a sorted-slice difference —
+//     NOT under an AND never materializes the partition's full doc set.
+//
+// Every rewrite is an identity over set semantics (AND/OR are commutative
+// and idempotent, x ∩ ¬y = x \ y), so the plan returns exactly the sorted
+// IDs the unplanned tree would. Each node carries its canonical string form,
+// built bottom-up exactly once; the root's key is the query-cache key.
+
+// planNode is a normalized query-plan node.
+type planNode interface {
+	// Key returns the node's canonical form (computed at build time).
+	Key() string
+}
+
+// planTerm is a match primitive with its value pre-lowercased, so no
+// per-partition (or per-document) lowercasing happens at execution time.
+type planTerm struct {
+	field   string
+	value   string // lowercased; empty for ranges
+	phrase  bool
+	prefix  bool
+	isRange bool
+	lo, hi  int64
+	key     string
+}
+
+// planAnd intersects include and subtracts exclude (the AND/NOT rewrite).
+// include may be empty (a conjunction of only negations): the executor then
+// starts from the partition's live-document list.
+type planAnd struct {
+	include []planNode
+	exclude []planNode
+	key     string
+}
+
+// planOr unions its children.
+type planOr struct {
+	children []planNode
+	key      string
+}
+
+// planNot complements its child against the partition's live documents. It
+// survives normalization only outside an AND (top level or under OR).
+type planNot struct {
+	child planNode
+	key   string
+}
+
+func (t planTerm) Key() string { return t.key }
+func (a planAnd) Key() string  { return a.key }
+func (o planOr) Key() string   { return o.key }
+func (n planNot) Key() string  { return n.key }
+
+// appendFramed appends s length-prefixed ("<len>:<bytes>"), making composite
+// keys unambiguous regardless of the bytes inside values.
+func appendFramed(buf []byte, s string) []byte {
+	buf = strconv.AppendInt(buf, int64(len(s)), 10)
+	buf = append(buf, ':')
+	return append(buf, s...)
+}
+
+func termKey(t *planTerm) string {
+	buf := make([]byte, 0, 16+len(t.field)+len(t.value))
+	switch {
+	case t.isRange:
+		buf = append(buf, 'r')
+	case t.phrase:
+		buf = append(buf, 'p')
+	case t.prefix:
+		buf = append(buf, 'w')
+	default:
+		buf = append(buf, 't')
+	}
+	buf = appendFramed(buf, t.field)
+	if t.isRange {
+		buf = strconv.AppendInt(buf, t.lo, 10)
+		buf = append(buf, ',')
+		buf = strconv.AppendInt(buf, t.hi, 10)
+	} else {
+		buf = appendFramed(buf, t.value)
+	}
+	return string(buf)
+}
+
+func notKey(child planNode) string {
+	ck := child.Key()
+	buf := make([]byte, 0, len(ck)+8)
+	buf = append(buf, 'n', '(')
+	buf = appendFramed(buf, ck)
+	buf = append(buf, ')')
+	return string(buf)
+}
+
+func compositeKey(op byte, groups ...[]planNode) string {
+	n := 4
+	for _, g := range groups {
+		for _, c := range g {
+			n += len(c.Key()) + 8
+		}
+	}
+	buf := make([]byte, 0, n)
+	buf = append(buf, op, '(')
+	for gi, g := range groups {
+		if gi > 0 {
+			buf = append(buf, ';')
+		}
+		for _, c := range g {
+			buf = appendFramed(buf, c.Key())
+		}
+	}
+	buf = append(buf, ')')
+	return string(buf)
+}
+
+// dedupeSorted orders nodes by canonical key and drops duplicates — valid
+// under AND and OR because both are commutative and idempotent.
+func dedupeSorted(nodes []planNode) []planNode {
+	if len(nodes) <= 1 {
+		return nodes
+	}
+	sort.SliceStable(nodes, func(a, b int) bool { return nodes[a].Key() < nodes[b].Key() })
+	out := nodes[:1]
+	for _, n := range nodes[1:] {
+		if n.Key() != out[len(out)-1].Key() {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// normCore normalizes a parsed node into its non-negated plan core plus
+// whether the node is negated an odd number of times — negation chains
+// collapse here, and AND pulls its children's negations into exclude.
+func normCore(n queryNode) (planNode, bool) {
+	switch t := n.(type) {
+	case termNode:
+		pt := planTerm{field: t.field, phrase: t.phrase, prefix: t.prefix,
+			isRange: t.isRange, lo: t.lo, hi: t.hi}
+		if !t.isRange {
+			pt.value = strings.ToLower(t.value)
+		}
+		pt.key = termKey(&pt)
+		return pt, false
+
+	case notNode:
+		core, neg := normCore(t.child)
+		return core, !neg
+
+	case andNode:
+		var include, exclude []planNode
+		for _, c := range t.children {
+			core, neg := normCore(c)
+			switch {
+			case neg:
+				exclude = append(exclude, core)
+			default:
+				if sub, ok := core.(planAnd); ok {
+					include = append(include, sub.include...)
+					exclude = append(exclude, sub.exclude...)
+				} else {
+					include = append(include, core)
+				}
+			}
+		}
+		include = dedupeSorted(include)
+		exclude = dedupeSorted(exclude)
+		if len(exclude) == 0 && len(include) == 1 {
+			return include[0], false
+		}
+		return planAnd{include: include, exclude: exclude,
+			key: compositeKey('a', include, exclude)}, false
+
+	case orNode:
+		var children []planNode
+		for _, c := range t.children {
+			core, neg := normCore(c)
+			if neg {
+				core = planNot{child: core, key: notKey(core)}
+			}
+			if sub, ok := core.(planOr); ok {
+				children = append(children, sub.children...)
+			} else {
+				children = append(children, core)
+			}
+		}
+		children = dedupeSorted(children)
+		if len(children) == 1 {
+			return children[0], false
+		}
+		return planOr{children: children, key: compositeKey('o', children)}, false
+
+	default:
+		// Unreachable for parser output; an empty OR matches nothing.
+		return planOr{key: "o()"}, false
+	}
+}
+
+// plan compiles a parsed query into its normalized plan plus cache key.
+func plan(root queryNode) (planNode, string) {
+	core, neg := normCore(root)
+	if neg {
+		core = planNot{child: core, key: notKey(core)}
+	}
+	return core, core.Key()
+}

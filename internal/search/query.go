@@ -42,10 +42,13 @@ func (orNode) isNode()   {}
 func (notNode) isNode()  {}
 func (termNode) isNode() {}
 
-// Query is a compiled query.
+// Query is a compiled query: the parsed tree plus its normalized plan and
+// the plan's canonical key (the query-cache key — see planner.go).
 type Query struct {
 	root queryNode
 	src  string
+	plan planNode
+	key  string
 }
 
 // String returns the original query text.
@@ -341,5 +344,6 @@ func ParseQuery(src string) (*Query, error) {
 	if p.pos != len(p.toks) {
 		return nil, errors.New("search: trailing tokens in query")
 	}
-	return &Query{root: root, src: src}, nil
+	pl, key := plan(root)
+	return &Query{root: root, src: src, plan: pl, key: key}, nil
 }
