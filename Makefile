@@ -1,11 +1,18 @@
 GO ?= go
 
-.PHONY: all vet build test race chaos fuzz bench bench-search check
+.PHONY: all vet lint build test race chaos fuzz bench bench-search bench-json check
 
 all: check
 
 vet:
 	$(GO) vet ./...
+
+# vet plus the repo's clock-discipline check: pipeline code reads time
+# through simclock.Clock only (time.Now is allowed in simclock's Real
+# implementation, socket deadlines, cmd/, and tests) so instrumented runs
+# stay deterministic.
+lint: vet
+	$(GO) run ./cmd/lintclock .
 
 build:
 	$(GO) build ./...
@@ -46,4 +53,10 @@ bench-search:
 	$(GO) test -run '^$$' -bench 'BenchmarkSearch|BenchmarkIndexUpsert' \
 		-benchmem -benchtime 20x ./internal/search/
 
-check: vet build race chaos
+# Machine-readable benchmark snapshot: pipeline throughput (serial, sharded,
+# sharded+telemetry) and search latency, written to BENCH_<date>.json so the
+# perf trajectory diffs across PRs.
+bench-json:
+	$(GO) run ./cmd/benchtables -bench-json
+
+check: lint build race chaos

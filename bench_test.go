@@ -20,6 +20,7 @@ import (
 	"censysmap/internal/eval"
 	"censysmap/internal/simclock"
 	"censysmap/internal/simnet"
+	"censysmap/internal/telemetry"
 )
 
 var (
@@ -373,6 +374,57 @@ func BenchmarkPipelineThroughput(b *testing.B) {
 			perDay := float64(m.Stats().Interrogations-before) / float64(b.N)
 			b.ReportMetric(perDay, "interro/simday")
 			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+		})
+	}
+}
+
+// BenchmarkPipelineTelemetryOverhead reruns the shards8_workers4 throughput
+// variant with the full telemetry stack attached — registry, every layer's
+// counters, the paper-gauge collect hooks, and default 1-in-64 tracing —
+// against the bare pipeline. The acceptance budget is 5%: instrumentation is
+// event-driven counters and collect-time bridges only, so the hot path adds
+// a handful of striped atomic adds per interrogation.
+func BenchmarkPipelineTelemetryOverhead(b *testing.B) {
+	for _, enabled := range []bool{false, true} {
+		name := "disabled"
+		if enabled {
+			name = "enabled"
+		}
+		b.Run(name, func(b *testing.B) {
+			simCfg := simnet.DefaultConfig()
+			simCfg.Prefix = netip.MustParsePrefix("10.0.0.0/22")
+			simCfg.Seed = 1
+			simCfg.CloudBlocks = 1
+			simCfg.WebProperties = 20
+			simCfg.HostDensity = 0.5
+			net := simnet.New(simCfg, simclock.New())
+
+			cfg := core.DefaultConfig()
+			cfg.CloudBlocks = 1
+			cfg.Shards = 8
+			cfg.InterroWorkers = 4
+			cfg.RefreshEvery = time.Hour
+			if enabled {
+				cfg.Telemetry = telemetry.New()
+			}
+			m, err := core.New(cfg, net)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m.Run(24 * time.Hour) // warm-up: build the dataset to refresh
+			before := m.Stats().Interrogations
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Run(24 * time.Hour)
+			}
+			b.StopTimer()
+			perDay := float64(m.Stats().Interrogations-before) / float64(b.N)
+			b.ReportMetric(perDay, "interro/simday")
+			if enabled {
+				snap := m.MetricsSnapshot()
+				b.ReportMetric(float64(len(snap.Families)), "families")
+				b.ReportMetric(snap.Total("censys_core_interrogations_total"), "interro_metric")
+			}
 		})
 	}
 }

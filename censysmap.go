@@ -26,6 +26,7 @@ import (
 	"censysmap/internal/journal"
 	"censysmap/internal/simclock"
 	"censysmap/internal/simnet"
+	"censysmap/internal/telemetry"
 )
 
 // Re-exported entity types: these are the records queries return.
@@ -57,6 +58,9 @@ type Options struct {
 	// Network overrides the synthetic Internet's full configuration; when
 	// set, Universe/Seed/HostDensity are ignored.
 	Network *simnet.Config
+	// DisableTelemetry leaves the pipeline uninstrumented. By default a
+	// System carries a telemetry registry and serves GET /v2/metrics.
+	DisableTelemetry bool
 }
 
 // System is a running Internet map: a synthetic Internet plus the complete
@@ -91,8 +95,14 @@ func NewSystem(opts Options) (*System, error) {
 
 	pcfg := opts.Pipeline
 	if pcfg.ScannerID == "" {
+		telOverride, sampleOverride := pcfg.Telemetry, pcfg.TraceSample
 		pcfg = core.DefaultConfig()
 		pcfg.CloudBlocks = ncfg.CloudBlocks
+		pcfg.Telemetry = telOverride
+		pcfg.TraceSample = sampleOverride
+	}
+	if pcfg.Telemetry == nil && !opts.DisableTelemetry {
+		pcfg.Telemetry = telemetry.New()
 	}
 	m, err := core.New(pcfg, net)
 	if err != nil {
@@ -150,3 +160,15 @@ func (s *System) APIHandler() http.Handler { return s.m.Lookup() }
 
 // Services exports the current dataset as flat records.
 func (s *System) Services() []core.ServiceRecord { return s.m.CurrentServices(false) }
+
+// Metrics returns the system's telemetry registry (nil when telemetry is
+// disabled).
+func (s *System) Metrics() *telemetry.Registry { return s.m.Metrics() }
+
+// MetricsSnapshot collects the current values of every registered metric
+// family, stamped with the simulated clock. The same snapshot backs both
+// expositions of GET /v2/metrics.
+func (s *System) MetricsSnapshot() telemetry.Snapshot { return s.m.MetricsSnapshot() }
+
+// Traces returns the sampled per-address pipeline trace spans.
+func (s *System) Traces() []telemetry.Span { return s.m.Traces() }

@@ -1,0 +1,160 @@
+package main
+
+// The -bench-json mode: run the pipeline and search benchmarks in-process
+// via testing.Benchmark and write the results as one machine-readable JSON
+// document, BENCH_<date>.json, so the perf trajectory is tracked across PRs
+// (diff two files, or plot ns_per_op over time). The workloads mirror the
+// repo's `go test -bench` suites: steady-state pipeline throughput (serial
+// vs sharded, telemetry off vs on) and the read-path search engine.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"censysmap/internal/core"
+	"censysmap/internal/simclock"
+	"censysmap/internal/simnet"
+	"censysmap/internal/telemetry"
+)
+
+// benchResult is one benchmark in the JSON document.
+type benchResult struct {
+	// Name identifies the workload, e.g. "pipeline/shards8_workers4".
+	Name string `json:"name"`
+	// Iterations is testing.B's chosen N.
+	Iterations int `json:"iterations"`
+	// NsPerOp is wall time per iteration.
+	NsPerOp float64 `json:"ns_per_op"`
+	// Metrics are the benchmark's ReportMetric extras (interro/simday, ...).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// benchDoc is the BENCH_<date>.json schema.
+type benchDoc struct {
+	Date       string        `json:"date"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Results    []benchResult `json:"results"`
+}
+
+// benchUniverse builds the dense /22 universe the throughput benches scan.
+func benchUniverse() *simnet.Internet {
+	simCfg := simnet.DefaultConfig()
+	simCfg.Prefix = netip.MustParsePrefix("10.0.0.0/22")
+	simCfg.Seed = 1
+	simCfg.CloudBlocks = 1
+	simCfg.WebProperties = 20
+	simCfg.HostDensity = 0.5
+	return simnet.New(simCfg, simclock.New())
+}
+
+// pipelineBench measures steady-state interrogation throughput for one
+// pipeline layout (24 simulated hours per iteration, warm-up untimed).
+func pipelineBench(shards, workers int, instrumented bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		net := benchUniverse()
+		cfg := core.DefaultConfig()
+		cfg.CloudBlocks = 1
+		cfg.Shards = shards
+		cfg.InterroWorkers = workers
+		cfg.RefreshEvery = time.Hour
+		if instrumented {
+			cfg.Telemetry = telemetry.New()
+		}
+		m, err := core.New(cfg, net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(24 * time.Hour)
+		before := m.Stats().Interrogations
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Run(24 * time.Hour)
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(m.Stats().Interrogations-before)/float64(b.N), "interro/simday")
+	}
+}
+
+// searchBenchQueries are the read-path workloads: a selective field query, a
+// broad one, a numeric range, and a negation (the planner's worst case).
+var searchBenchQueries = []struct{ name, q string }{
+	{"field_selective", `services.protocol: MODBUS`},
+	{"field_broad", `services.protocol: HTTP`},
+	{"range", `services.port: [1 TO 1024]`},
+	{"boolean_not", `services.protocol: HTTP and not services.tls: true`},
+}
+
+// searchBench measures query latency over a warmed 2-simulated-day map. Each
+// iteration runs the query fresh through the cached planner+executor, so the
+// number reflects the steady-state (cache-warm) read path.
+func searchBench(m *core.Map, query string) func(b *testing.B) {
+	return func(b *testing.B) {
+		n := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var err error
+			n, err = m.Count(query)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(n), "hits")
+	}
+}
+
+// runBenchJSON runs every workload and writes BENCH_<date>.json into dir.
+// It returns the path written.
+func runBenchJSON(dir string) (string, error) {
+	doc := benchDoc{
+		Date:       time.Now().UTC().Format("2006-01-02"),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}
+	record := func(name string, fn func(b *testing.B)) {
+		fmt.Fprintf(os.Stderr, "bench %-40s ", name)
+		r := testing.Benchmark(fn)
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op  n=%d\n", float64(r.NsPerOp()), r.N)
+		doc.Results = append(doc.Results, benchResult{
+			Name:       name,
+			Iterations: r.N,
+			NsPerOp:    float64(r.NsPerOp()),
+			Metrics:    r.Extra,
+		})
+	}
+
+	record("pipeline/serial", pipelineBench(1, 1, false))
+	record("pipeline/shards8_workers4", pipelineBench(8, 4, false))
+	record("pipeline/shards8_workers4_telemetry", pipelineBench(8, 4, true))
+
+	// One shared warmed map for the search benches.
+	net := benchUniverse()
+	cfg := core.DefaultConfig()
+	cfg.CloudBlocks = 1
+	cfg.Shards = 8
+	cfg.InterroWorkers = 4
+	m, err := core.New(cfg, net)
+	if err != nil {
+		return "", err
+	}
+	m.Run(48 * time.Hour)
+	for _, q := range searchBenchQueries {
+		record("search/"+q.name, searchBench(m, q.q))
+	}
+
+	blob, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, doc.Date)
+	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -6,6 +6,7 @@
 //	benchtables -table 2        # just Table 2
 //	benchtables -figure 3       # just Figure 3
 //	benchtables -quick          # small universe (seconds instead of minutes)
+//	benchtables -bench-json     # machine-readable benchmarks → BENCH_<date>.json
 package main
 
 import (
@@ -23,7 +24,20 @@ func main() {
 	figure := flag.Int("figure", 0, "render only this figure (2-5)")
 	quick := flag.Bool("quick", false, "use the small/fast lab configuration")
 	seed := flag.Uint64("seed", 1, "universe seed")
+	benchJSON := flag.Bool("bench-json", false,
+		"run the pipeline/search benchmarks and write BENCH_<date>.json instead of rendering tables")
+	benchDir := flag.String("bench-dir", ".", "directory BENCH_<date>.json is written into")
 	flag.Parse()
+
+	if *benchJSON {
+		path, err := runBenchJSON(*benchDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-json:", err)
+			os.Exit(1)
+		}
+		fmt.Println(path)
+		return
+	}
 
 	cfg := eval.DefaultLabConfig()
 	if *quick {

@@ -16,10 +16,10 @@ package chaos
 
 import (
 	"net/netip"
-	"sync/atomic"
 	"time"
 
 	"censysmap/internal/simnet"
+	"censysmap/internal/telemetry"
 )
 
 // Config sets the fault mix. All rates are probabilities in [0, 1]; a
@@ -74,19 +74,33 @@ type Stats struct {
 func (s Stats) Total() uint64 { return s.Loss + s.Burst + s.Storm + s.Block + s.Timeout }
 
 // Injector implements simnet.FaultInjector with seeded, schedule-stable
-// draws. Safe for concurrent use; counters are atomic.
+// draws. Safe for concurrent use.
+//
+// Drop counts are telemetry counters rather than private atomics: Stats()
+// (what harness assertions read) and a registry the injector is attached to
+// (what /v2/metrics serves) observe the *same* counter memory, so test
+// assertions and production metrics cannot drift apart.
 type Injector struct {
 	cfg Config
 
-	loss    atomic.Uint64
-	burst   atomic.Uint64
-	storm   atomic.Uint64
-	block   atomic.Uint64
-	timeout atomic.Uint64
+	loss    *telemetry.Counter
+	burst   *telemetry.Counter
+	storm   *telemetry.Counter
+	block   *telemetry.Counter
+	timeout *telemetry.Counter
 }
 
 // New returns an Injector for the given fault mix.
-func New(cfg Config) *Injector { return &Injector{cfg: cfg} }
+func New(cfg Config) *Injector {
+	return &Injector{
+		cfg:     cfg,
+		loss:    telemetry.NewCounter(),
+		burst:   telemetry.NewCounter(),
+		storm:   telemetry.NewCounter(),
+		block:   telemetry.NewCounter(),
+		timeout: telemetry.NewCounter(),
+	}
+}
 
 // Config returns the injector's fault mix.
 func (in *Injector) Config() Config { return in.cfg }
@@ -94,12 +108,27 @@ func (in *Injector) Config() Config { return in.cfg }
 // Stats returns cumulative drop counts by kind.
 func (in *Injector) Stats() Stats {
 	return Stats{
-		Loss:    in.loss.Load(),
-		Burst:   in.burst.Load(),
-		Storm:   in.storm.Load(),
-		Block:   in.block.Load(),
-		Timeout: in.timeout.Load(),
+		Loss:    in.loss.Value(),
+		Burst:   in.burst.Value(),
+		Storm:   in.storm.Value(),
+		Block:   in.block.Value(),
+		Timeout: in.timeout.Value(),
 	}
+}
+
+// Register exposes the injector's live counters on reg as
+// censys_chaos_faults_total{kind=...}. The registered family reads the same
+// striped counters Stats() sums — one source of truth for both.
+func (in *Injector) Register(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	const name, help = "censys_chaos_faults_total", "packets dropped by the chaos injector, by fault kind"
+	reg.RegisterCounter(name, help, map[string]string{"kind": "loss"}, in.loss)
+	reg.RegisterCounter(name, help, map[string]string{"kind": "burst"}, in.burst)
+	reg.RegisterCounter(name, help, map[string]string{"kind": "storm"}, in.storm)
+	reg.RegisterCounter(name, help, map[string]string{"kind": "block"}, in.block)
+	reg.RegisterCounter(name, help, map[string]string{"kind": "timeout"}, in.timeout)
 }
 
 // Draw domain tags: each fault kind hashes in its own constant so the draws
@@ -125,14 +154,14 @@ func (in *Injector) Drop(sc simnet.Scanner, addr netip.Addr, op simnet.Op, seq u
 	if c.BlockRate > 0 {
 		day := unix / 86400
 		if frac(mix(c.Seed, tagBlock, uint64(n24), scID, day)) < c.BlockRate {
-			in.block.Add(1)
+			in.block.AddAt(int(a), 1)
 			return true
 		}
 	}
 	if c.StormRate > 0 {
 		hour := unix / 3600
 		if frac(mix(c.Seed, tagStorm, uint64(n24), hour)) < c.StormRate {
-			in.storm.Add(1)
+			in.storm.AddAt(int(a), 1)
 			return true
 		}
 	}
@@ -140,19 +169,19 @@ func (in *Injector) Drop(sc simnet.Scanner, addr netip.Addr, op simnet.Op, seq u
 		win := unix / (6 * 3600)
 		if frac(mix(c.Seed, tagBurstGate, uint64(a), scID, win)) < c.BurstRate &&
 			frac(mix(c.Seed, tagBurstPkt, uint64(a), seq)) < c.BurstLoss {
-			in.burst.Add(1)
+			in.burst.AddAt(int(a), 1)
 			return true
 		}
 	}
 	if c.TimeoutRate > 0 && op == simnet.OpConnect {
 		if frac(mix(c.Seed, tagTimeout, uint64(a), scID, seq)) < c.TimeoutRate {
-			in.timeout.Add(1)
+			in.timeout.AddAt(int(a), 1)
 			return true
 		}
 	}
 	if c.Loss > 0 {
 		if frac(mix(c.Seed, tagLoss, uint64(a), scID, seq)) < c.Loss {
-			in.loss.Add(1)
+			in.loss.AddAt(int(a), 1)
 			return true
 		}
 	}

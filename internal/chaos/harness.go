@@ -86,6 +86,7 @@ func Start(spec RunSpec) (*Run, error) {
 	net := simnet.New(ncfg, clk)
 	inj := New(spec.Fault)
 	net.SetFaultInjector(inj)
+	inj.Register(spec.Pipeline.Telemetry)
 	m, err := core.New(spec.Pipeline, net)
 	if err != nil {
 		return nil, err

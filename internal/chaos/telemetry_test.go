@@ -1,0 +1,246 @@
+package chaos
+
+import (
+	"testing"
+
+	"censysmap/internal/telemetry"
+)
+
+// telemetrySpec is the Lab spec with telemetry attached: a registry, full
+// tracing (mod 1), and a mild fault mix so the chaos counters move.
+func telemetrySpec(shards, workers int) RunSpec {
+	spec := Lab(77, Mild(9), 30)
+	spec.Pipeline.Shards = shards
+	spec.Pipeline.InterroWorkers = workers
+	spec.Pipeline.Telemetry = telemetry.New()
+	spec.Pipeline.TraceSample = 1
+	spec.Pipeline.RetryPolicy.MaxRetries = 2
+	return spec
+}
+
+// TestTelemetryDeterministicSameLayout: two runs of the same spec produce
+// byte-identical metric snapshots and trace spans.
+func TestTelemetryDeterministicSameLayout(t *testing.T) {
+	snaps := make([]string, 2)
+	traces := make([]int, 2)
+	for i := range snaps {
+		r, err := Complete(telemetrySpec(4, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := r.Map.MetricsSnapshot()
+		text := snap.PrometheusText()
+		j, err := snap.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		snaps[i] = text + "\n" + string(j)
+		traces[i] = len(r.Map.Traces())
+		r.Map.Stop()
+	}
+	if snaps[0] != snaps[1] {
+		t.Fatal("same seed, same layout: metric snapshots differ")
+	}
+	if traces[0] != traces[1] || traces[0] == 0 {
+		t.Fatalf("trace span counts: %d vs %d (want equal, nonzero)", traces[0], traces[1])
+	}
+}
+
+// TestTelemetryDeterministicAcrossLayouts: the same seed under different
+// Shards/InterroWorkers layouts yields identical counter totals for every
+// family (per-shard/per-partition labels split differently, but sums match),
+// identical paper gauges, and identical trace spans.
+func TestTelemetryDeterministicAcrossLayouts(t *testing.T) {
+	layouts := [][2]int{{1, 1}, {8, 4}, {3, 2}}
+	type result struct {
+		snap   telemetry.Snapshot
+		spans  []telemetry.Span
+		faults Stats
+	}
+	var results []result
+	for _, l := range layouts {
+		r, err := Complete(telemetrySpec(l[0], l[1]))
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, result{
+			snap:   r.Map.MetricsSnapshot(),
+			spans:  r.Map.Traces(),
+			faults: r.Injector.Stats(),
+		})
+		r.Map.Stop()
+	}
+	base := results[0]
+	// Families whose label sets are layout-dependent: totals must still match.
+	totalFamilies := []string{
+		"censys_cqrs_events_total",
+		"censys_journal_appends_total",
+		"censys_journal_snapshots_total",
+		"censys_chaos_faults_total",
+		"censys_interro_outcomes_total",
+		"censys_discovery_probes_total",
+		"censys_core_interrogations_total",
+		"censys_core_retries_scheduled_total",
+		"censys_core_pseudo_filtered_total",
+		"censys_cqrs_observations_total",
+		"censys_cqrs_nochange_total",
+	}
+	for i, res := range results[1:] {
+		for _, fam := range totalFamilies {
+			if got, want := res.snap.Total(fam), base.snap.Total(fam); got != want {
+				t.Errorf("layout %v: %s total = %v, want %v",
+					layouts[i+1], fam, got, want)
+			}
+		}
+		// Paper gauges are derived from the dataset, which the differential
+		// contract already pins; they must agree exactly.
+		for _, g := range []string{
+			"censys_paper_coverage_ratio",
+			"censys_paper_dataset_services",
+			"censys_paper_truth_services",
+		} {
+			gv, _ := res.snap.Get(g, nil)
+			bv, _ := base.snap.Get(g, nil)
+			if gv.Value != bv.Value {
+				t.Errorf("layout %v: %s = %v, want %v", layouts[i+1], g, gv.Value, bv.Value)
+			}
+		}
+		ttd, _ := res.snap.Get("censys_paper_time_to_discovery_hours", nil)
+		bttd, _ := base.snap.Get("censys_paper_time_to_discovery_hours", nil)
+		if ttd.Count != bttd.Count || ttd.Sum != bttd.Sum {
+			t.Errorf("layout %v: TTD count/sum = %d/%v, want %d/%v",
+				layouts[i+1], ttd.Count, ttd.Sum, bttd.Count, bttd.Sum)
+		}
+		if res.faults != base.faults {
+			t.Errorf("layout %v: chaos faults %+v, want %+v", layouts[i+1], res.faults, base.faults)
+		}
+		if len(res.spans) != len(base.spans) {
+			t.Errorf("layout %v: %d spans, want %d", layouts[i+1], len(res.spans), len(base.spans))
+			continue
+		}
+		for s := range res.spans {
+			a, b := res.spans[s], base.spans[s]
+			if a.Target != b.Target || len(a.Events) != len(b.Events) {
+				t.Errorf("layout %v: span %s (%d events) vs %s (%d events)",
+					layouts[i+1], a.Target, len(a.Events), b.Target, len(b.Events))
+				continue
+			}
+			for e := range a.Events {
+				if a.Events[e] != b.Events[e] {
+					t.Errorf("layout %v: span %s event %d: %+v vs %+v",
+						layouts[i+1], a.Target, e, a.Events[e], b.Events[e])
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialUnchangedByInstrumentation: attaching a registry and full
+// tracing must not perturb the pipeline — the instrumented run's external
+// Observation is identical to the uninstrumented run's.
+func TestDifferentialUnchangedByInstrumentation(t *testing.T) {
+	bare := Lab(21, Mild(4), 25)
+	instr := Lab(21, Mild(4), 25)
+	instr.Pipeline.Telemetry = telemetry.New()
+	instr.Pipeline.TraceSample = 1
+
+	rb, err := Complete(bare)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ri, err := Complete(instr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ob, err := Observe(rb.Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oi, err := Observe(ri.Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(ob, oi); len(d) != 0 {
+		t.Fatalf("instrumentation changed the run: %v", d)
+	}
+	rb.Map.Stop()
+	ri.Map.Stop()
+}
+
+// TestChaosCountersSingleSource: the injector's Stats() and the registered
+// censys_chaos_faults_total family read the same counters — by construction
+// they cannot disagree.
+func TestChaosCountersSingleSource(t *testing.T) {
+	spec := telemetrySpec(4, 2)
+	r, err := Complete(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Map.Stop()
+	st := r.Injector.Stats()
+	if st.Total() == 0 {
+		t.Fatal("mild fault mix injected nothing; test universe too quiet")
+	}
+	snap := r.Map.MetricsSnapshot()
+	for _, kv := range []struct {
+		kind string
+		want uint64
+	}{
+		{"loss", st.Loss}, {"burst", st.Burst}, {"storm", st.Storm},
+		{"block", st.Block}, {"timeout", st.Timeout},
+	} {
+		v, ok := snap.Get("censys_chaos_faults_total", map[string]string{"kind": kv.kind})
+		if !ok {
+			t.Fatalf("censys_chaos_faults_total{kind=%q} missing", kv.kind)
+		}
+		if uint64(v.Value) != kv.want {
+			t.Errorf("kind %s: metric %v != Stats %d", kv.kind, v.Value, kv.want)
+		}
+	}
+	if got := snap.Total("censys_chaos_faults_total"); uint64(got) != st.Total() {
+		t.Errorf("family total %v != Stats total %d", got, st.Total())
+	}
+}
+
+// TestTelemetrySurvivesCrashRecovery: a crash+resume over a surviving
+// registry re-binds the collect-time bridges to the rebuilt pipeline, so
+// post-resume snapshots reflect the live Map, and the differential contract
+// still holds with instrumentation on.
+func TestTelemetrySurvivesCrashRecovery(t *testing.T) {
+	spec := telemetrySpec(4, 2)
+	straight, err := Complete(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer straight.Map.Stop()
+
+	crashed, err := CompleteWithCrash(telemetrySpec(4, 2), 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer crashed.Map.Stop()
+
+	os1, err := Observe(straight.Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os2, err := Observe(crashed.Map)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := Diff(os1, os2); len(d) != 0 {
+		t.Fatalf("crash-recovery differential failed with telemetry on: %v", d)
+	}
+
+	// The resumed Map's bridges must read the live pipeline: its tick count
+	// is the post-resume count, not the pre-crash one.
+	snap := crashed.Map.MetricsSnapshot()
+	ticks, ok := snap.Get("censys_core_ticks_total", nil)
+	if !ok {
+		t.Fatal("censys_core_ticks_total missing after resume")
+	}
+	if want := float64(crashed.Map.Stats().Ticks); ticks.Value != want {
+		t.Errorf("post-resume ticks bridge = %v, want %v (live Map)", ticks.Value, want)
+	}
+}

@@ -51,6 +51,12 @@ func (m *Map) Index() *search.Index { return m.index }
 // SearchCacheStats exposes the query-cache counters (hits, misses, resident
 // entries, summed partition generation). Generations advance on every index
 // mutation — the invalidation feed the cqrs processor's Subscribe hook drives.
+//
+// Deprecated: the same counters are exported on the telemetry registry as
+// censys_search_result_cache_total / censys_search_plan_cache_total /
+// censys_search_cache_entries and served by GET /v2/metrics; prefer
+// Map.MetricsSnapshot (telemetry.go) over ad-hoc stats plumbing. Retained
+// for the benchmark harness, which reads the struct directly.
 func (m *Map) SearchCacheStats() search.CacheStats { return m.index.Stats() }
 
 // ExportQuery materializes the matching hosts as analytics export rows — the

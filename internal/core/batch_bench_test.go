@@ -56,7 +56,7 @@ func BenchmarkInterrogationBatch(b *testing.B) {
 				for _, c := range cands {
 					m.enqueue(pendingTask{cand: c, kind: taskDirect})
 				}
-				m.runBatch(now.Add(time.Duration(i) * time.Minute))
+				m.runBatch(now.Add(time.Duration(i)*time.Minute), "discovery")
 			}
 			b.StopTimer()
 			b.ReportMetric(float64(len(cands)), "tasks/batch")

@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -47,6 +48,7 @@ import (
 	"censysmap/internal/simclock"
 	"censysmap/internal/simnet"
 	"censysmap/internal/snapshot"
+	"censysmap/internal/telemetry"
 	"censysmap/internal/webprop"
 )
 
@@ -97,6 +99,13 @@ type Config struct {
 	// before a failure enters the eviction state machine. The zero value
 	// disables retries (the pre-retry pipeline, bit for bit).
 	RetryPolicy RetryPolicy
+	// Telemetry, when non-nil, receives every pipeline metric family and
+	// enables trace-span sampling. Nil disables instrumentation entirely;
+	// the instrument sites reduce to nil-pointer checks.
+	Telemetry *telemetry.Registry
+	// TraceSample traces one in N addresses through the pipeline. 0 means
+	// the default (1/64); negative disables tracing while keeping metrics.
+	TraceSample int
 }
 
 // RetryPolicy bounds interrogation retries. Backoff is deterministic
@@ -254,6 +263,11 @@ type Map struct {
 	predictiveProbes atomic.Uint64
 	reinjected       atomic.Uint64
 	pseudoFiltered   atomic.Uint64
+
+	// tel/tracer are the optional telemetry hookups (see telemetry.go);
+	// both are nil when Config.Telemetry is nil.
+	tel    *coreTel
+	tracer *telemetry.Tracer
 }
 
 // RunStats counts pipeline activity.
@@ -394,6 +408,11 @@ func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, 
 			return nil, err
 		}
 	}
+
+	// Telemetry last: every component the bridges read now exists.
+	m.attachTelemetry()
+	m.processor.AttachTelemetry(cfg.Telemetry)
+	m.lookupSvc.AttachMetrics(cfg.Telemetry, m.tracer)
 	return m, nil
 }
 
@@ -521,7 +540,7 @@ func (m *Map) seedScan() {
 		// Batch per address: pseudo-host detection must engage before the
 		// next address's candidates are processed, exactly as inline
 		// handling did.
-		m.runBatch(now)
+		m.runBatch(now, "seed")
 	}
 	m.processor.Drain()
 }
@@ -550,27 +569,30 @@ func (m *Map) Tick(now time.Time) {
 	// Phase 0: retries whose backoff has elapsed fire before new work, in
 	// canonical order.
 	m.flushRetries(now)
-	m.runBatch(now)
+	m.runBatch(now, "retry")
 
 	// Phase 1: discovery. New candidates go to the interrogation pool.
 	m.disc.Tick(now, func(c discovery.Candidate) {
+		if m.tracer.Hit(c.Addr) {
+			m.traceEvent(c.Addr, "discovery", "candidate pop="+c.PoP, now)
+		}
 		m.enqueue(pendingTask{cand: c, kind: taskCandidate})
 	})
-	m.runBatch(now)
+	m.runBatch(now, "discovery")
 
 	// Refresh: re-interrogate known services on cadence, retrying from
 	// other PoPs before declaring failure (paper §4.6).
 	m.refreshDue(now)
-	m.runBatch(now)
+	m.runBatch(now, "refresh")
 
 	// Predictive scanning + re-injection.
 	if !m.cfg.DisablePrediction {
 		m.runPrediction(now)
-		m.runBatch(now)
+		m.runBatch(now, "predict")
 	}
 	if !m.cfg.DisableReinjection {
 		m.runReinjection(now)
-		m.runBatch(now)
+		m.runBatch(now, "reinject")
 	}
 
 	// Name-based scanning.
@@ -602,6 +624,11 @@ func (m *Map) scheduleRetry(s *stateShard, t pendingTask, now time.Time) bool {
 	due := now.Add(rp.delay(t.attempt))
 	t.attempt++
 	s.retries = append(s.retries, retryEntry{due: due, task: t})
+	m.tel.retryScheduled()
+	if m.tracer.Hit(t.cand.Addr) {
+		m.traceEvent(t.cand.Addr, "retry",
+			"scheduled attempt="+strconv.Itoa(t.attempt)+" due="+due.UTC().Format(time.RFC3339), now)
+	}
 	return true
 }
 
@@ -669,11 +696,12 @@ func (m *Map) enqueue(t pendingTask) {
 // with j % workers == i, so each shard's tasks run in enqueue order on one
 // goroutine regardless of the worker count — the fan-out is over shards,
 // never within one.
-func (m *Map) runBatch(now time.Time) {
+func (m *Map) runBatch(now time.Time, phase string) {
 	total := 0
 	for _, s := range m.shards {
 		total += len(s.pending)
 	}
+	m.tel.batch(phase, total)
 	if total == 0 {
 		return
 	}
@@ -768,6 +796,9 @@ func (m *Map) attemptInterrogate(s *stateShard, t pendingTask, now time.Time) {
 	}
 	m.interrogations.Add(1)
 	obs := in.Interrogate(c, now)
+	if m.tracer.Hit(c.Addr) {
+		m.traceEvent(c.Addr, "interrogate", attemptDetail(obs.Success, c.PoP, t.attempt), now)
+	}
 	if !obs.Success && m.scheduleRetry(s, t, now) {
 		return
 	}
@@ -970,11 +1001,15 @@ func (m *Map) refreshSlot(s *stateShard, key slotKey, udpProto string, attempt i
 		Method: entity.DetectRefresh, Time: now,
 		UDPProtocol: udpProto,
 	}
+	traced := m.tracer.Hit(key.addr)
 	for _, pop := range m.pops {
 		cand.PoP = pop.Name
 		in := m.inter[pop.Name]
 		m.interrogations.Add(1)
 		obs := in.Interrogate(cand, now)
+		if traced {
+			m.traceEvent(key.addr, "refresh", attemptDetail(obs.Success, pop.Name, attempt), now)
+		}
 		if obs.Success {
 			m.apply(s, obs, cand, now)
 			return
@@ -1036,18 +1071,34 @@ func (m *Map) consumeEvent(ev cqrs.OutEvent) {
 	if err != nil {
 		return
 	}
+	traced := m.tracer.Hit(addr)
+	if traced {
+		m.traceEvent(addr, "cqrs", ev.Kind, ev.Time)
+	}
+	if ev.Kind == cqrs.KindServiceFound {
+		m.observeFound(addr, slotKey{addr, ev.Key.Port, ev.Key.Transport}, ev.Time)
+	}
 	if m.isPseudo(addr) {
 		return
 	}
 	h := m.processor.CurrentState(ev.Entity)
 	if h == nil {
 		m.index.Remove(ev.Entity)
+		if traced {
+			m.traceEvent(addr, "index", "remove", ev.Time)
+		}
 		return
 	}
 	m.enricher.Enrich(h)
 	if len(h.Services) == 0 {
 		m.index.Remove(ev.Entity)
+		if traced {
+			m.traceEvent(addr, "index", "remove", ev.Time)
+		}
 		return
 	}
 	m.index.Upsert(h)
+	if traced {
+		m.traceEvent(addr, "index", "upsert", ev.Time)
+	}
 }

@@ -1,0 +1,278 @@
+package core
+
+import (
+	"net/netip"
+	"strconv"
+	"time"
+
+	"censysmap/internal/discovery"
+	"censysmap/internal/interro"
+	"censysmap/internal/telemetry"
+)
+
+// This file wires the Map into the telemetry registry (Config.Telemetry).
+//
+// The instrumentation strategy keeps the hot path cold:
+//
+//   - Everything the pipeline already counts (RunStats, discovery,
+//     per-PoP interrogation, write-side, journal, search-cache counters) is
+//     exported through CounterFunc/GaugeFunc bridges that read the existing
+//     atomics at collect time — the per-task cost is zero.
+//   - Event-driven instruments exist only where no source counter does:
+//     retries scheduled, per-phase batch volume, CQRS events by kind,
+//     time-to-discovery, chaos faults, and trace spans.
+//   - The paper-metric gauges (freshness, coverage, time-to-discovery) walk
+//     the dataset and ground truth, so they run as OnCollect hooks — the
+//     O(universe) work happens only when a snapshot is actually taken.
+//
+// Determinism: every timestamp comes off the simulated clock, per-phase
+// histograms are observed serially by the tick coordinator, and striped
+// counters are additive, so for a fixed seed the exported totals are
+// identical across any Shards/InterroWorkers layout (per-shard and per-PoP
+// labeled values partition differently, but their sums match; see the
+// determinism suite in internal/chaos).
+
+// tickPhases are the per-tick batch phases, in execution order.
+var tickPhases = []string{"seed", "retry", "discovery", "refresh", "predict", "reinject"}
+
+// phaseTaskBounds bucket the tasks-per-batch histograms.
+var phaseTaskBounds = []float64{0, 1, 4, 16, 64, 256, 1024, 4096}
+
+// ttdBounds bucket time-to-discovery in hours.
+var ttdBounds = []float64{1, 2, 4, 8, 16, 24, 48, 72, 120, 240}
+
+// freshnessBounds bucket dataset record age (now − LastSeen) in hours.
+var freshnessBounds = []float64{1, 2, 4, 8, 16, 24, 48, 72}
+
+// coreTel holds the Map's pre-resolved event-driven instruments. A nil
+// *coreTel (telemetry disabled) makes every method a cheap nil-check no-op.
+type coreTel struct {
+	retriesScheduled *telemetry.Counter
+	phaseTasks       map[string]*telemetry.Histogram
+	ttdHours         *telemetry.Histogram
+}
+
+// retryScheduled records one deferred re-attempt.
+func (t *coreTel) retryScheduled() {
+	if t == nil {
+		return
+	}
+	t.retriesScheduled.Inc()
+}
+
+// batch records one phase's batch volume. Called serially by the tick
+// coordinator, so histogram observation order is deterministic.
+func (t *coreTel) batch(phase string, tasks int) {
+	if t == nil {
+		return
+	}
+	t.phaseTasks[phase].Observe(float64(tasks))
+}
+
+// discovered records the time-to-discovery of a service born during the
+// simulation. Called serially from the event-drain goroutine.
+func (t *coreTel) discovered(ttd time.Duration) {
+	if t == nil {
+		return
+	}
+	t.ttdHours.Observe(ttd.Hours())
+}
+
+// attachTelemetry registers the Map's metric families on cfg.Telemetry and
+// builds the trace sampler. Called once at the end of build; a nil registry
+// leaves m.tel and m.tracer nil, which disables every instrument site.
+func (m *Map) attachTelemetry() {
+	reg := m.cfg.Telemetry
+	if reg == nil {
+		return
+	}
+	sample := m.cfg.TraceSample
+	if sample == 0 {
+		sample = telemetry.DefaultTraceSample
+	}
+	if sample > 0 {
+		m.tracer = telemetry.NewTracer(sample)
+	}
+
+	tel := &coreTel{
+		retriesScheduled: reg.Counter("censys_core_retries_scheduled_total",
+			"failed interrogations deferred for backoff re-attempt"),
+		phaseTasks: make(map[string]*telemetry.Histogram),
+		ttdHours: reg.Histogram("censys_paper_time_to_discovery_hours",
+			"hours from a service's birth to its service_found event (services born mid-run)",
+			ttdBounds),
+	}
+	phaseVec := reg.HistogramVec("censys_core_phase_tasks",
+		"tasks drained per batch, by tick phase", "phase", phaseTaskBounds)
+	for _, ph := range tickPhases {
+		tel.phaseTasks[ph] = phaseVec.With(ph)
+	}
+	m.tel = tel
+
+	// Pipeline counters: collect-time bridges over RunStats.
+	reg.CounterFunc("censys_core_ticks_total", "pipeline ticks executed", nil,
+		func() float64 { return float64(m.ticks.Load()) })
+	reg.CounterFunc("censys_core_interrogations_total", "interrogations launched", nil,
+		func() float64 { return float64(m.interrogations.Load()) })
+	reg.CounterFunc("censys_core_refresh_scans_total", "refresh re-interrogations", nil,
+		func() float64 { return float64(m.refreshScans.Load()) })
+	reg.CounterFunc("censys_core_predictive_probes_total", "predictive-engine probes", nil,
+		func() float64 { return float64(m.predictiveProbes.Load()) })
+	reg.CounterFunc("censys_core_reinjected_total", "evicted slots queued for re-injection", nil,
+		func() float64 { return float64(m.reinjected.Load()) })
+	reg.CounterFunc("censys_core_pseudo_filtered_total", "tasks suppressed by the pseudo-host filter", nil,
+		func() float64 { return float64(m.pseudoFiltered.Load()) })
+	reg.GaugeFunc("censys_core_pseudo_hosts", "hosts currently flagged pseudo", nil,
+		func() float64 { return float64(m.PseudoHosts()) })
+
+	// Discovery engine counters by result.
+	for _, b := range []struct {
+		result string
+		read   func(discovery.Stats) uint64
+	}{
+		{"sent", func(s discovery.Stats) uint64 { return s.ProbesSent }},
+		{"open", func(s discovery.Stats) uint64 { return s.OpenResponses }},
+		{"closed", func(s discovery.Stats) uint64 { return s.ClosedResponse }},
+		{"dropped", func(s discovery.Stats) uint64 { return s.Dropped }},
+		{"excluded", func(s discovery.Stats) uint64 { return s.Excluded }},
+	} {
+		read := b.read
+		reg.CounterFunc("censys_discovery_probes_total",
+			"discovery probes, by result", map[string]string{"result": b.result},
+			func() float64 { return float64(read(m.disc.Stats())) })
+	}
+	reg.CounterFunc("censys_discovery_cycles_total",
+		"scan-class coverage cycles completed", nil,
+		func() float64 { return float64(m.disc.Stats().CyclesComplete) })
+
+	// Per-PoP interrogation outcomes.
+	for _, pop := range m.pops {
+		in := m.inter[pop.Name]
+		popName := pop.Name
+		for _, b := range []struct {
+			outcome string
+			read    func(interro.Stats) uint64
+		}{
+			{"attempt", func(s interro.Stats) uint64 { return s.Attempts }},
+			{"no_contact", func(s interro.Stats) uint64 { return s.NoContact }},
+			{"identified", func(s interro.Stats) uint64 { return s.Identified }},
+			{"unknown", func(s interro.Stats) uint64 { return s.Unknown }},
+		} {
+			read := b.read
+			reg.CounterFunc("censys_interro_outcomes_total",
+				"interrogation outcomes, by PoP",
+				map[string]string{"pop": popName, "outcome": b.outcome},
+				func() float64 { return float64(read(in.Stats())) })
+		}
+	}
+
+	// Search: result-cache and plan-cache effectiveness, postings footprint.
+	reg.CounterFunc("censys_search_result_cache_total", "query result-cache probes, by outcome",
+		map[string]string{"outcome": "hit"},
+		func() float64 { return float64(m.index.Stats().Hits) })
+	reg.CounterFunc("censys_search_result_cache_total", "query result-cache probes, by outcome",
+		map[string]string{"outcome": "miss"},
+		func() float64 { return float64(m.index.Stats().Misses) })
+	reg.CounterFunc("censys_search_plan_cache_total", "compiled-plan cache probes, by outcome",
+		map[string]string{"outcome": "hit"},
+		func() float64 { return float64(m.index.Stats().PlanHits) })
+	reg.CounterFunc("censys_search_plan_cache_total", "compiled-plan cache probes, by outcome",
+		map[string]string{"outcome": "miss"},
+		func() float64 { return float64(m.index.Stats().PlanMisses) })
+	reg.GaugeFunc("censys_search_cache_entries", "resident result-cache entries", nil,
+		func() float64 { return float64(m.index.Stats().Entries) })
+	reg.GaugeFunc("censys_search_postings_entries",
+		"resident postings + numeric column entries across partitions", nil,
+		func() float64 { return float64(m.index.PostingsEntries()) })
+
+	// Journal tiering, aggregated (per-partition counters are registered by
+	// the processor's AttachTelemetry).
+	reg.GaugeFunc("censys_journal_ssd_events", "events resident on the SSD tier", nil,
+		func() float64 { return float64(m.processor.Journal().Stats().SSDEvents) })
+	reg.GaugeFunc("censys_journal_hdd_events", "events migrated to the HDD tier", nil,
+		func() float64 { return float64(m.processor.Journal().Stats().HDDEvents) })
+
+	// Paper-metric gauges (§5): freshness, coverage, dataset size. These walk
+	// the dataset and ground truth, so they run only at collect time.
+	freshness := reg.GaugeHistogram("censys_paper_freshness_hours",
+		"age (now − last_seen) of every current dataset record, in hours", freshnessBounds)
+	coverage := reg.Gauge("censys_paper_coverage_ratio",
+		"fraction of ground-truth live services present in the dataset")
+	datasetSize := reg.Gauge("censys_paper_dataset_services",
+		"service records currently in the dataset (pending excluded)")
+	truthSize := reg.Gauge("censys_paper_truth_services",
+		"ground-truth live services in the simulated universe")
+	reg.OnCollect(func(now time.Time) {
+		recs := m.CurrentServices(false)
+		ages := make([]float64, len(recs))
+		have := make(map[slotKey]bool, len(recs))
+		for i, r := range recs {
+			ages[i] = now.Sub(r.LastSeen).Hours()
+			have[slotKey{r.Addr, r.Port, r.Transport}] = true
+		}
+		freshness.Set(ages)
+		datasetSize.Set(float64(len(recs)))
+
+		truth := m.net.LiveServices(now, false)
+		truthSize.Set(float64(len(truth)))
+		covered := 0
+		for _, ref := range truth {
+			if have[slotKey{ref.Addr, ref.Port, ref.Transport}] {
+				covered++
+			}
+		}
+		if len(truth) > 0 {
+			coverage.Set(float64(covered) / float64(len(truth)))
+		} else {
+			coverage.Set(0)
+		}
+	})
+}
+
+// observeFound is the TTD hook run by consumeEvent for service_found
+// events: it attributes discovery latency for services born mid-run (slots
+// predating the simulation have no meaningful birth-to-discovery interval).
+func (m *Map) observeFound(addr netip.Addr, key slotKey, at time.Time) {
+	if m.tel == nil {
+		return
+	}
+	slot := m.net.SlotAt(addr, key.port, key.transport)
+	if slot != nil && slot.Birth.After(m.net.Epoch()) {
+		m.tel.discovered(at.Sub(slot.Birth))
+	}
+}
+
+// Metrics returns the registry the Map reports into (nil when disabled).
+func (m *Map) Metrics() *telemetry.Registry { return m.cfg.Telemetry }
+
+// MetricsSnapshot collects a deterministic point-in-time view of every
+// registered family, stamped with the simulated clock. Safe to call with
+// telemetry disabled (returns an empty snapshot).
+func (m *Map) MetricsSnapshot() telemetry.Snapshot {
+	return m.cfg.Telemetry.Snapshot(m.clock.Now())
+}
+
+// Tracer returns the Map's span sampler (nil when tracing is disabled).
+func (m *Map) Tracer() *telemetry.Tracer { return m.tracer }
+
+// Traces returns the sampled per-address pipeline spans collected so far.
+func (m *Map) Traces() []telemetry.Span { return m.tracer.Spans() }
+
+// traceEvent appends a span step for a sampled address. The detail string is
+// only built for sampled targets, so the untraced hot path pays one hash.
+func (m *Map) traceEvent(addr netip.Addr, stage, detail string, now time.Time) {
+	m.tracer.Event(addr.String(), stage, detail, now)
+}
+
+// attemptDetail renders interrogation outcome detail for a span step.
+func attemptDetail(ok bool, pop string, attempt int) string {
+	d := "fail"
+	if ok {
+		d = "ok"
+	}
+	d += " pop=" + pop
+	if attempt > 0 {
+		d += " attempt=" + strconv.Itoa(attempt)
+	}
+	return d
+}

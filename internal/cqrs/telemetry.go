@@ -1,0 +1,69 @@
+package cqrs
+
+import (
+	"strconv"
+
+	"censysmap/internal/telemetry"
+)
+
+// cqrsTel holds the processor's pre-resolved instrument handles so the write
+// path never performs a registry lookup. All fields are nil when telemetry is
+// disabled, and every instrument method is a no-op on nil, so the
+// instrumented code needs no guards.
+type cqrsTel struct {
+	// eventsByKind counts journaled deltas by event kind (event-driven: the
+	// kind is only known at emit time).
+	eventsByKind map[string]*telemetry.Counter
+}
+
+func (t *cqrsTel) event(kind string) {
+	if t == nil {
+		return
+	}
+	t.eventsByKind[kind].Inc()
+}
+
+// AttachTelemetry registers the write side's metrics on reg. Event counts
+// are event-driven (incremented at emit under the shard lock, so totals are
+// interleaving-independent); observation totals and per-partition journal
+// activity are collect-time reads of counters the processor and journal
+// already maintain, costing the hot path nothing.
+func (p *Processor) AttachTelemetry(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	ev := reg.CounterVec("censys_cqrs_events_total",
+		"write-side deltas journaled, by event kind", "kind")
+	t := &cqrsTel{eventsByKind: make(map[string]*telemetry.Counter)}
+	// Pre-register every kind so the family's child set is identical across
+	// runs and shard layouts even when some kinds never fire.
+	for _, k := range []string{KindServiceFound, KindServiceChanged,
+		KindServiceRestored, KindServicePending, KindServiceRemoved} {
+		t.eventsByKind[k] = ev.With(k)
+	}
+	p.tel = t
+
+	reg.CounterFunc("censys_cqrs_observations_total",
+		"observations applied to the write side", nil,
+		func() float64 { return float64(p.observations.Load()) })
+	reg.CounterFunc("censys_cqrs_nochange_total",
+		"no-change refreshes absorbed without journaling (delta-encoding win)", nil,
+		func() float64 { return float64(p.noChange.Load()) })
+	reg.GaugeFunc("censys_cqrs_queue_len",
+		"async out-events awaiting Drain", nil,
+		func() float64 { return float64(p.QueueLen()) })
+
+	j := p.journal
+	for i := 0; i < j.Partitions(); i++ {
+		part := strconv.Itoa(i)
+		idx := i
+		reg.CounterFunc("censys_journal_appends_total",
+			"delta events appended, by journal partition",
+			map[string]string{"partition": part},
+			func() float64 { return float64(j.PerPartitionStats()[idx].Appends) })
+		reg.CounterFunc("censys_journal_snapshots_total",
+			"full-state snapshots appended, by journal partition",
+			map[string]string{"partition": part},
+			func() float64 { return float64(j.PerPartitionStats()[idx].Snapshots) })
+	}
+}

@@ -103,6 +103,10 @@ type Processor struct {
 	// Counters for evaluation.
 	observations atomic.Uint64
 	noChange     atomic.Uint64
+
+	// tel is the optional telemetry hookup (see AttachTelemetry); nil means
+	// disabled and every instrument call is a nil-receiver no-op.
+	tel *cqrsTel
 }
 
 // NewProcessor creates a write-side processor over the given journal.
@@ -233,6 +237,7 @@ func (p *Processor) emit(s *procShard, h *entity.Host, t time.Time, kind string,
 		h.LastUpdated = t
 	}
 	p.afterAppend(s, h, t)
+	p.tel.event(kind)
 	s.queue = append(s.queue, OutEvent{Entity: h.ID(), Kind: kind, Time: t, Service: svc, Key: svc.Key()})
 	return nil
 }
@@ -247,6 +252,7 @@ func (p *Processor) emitKey(s *procShard, h *entity.Host, t time.Time, kind stri
 		h.LastUpdated = t
 	}
 	p.afterAppend(s, h, t)
+	p.tel.event(kind)
 	s.queue = append(s.queue, OutEvent{Entity: h.ID(), Kind: kind, Time: t, Key: key})
 	return nil
 }

@@ -283,6 +283,25 @@ func (s *Store) Migrate() int {
 	return moved
 }
 
+// PartitionStats is the per-partition slice of the append/snapshot
+// counters, exposed so telemetry can label journal activity by partition.
+type PartitionStats struct {
+	Appends   uint64
+	Snapshots uint64
+}
+
+// PerPartitionStats returns each partition's append/snapshot counters in
+// partition order.
+func (s *Store) PerPartitionStats() []PartitionStats {
+	out := make([]PartitionStats, len(s.parts))
+	for i, p := range s.parts {
+		p.mu.RLock()
+		out[i] = PartitionStats{Appends: p.appends, Snapshots: p.snaps}
+		p.mu.RUnlock()
+	}
+	return out
+}
+
 // Stats returns storage and access counters aggregated over partitions.
 func (s *Store) Stats() Stats {
 	var st Stats

@@ -26,6 +26,8 @@ type Service struct {
 	clock  simclock.Clock
 	mux    *http.ServeMux
 	index  *search.Index
+	// metrics is the optional telemetry hookup (see AttachMetrics).
+	metrics *svcMetrics
 }
 
 // New creates a lookup service. certs may be nil.
@@ -63,11 +65,6 @@ func (s *Service) CertHosts(fingerprint string) []string {
 		return nil
 	}
 	return s.certs.Locations(fingerprint)
-}
-
-// ServeHTTP implements http.Handler.
-func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
 }
 
 type errorBody struct {

@@ -1,0 +1,83 @@
+package lookup
+
+import (
+	"net/http"
+
+	"censysmap/internal/telemetry"
+)
+
+// svcMetrics instruments the HTTP surface: request counts and latency per
+// route pattern. Latency is measured on the service clock — zero under the
+// simulated clock (requests complete within one instant), real durations
+// when a Service runs on a wall clock — so instrumented simulation runs stay
+// bit-identical.
+type svcMetrics struct {
+	registry *telemetry.Registry
+	tracer   *telemetry.Tracer
+	requests *telemetry.CounterVec
+	latency  *telemetry.HistogramVec
+}
+
+// latencyBounds bucket request latency in seconds.
+var latencyBounds = []float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5}
+
+// AttachMetrics registers GET /v2/metrics and per-endpoint instrumentation
+// on reg. The tracer, when non-nil, contributes sampled pipeline spans to
+// the JSON exposition. A nil registry is a no-op.
+func (s *Service) AttachMetrics(reg *telemetry.Registry, tracer *telemetry.Tracer) {
+	if reg == nil {
+		return
+	}
+	s.metrics = &svcMetrics{
+		registry: reg,
+		tracer:   tracer,
+		requests: reg.CounterVec("censys_lookup_requests_total",
+			"lookup API requests served, by route", "route"),
+		latency: reg.HistogramVec("censys_lookup_latency_seconds",
+			"lookup API request latency, by route", "route", latencyBounds),
+	}
+	s.mux.HandleFunc("GET /v2/metrics", s.handleMetrics)
+}
+
+// ServeHTTP implements http.Handler, recording per-route telemetry when
+// metrics are attached.
+func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m := s.metrics
+	if m == nil {
+		s.mux.ServeHTTP(w, r)
+		return
+	}
+	_, pattern := s.mux.Handler(r)
+	if pattern == "" {
+		pattern = "unmatched"
+	}
+	// Counted at dispatch, not completion, so a /v2/metrics scrape includes
+	// itself — every exposition accounts for the request that produced it.
+	m.requests.With(pattern).Inc()
+	start := s.clock.Now()
+	s.mux.ServeHTTP(w, r)
+	m.latency.With(pattern).Observe(s.clock.Now().Sub(start).Seconds())
+}
+
+// metricsJSON is the JSON exposition: the metric snapshot plus sampled
+// trace spans.
+type metricsJSON struct {
+	Metrics telemetry.Snapshot `json:"metrics"`
+	Traces  []telemetry.Span   `json:"traces,omitempty"`
+}
+
+// handleMetrics serves the registry in Prometheus text format (the default)
+// or as a JSON document with trace spans (?format=json). Both render from
+// one Snapshot taken at the simulated instant of the request.
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.registry.Snapshot(s.clock.Now())
+	if r.URL.Query().Get("format") == "json" {
+		writeJSON(w, http.StatusOK, metricsJSON{
+			Metrics: snap,
+			Traces:  s.metrics.tracer.Spans(),
+		})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(snap.PrometheusText()))
+}

@@ -51,11 +51,20 @@ type CacheStats struct {
 	Misses     uint64
 	Entries    int
 	Generation uint64
+	// PlanHits/PlanMisses count the prepared-statement (compiled plan)
+	// cache, which is keyed by raw query text and never goes stale.
+	PlanHits   uint64
+	PlanMisses uint64
 }
 
 // Stats returns the index's cache counters.
 func (ix *Index) Stats() CacheStats {
-	st := CacheStats{Hits: ix.hits.Load(), Misses: ix.misses.Load()}
+	st := CacheStats{
+		Hits:       ix.hits.Load(),
+		Misses:     ix.misses.Load(),
+		PlanHits:   ix.planHits.Load(),
+		PlanMisses: ix.planMisses.Load(),
+	}
 	for _, p := range ix.parts {
 		p.cacheMu.Lock()
 		st.Entries += len(p.cache)
@@ -63,4 +72,24 @@ func (ix *Index) Stats() CacheStats {
 		st.Generation += p.gen.Load()
 	}
 	return st
+}
+
+// PostingsEntries reports the total number of (document, token) postings
+// plus numeric column entries resident across all partitions — the size of
+// the index's core read structures, exported as a telemetry gauge.
+func (ix *Index) PostingsEntries() int {
+	total := 0
+	for _, p := range ix.parts {
+		p.mu.RLock()
+		for _, toks := range p.inverted {
+			for _, list := range toks {
+				total += len(list)
+			}
+		}
+		for _, col := range p.numeric {
+			total += len(col)
+		}
+		p.mu.RUnlock()
+	}
+	return total
 }

@@ -32,8 +32,10 @@ func (ix *Index) parseCached(query string) (*Query, error) {
 	q := ix.plans[query]
 	ix.planMu.Unlock()
 	if q != nil {
+		ix.planHits.Add(1)
 		return q, nil
 	}
+	ix.planMisses.Add(1)
 	q, err := ParseQuery(query)
 	if err != nil {
 		return nil, err

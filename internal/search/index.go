@@ -43,6 +43,8 @@ type Index struct {
 	cacheOff atomic.Bool
 	// hits/misses count query-cache outcomes across all partitions.
 	hits, misses atomic.Uint64
+	// planHits/planMisses count prepared-statement (plan) cache outcomes.
+	planHits, planMisses atomic.Uint64
 
 	// plans caches compiled queries by raw query text — the prepared-
 	// statement cache. Compilation is pure (independent of index contents),

@@ -1,0 +1,151 @@
+package telemetry
+
+import (
+	"net/netip"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sampled per-target trace spans: a span follows one address through the
+// pipeline — discovery → interrogation → CQRS → index — as a sequence of
+// (simulated timestamp, stage, detail) events, so when a target is slow to
+// appear in the dataset the stage that held it up (a retry ladder, an
+// eviction grace window, a starved scan class) is attributable.
+//
+// Sampling is deterministic: whether an address is traced is a pure
+// function of (address, sample modulus), never of load or interleaving, so
+// the same run always traces the same targets. Within one span, events are
+// appended in pipeline order (one address's tasks run on its owning shard
+// worker; drain-side events run serially), so spans are byte-identical
+// across Shards/InterroWorkers layouts.
+
+// SpanEvent is one step of a traced target's journey.
+type SpanEvent struct {
+	// Time is the simulated instant of the step.
+	Time time.Time `json:"time"`
+	// Stage names the pipeline stage ("discovery", "interrogate", "cqrs",
+	// "index", ...).
+	Stage string `json:"stage"`
+	// Detail carries stage-specific context ("ok pop=chi", "service_found").
+	Detail string `json:"detail,omitempty"`
+}
+
+// Span is the event timeline of one sampled target.
+type Span struct {
+	// Target is the traced address.
+	Target string `json:"target"`
+	// Events in pipeline order.
+	Events []SpanEvent `json:"events"`
+	// Truncated reports that the per-span event cap was hit and later
+	// events were dropped.
+	Truncated bool `json:"truncated,omitempty"`
+}
+
+// Tracer collects sampled spans. A nil Tracer is a no-op. Safe for
+// concurrent use: distinct targets may be traced from distinct workers; one
+// target's events must be ordered by the caller (the pipeline's shard
+// ownership provides exactly that).
+type Tracer struct {
+	mod       uint64
+	maxEvents int
+	maxSpans  int
+
+	mu    sync.Mutex
+	spans map[string]*Span
+}
+
+// Tracing defaults.
+const (
+	// DefaultTraceSample traces one address in 64.
+	DefaultTraceSample = 64
+	// defaultMaxSpanEvents caps one span's timeline.
+	defaultMaxSpanEvents = 96
+	// defaultMaxSpans is a safety bound on resident spans. Deterministic
+	// sampling bounds the traced population by universe/mod, so this cap is
+	// a backstop, not a working limit.
+	defaultMaxSpans = 8192
+)
+
+// NewTracer returns a tracer sampling one in mod addresses (mod <= 1 traces
+// everything).
+func NewTracer(mod int) *Tracer {
+	if mod < 1 {
+		mod = 1
+	}
+	return &Tracer{
+		mod:       uint64(mod),
+		maxEvents: defaultMaxSpanEvents,
+		maxSpans:  defaultMaxSpans,
+		spans:     make(map[string]*Span),
+	}
+}
+
+// Hit reports whether addr is sampled, without allocating. Callers gate the
+// addr.String() + Event call behind it so untraced targets cost one hash.
+func (t *Tracer) Hit(addr netip.Addr) bool {
+	if t == nil {
+		return false
+	}
+	if t.mod == 1 {
+		return true
+	}
+	b := addr.As4()
+	h := uint64(2166136261)
+	for _, x := range b {
+		h ^= uint64(x)
+		h *= 16777619
+	}
+	return h%t.mod == 0
+}
+
+// Event appends a step to target's span. Callers must have checked Hit (or
+// accept tracing every caller-chosen target).
+func (t *Tracer) Event(target, stage, detail string, now time.Time) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp := t.spans[target]
+	if sp == nil {
+		if len(t.spans) >= t.maxSpans {
+			return
+		}
+		sp = &Span{Target: target}
+		t.spans[target] = sp
+	}
+	if len(sp.Events) >= t.maxEvents {
+		sp.Truncated = true
+		return
+	}
+	sp.Events = append(sp.Events, SpanEvent{Time: now, Stage: stage, Detail: detail})
+}
+
+// Spans returns all collected spans sorted by target (deep-copied).
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	out := make([]Span, 0, len(t.spans))
+	for _, sp := range t.spans {
+		cp := Span{Target: sp.Target, Truncated: sp.Truncated,
+			Events: make([]SpanEvent, len(sp.Events))}
+		copy(cp.Events, sp.Events)
+		out = append(out, cp)
+	}
+	t.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Target < out[j].Target })
+	return out
+}
+
+// Len reports how many targets have spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
