@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race chaos fuzz bench bench-search bench-json check
+.PHONY: all vet lint build test race chaos chaos-disk fsck fuzz bench bench-search bench-json check
 
 all: check
 
@@ -34,6 +34,22 @@ chaos:
 	$(GO) test -race ./internal/chaos/ ./internal/core/ ./internal/cqrs/
 	$(GO) test -race . -run TestSystemCrashRecoveryUnderChaos
 
+# The disk-fault differential suite: crash a run to real segment files,
+# corrupt them deterministically (bit flips, torn tails, truncations, missing
+# files, stale checkpoint hints), and require recovery to come back either
+# bit-identical or degraded with exactly the condemned partitions quarantined.
+chaos-disk:
+	$(GO) test -race ./internal/chaos/ \
+		-run 'TestDiskCrashResumeCleanRoundTrip|TestDiskFaultDifferential|TestFsckDetectsInjectedCorruption|TestStorageTelemetryDeterministic'
+
+# Offline store verification: the storage engine's unit + golden-fixture
+# tests, then censysfsck over the committed corrupted stores — it must flag
+# both (exit 1), proving the operator tool sees what recovery sees.
+fsck:
+	$(GO) test ./internal/durable/
+	! $(GO) run ./cmd/censysfsck -dir internal/durable/testdata/store_repairable
+	! $(GO) run ./cmd/censysfsck -dir internal/durable/testdata/store_quarantine -json
+
 # Short coverage-guided fuzzing: the three parsers that face untrusted
 # bytes, plus the search differential (random queries against a naive
 # reference evaluator, serial and partitioned engines must agree). Seed
@@ -43,6 +59,7 @@ fuzz:
 	$(GO) test ./internal/search/ -fuzz FuzzParseQuery -fuzztime 30s
 	$(GO) test ./internal/search/ -fuzz FuzzSearchDifferential -fuzztime 30s
 	$(GO) test ./internal/wire/ -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/durable/ -fuzz FuzzSegmentDecode -fuzztime 30s
 
 # Serial vs sharded pipeline throughput (1/4/8 workers).
 bench:
@@ -59,4 +76,4 @@ bench-search:
 bench-json:
 	$(GO) run ./cmd/benchtables -bench-json
 
-check: lint build race chaos
+check: lint build race chaos chaos-disk fsck

@@ -71,6 +71,9 @@ type Run struct {
 
 	spec RunSpec
 	tick int
+	// parked holds the engine-external durable stores across a CrashToDisk /
+	// ResumeFromDisk cycle (see disk.go).
+	parked *parkedStores
 }
 
 // Start builds the universe and pipeline for spec and performs the seed
@@ -206,6 +209,13 @@ type Observation struct {
 	QueryCounts map[string]int
 	// QueryDigest hashes the sorted result IPs of each canned query.
 	QueryDigest string
+	// PartitionDigests hashes each journal partition independently — rows,
+	// events, and access counters — so degraded-mode comparisons can hold
+	// healthy partitions to bit-identity while ignoring quarantined ones.
+	PartitionDigests []string
+	// QueryIPs holds each canned query's sorted result IPs, for the
+	// per-partition filtering DegradedDiff performs.
+	QueryIPs map[string][]string
 }
 
 // Observe projects m into an Observation.
@@ -236,6 +246,10 @@ func Observe(m *core.Map) (Observation, error) {
 		}
 	}
 	o.JournalDigest = hex.EncodeToString(jh.Sum(nil))
+
+	for pi := 0; pi < j.Partitions(); pi++ {
+		o.PartitionDigests = append(o.PartitionDigests, digestPartition(j.DumpPartition(pi)))
+	}
 
 	wh := sha256.New()
 	wstate, err := json.Marshal(m.WebProperties().State())
@@ -276,6 +290,10 @@ func Observe(m *core.Map) (Observation, error) {
 			ips[i] = h.IP.String()
 		}
 		sort.Strings(ips)
+		if o.QueryIPs == nil {
+			o.QueryIPs = map[string][]string{}
+		}
+		o.QueryIPs[q] = ips
 		qh.Write([]byte(q))
 		for _, ip := range ips {
 			qh.Write([]byte(ip))

@@ -84,6 +84,12 @@ func TestTelemetryDeterministicAcrossLayouts(t *testing.T) {
 		"censys_core_pseudo_filtered_total",
 		"censys_cqrs_observations_total",
 		"censys_cqrs_nochange_total",
+		"censys_storage_records_verified_total",
+		"censys_storage_checksum_failures_total",
+		"censys_storage_tails_truncated_total",
+		"censys_storage_snapshots_rebuilt_total",
+		"censys_storage_partitions_quarantined_total",
+		"censys_storage_checkpoint_fallbacks_total",
 	}
 	for i, res := range results[1:] {
 		for _, fam := range totalFamilies {
@@ -200,6 +206,68 @@ func TestChaosCountersSingleSource(t *testing.T) {
 	}
 	if got := snap.Total("censys_chaos_faults_total"); uint64(got) != st.Total() {
 		t.Errorf("family total %v != Stats total %d", got, st.Total())
+	}
+}
+
+// TestStorageTelemetryDeterministic: two identical crash-to-disk, corrupt,
+// resume cycles expose byte-identical censys_storage_* counters and the same
+// censys_degraded gauge — the storage metrics are as deterministic as the
+// dataset itself.
+func TestStorageTelemetryDeterministic(t *testing.T) {
+	storageFamilies := []string{
+		"censys_storage_records_verified_total",
+		"censys_storage_checksum_failures_total",
+		"censys_storage_tails_truncated_total",
+		"censys_storage_snapshots_rebuilt_total",
+		"censys_storage_partitions_quarantined_total",
+		"censys_storage_checkpoint_fallbacks_total",
+	}
+	run := func() (map[string]float64, float64, float64) {
+		r, err := Start(diskSpec(0xE5))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Step(diskCrashTick)
+		dir := t.TempDir()
+		if err := r.CrashToDisk(dir); err != nil {
+			t.Fatal(err)
+		}
+		faults := DiskFaults{Seed: 0xE5, DeltaFlips: 1, SnapshotFlips: 1, TornTails: 1,
+			Truncations: 1, MissingFiles: 1, StaleCurrent: true, CheckpointFlip: true}
+		if _, err := CorruptDisk(dir, faults); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := r.ResumeFromDisk(dir); err != nil {
+			t.Fatal(err)
+		}
+		defer r.Map.Stop()
+		snap := r.Map.MetricsSnapshot()
+		totals := map[string]float64{}
+		for _, fam := range storageFamilies {
+			totals[fam] = snap.Total(fam)
+		}
+		deg, _ := snap.Get("censys_degraded", nil)
+		quar, _ := snap.Get("censys_storage_quarantined_partitions", nil)
+		return totals, deg.Value, quar.Value
+	}
+	t1, d1, q1 := run()
+	t2, d2, q2 := run()
+	for _, fam := range storageFamilies {
+		if t1[fam] != t2[fam] {
+			t.Errorf("%s: %v vs %v across identical runs", fam, t1[fam], t2[fam])
+		}
+	}
+	if d1 != d2 || d1 != 1 {
+		t.Errorf("censys_degraded = %v / %v, want 1 on both runs", d1, d2)
+	}
+	if q1 != q2 || q1 == 0 {
+		t.Errorf("censys_storage_quarantined_partitions = %v / %v, want equal nonzero", q1, q2)
+	}
+	if t1["censys_storage_checksum_failures_total"] == 0 {
+		t.Error("checksum failures counter did not move under an every-class schedule")
+	}
+	if t1["censys_storage_partitions_quarantined_total"] == 0 {
+		t.Error("quarantine counter did not move under an every-class schedule")
 	}
 }
 

@@ -1,16 +1,19 @@
 package core
 
 import (
+	"fmt"
 	"net/netip"
 	"sort"
 	"time"
 
 	"censysmap/internal/cqrs"
 	"censysmap/internal/discovery"
+	"censysmap/internal/durable"
 	"censysmap/internal/entity"
 	"censysmap/internal/journal"
 	"censysmap/internal/predict"
 	"censysmap/internal/search"
+	"censysmap/internal/shard"
 	"censysmap/internal/simnet"
 	"censysmap/internal/snapshot"
 	"censysmap/internal/webprop"
@@ -52,17 +55,29 @@ type Durable struct {
 	Index *search.Index
 	// CertIdx is the certificate->host read model.
 	CertIdx *cqrs.CertIndex
+
+	// Quarantined lists journal partitions the storage engine could not
+	// recover (indices into Journal's partition space). A Map resumed with
+	// quarantined partitions comes up in degraded mode: it fences writes
+	// for their address slice, purges their read models, and advertises
+	// the degradation via telemetry and response headers.
+	Quarantined []int
+	// Storage carries the storage engine's recovery counters so the
+	// censys_storage_* telemetry survives into the resumed process.
+	Storage *durable.Metrics
 }
 
 // Durable returns the Map's crash-surviving stores, for handing to Resume.
 func (m *Map) Durable() Durable {
 	return Durable{
-		Journal:    m.processor.Journal(),
-		WebJournal: m.webProps.Journal(),
-		Certs:      m.certs,
-		Analytics:  m.analytics,
-		Index:      m.index,
-		CertIdx:    m.certIdx,
+		Journal:     m.processor.Journal(),
+		WebJournal:  m.webProps.Journal(),
+		Certs:       m.certs,
+		Analytics:   m.analytics,
+		Index:       m.index,
+		CertIdx:     m.certIdx,
+		Quarantined: m.QuarantinedPartitions(),
+		Storage:     m.storageMetrics,
 	}
 }
 
@@ -176,6 +191,9 @@ func Resume(cfg Config, net *simnet.Internet, d Durable, cp Checkpoint) (*Map, e
 }
 
 // restore applies a checkpoint to a freshly built Map (the Resume tail).
+// Bookkeeping for quarantined partitions is dropped: their journal history
+// is gone, so carrying refresh clocks or retries for their addresses would
+// schedule writes the degraded map must fence anyway.
 func (m *Map) restore(cp *Checkpoint) error {
 	m.seeded = cp.Seeded
 	m.lastDaily = cp.LastDaily
@@ -187,6 +205,9 @@ func (m *Map) restore(cp *Checkpoint) error {
 	m.pseudoFiltered.Store(cp.Stats.PseudoFiltered)
 
 	for _, ks := range cp.Known {
+		if m.quarantinedAddr(ks.Addr) {
+			continue
+		}
 		s := m.shardFor(ks.Addr)
 		key := slotKey{ks.Addr, ks.Port, ks.Transport}
 		s.known[key] = ks.Last
@@ -195,12 +216,21 @@ func (m *Map) restore(cp *Checkpoint) error {
 		}
 	}
 	for _, a := range cp.PseudoHosts {
+		if m.quarantinedAddr(a) {
+			continue
+		}
 		m.shardFor(a).pseudoHosts[a] = true
 	}
 	for _, hc := range cp.FoundPerHost {
+		if m.quarantinedAddr(hc.Addr) {
+			continue
+		}
 		m.shardFor(hc.Addr).foundPerHost[hc.Addr] = hc.Count
 	}
 	for _, r := range cp.Retries {
+		if m.quarantinedAddr(r.Cand.Addr) {
+			continue
+		}
 		s := m.shardFor(r.Cand.Addr)
 		s.retries = append(s.retries, retryEntry{due: r.Due,
 			task: pendingTask{cand: r.Cand, kind: taskKind(r.Kind), attempt: r.Attempt}})
@@ -208,8 +238,43 @@ func (m *Map) restore(cp *Checkpoint) error {
 	m.exclusions = append([]Exclusion(nil), cp.Exclusions...)
 	m.syncExclusions()
 	if err := m.disc.Restore(cp.Discovery); err != nil {
-		return err
+		return fmt.Errorf("core: restore discovery state: %w", err)
 	}
 	m.predictor.Restore(cp.Predictor)
-	return m.webProps.Restore(cp.WebProps)
+	if err := m.webProps.Restore(cp.WebProps); err != nil {
+		return fmt.Errorf("core: restore web-property state: %w", err)
+	}
+	return nil
 }
+
+// quarantinedAddr reports whether addr belongs to a quarantined journal
+// partition (degraded mode only; always false on a healthy map).
+func (m *Map) quarantinedAddr(addr netip.Addr) bool {
+	return m.quarParts != nil && m.quarParts[shard.Of(addr.String(), m.quarMod)]
+}
+
+// quarantinedID is quarantinedAddr for raw entity IDs.
+func (m *Map) quarantinedID(id string) bool {
+	return m.quarParts != nil && m.quarParts[shard.Of(id, m.quarMod)]
+}
+
+// Degraded reports whether the Map is serving in degraded mode.
+func (m *Map) Degraded() bool { return len(m.quarParts) > 0 }
+
+// QuarantinedPartitions returns the quarantined journal partitions in
+// ascending order (nil on a healthy map). Indices are relative to the
+// journal's partition count, which QuarantineModulus reports.
+func (m *Map) QuarantinedPartitions() []int {
+	if len(m.quarParts) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(m.quarParts))
+	for p := range m.quarParts {
+		out = append(out, p)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// QuarantineModulus reports the partition space Quarantined indices live in.
+func (m *Map) QuarantineModulus() int { return m.quarMod }

@@ -37,6 +37,7 @@ import (
 
 	"censysmap/internal/cqrs"
 	"censysmap/internal/discovery"
+	"censysmap/internal/durable"
 	"censysmap/internal/enrich"
 	"censysmap/internal/entity"
 	"censysmap/internal/interro"
@@ -264,6 +265,17 @@ type Map struct {
 	reinjected       atomic.Uint64
 	pseudoFiltered   atomic.Uint64
 
+	// Degraded-mode state: quarParts marks journal partitions the storage
+	// engine could not recover (indices modulo quarMod, the journal's
+	// partition count). Writes for their address slice are fenced and their
+	// read models purged; both maps are nil on a healthy Map.
+	quarParts map[int]bool
+	quarMod   int
+	// storageMetrics are the storage engine's recovery counters
+	// (censys_storage_*), zero-valued on a fresh Map so the metric family
+	// is present — and provably zero — on healthy runs.
+	storageMetrics *durable.Metrics
+
 	// tel/tracer are the optional telemetry hookups (see telemetry.go);
 	// both are nil when Config.Telemetry is nil.
 	tel    *coreTel
@@ -364,14 +376,43 @@ func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, 
 	var j *journal.Store
 	if d != nil {
 		j = d.Journal
+		if len(d.Quarantined) > 0 {
+			// Quarantine indices live in the on-disk journal's partition
+			// space, which survives layout-changing resumes unchanged.
+			m.quarMod = j.Partitions()
+			m.quarParts = make(map[int]bool, len(d.Quarantined))
+			for _, p := range d.Quarantined {
+				if p < 0 || p >= m.quarMod {
+					return nil, fmt.Errorf("core: resume: quarantined partition %d outside journal's %d partitions", p, m.quarMod)
+				}
+				m.quarParts[p] = true
+			}
+		}
 		m.processor, err = cqrs.RebuildProcessor(pcfg, j, cp.TakenAt)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: resume: rebuild processor from journal: %w", err)
 		}
-		m.processor.RestoreEphemeral(cp.Processor)
+		eph := cp.Processor
+		if m.quarParts != nil {
+			// Liveness for quarantined entities must not be re-patched onto
+			// the (empty) rebuilt state or re-exported by later checkpoints.
+			kept := make([]cqrs.SlotLiveness, 0, len(eph.Slots))
+			for _, sl := range eph.Slots {
+				if !m.quarantinedID(sl.Entity) {
+					kept = append(kept, sl)
+				}
+			}
+			eph.Slots = kept
+		}
+		m.processor.RestoreEphemeral(eph)
 	} else {
 		j = journal.NewPartitioned(cfg.Shards)
 		m.processor = cqrs.NewProcessor(pcfg, j)
+	}
+	if d != nil && d.Storage != nil {
+		m.storageMetrics = d.Storage
+	} else {
+		m.storageMetrics = durable.NewMetrics()
 	}
 	geo, asn := enrichFeedsFor(net)
 	m.enricher = enrich.New(geo, asn)
@@ -383,10 +424,26 @@ func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, 
 		m.certIdx = cqrs.NewCertIndex()
 		m.index = search.NewPartitioned(cfg.Shards)
 	}
+	if m.quarParts != nil {
+		// Purge the carried read models of quarantined entities: the index
+		// stripes by the same hash over the same partition count as the
+		// journal, so the purge is a whole-partition drop.
+		if m.index.Partitions() != m.quarMod {
+			return nil, fmt.Errorf("core: resume: index has %d partitions, journal %d; cannot align quarantine",
+				m.index.Partitions(), m.quarMod)
+		}
+		for _, p := range m.QuarantinedPartitions() {
+			m.index.DropPartition(p)
+		}
+		m.certIdx.DropEntities(m.quarantinedID)
+	}
 	m.certIdx.Follow(m.processor)
 	m.processor.Subscribe(m.consumeEvent)
 	m.lookupSvc = lookup.New(m.reader, m.certIdx, clk)
 	m.lookupSvc.AttachSearch(m.index)
+	if m.quarParts != nil {
+		m.lookupSvc.SetDegraded(m.QuarantinedPartitions(), m.quarMod)
+	}
 
 	// Prediction & re-injection.
 	m.predictor = predict.New(predict.DefaultConfig())
@@ -405,7 +462,8 @@ func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, 
 	m.lastDaily = clk.Now()
 	if cp != nil {
 		if err := m.restore(cp); err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: resume: apply checkpoint taken at %s: %w",
+				cp.TakenAt.Format(time.RFC3339), err)
 		}
 	}
 
@@ -685,8 +743,13 @@ func (m *Map) flushRetries(now time.Time) {
 }
 
 // enqueue appends a task to its shard's FIFO queue. Called serially between
-// batches, so per-shard order is exactly enqueue order.
+// batches, so per-shard order is exactly enqueue order. In degraded mode,
+// tasks for quarantined partitions are fenced: their journal history is
+// gone, so writing new events would silently fork those entities' state.
 func (m *Map) enqueue(t pendingTask) {
+	if m.quarantinedAddr(t.cand.Addr) {
+		return
+	}
 	s := m.shardFor(t.cand.Addr)
 	s.pending = append(s.pending, t)
 }

@@ -185,6 +185,22 @@ func (m *Map) attachTelemetry() {
 		"resident postings + numeric column entries across partitions", nil,
 		func() float64 { return float64(m.index.PostingsEntries()) })
 
+	// Storage engine: recovery counters (zero on a never-crashed map, so
+	// the family's presence is layout- and history-invariant) plus the
+	// degraded-mode gauges.
+	m.storageMetrics.Register(reg)
+	reg.GaugeFunc("censys_degraded",
+		"1 when storage recovery quarantined partitions and the map serves degraded results", nil,
+		func() float64 {
+			if m.Degraded() {
+				return 1
+			}
+			return 0
+		})
+	reg.GaugeFunc("censys_storage_quarantined_partitions",
+		"journal partitions currently quarantined", nil,
+		func() float64 { return float64(len(m.quarParts)) })
+
 	// Journal tiering, aggregated (per-partition counters are registered by
 	// the processor's AttachTelemetry).
 	reg.GaugeFunc("censys_journal_ssd_events", "events resident on the SSD tier", nil,

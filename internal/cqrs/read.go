@@ -154,6 +154,24 @@ func (ci *CertIndex) Locations(fingerprint string) []string {
 	return out
 }
 
+// DropEntities removes every locator whose entity matches pred — the
+// degraded-mode purge: when a journal partition is quarantined, its hosts'
+// certificate pivots must disappear with it rather than dangle.
+func (ci *CertIndex) DropEntities(pred func(entity string) bool) {
+	ci.mu.Lock()
+	defer ci.mu.Unlock()
+	for fp, locs := range ci.byFP {
+		for loc := range locs {
+			if pred(loc.entity) {
+				delete(locs, loc)
+			}
+		}
+		if len(locs) == 0 {
+			delete(ci.byFP, fp)
+		}
+	}
+}
+
 // Fingerprints returns how many distinct certificates are indexed.
 func (ci *CertIndex) Fingerprints() int {
 	ci.mu.RLock()

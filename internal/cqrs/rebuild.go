@@ -53,6 +53,44 @@ func RebuildProcessor(cfg Config, j *journal.Store, asOf time.Time) (*Processor,
 	return p, nil
 }
 
+// RebuildSnapshotPayload reconstructs the byte payload of a snapshot event
+// from the events that precede it: the latest prior snapshot (or a fresh
+// host) with the intervening deltas replayed, encoded exactly as the write
+// side encodes snapshots. The storage engine uses it to repair corrupt
+// snapshot records — the caller proves byte-exactness by checking the
+// candidate against the stored frame CRC, which is why replay drift (e.g.
+// un-journaled LastSeen movement baked into the original snapshot) safely
+// fails the repair instead of corrupting state.
+func RebuildSnapshotPayload(id string, prior []journal.Event) ([]byte, error) {
+	start := -1
+	for i := len(prior) - 1; i >= 0; i-- {
+		if prior[i].Kind == journal.SnapshotKind {
+			start = i
+			break
+		}
+	}
+	var h *entity.Host
+	if start >= 0 {
+		decoded, err := DecodeHostSnapshot(prior[start].Payload)
+		if err != nil {
+			return nil, fmt.Errorf("cqrs: rebuild snapshot %s: %w", id, err)
+		}
+		h = decoded
+	} else {
+		addr, err := netip.ParseAddr(id)
+		if err != nil {
+			return nil, fmt.Errorf("cqrs: rebuild snapshot %s: %w", id, err)
+		}
+		h = entity.NewHost(addr)
+	}
+	for _, ev := range prior[start+1:] {
+		if err := ApplyEvent(h, ev); err != nil {
+			return nil, fmt.Errorf("cqrs: rebuild snapshot %s seq %d: %w", id, ev.Seq, err)
+		}
+	}
+	return EncodeHostSnapshot(h), nil
+}
+
 // SlotLiveness is one slot's un-journaled refresh bookkeeping, exported for
 // checkpointing.
 type SlotLiveness struct {

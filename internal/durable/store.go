@@ -1,0 +1,658 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"censysmap/internal/journal"
+	"censysmap/internal/telemetry"
+)
+
+// On-disk layout of a store directory:
+//
+//	MANIFEST, MANIFEST.bak          single-record manifest segments
+//	stores/<name>/p0000/seg-000000.seg   per-partition segment chain
+//	stores/<name>/p0000/tail.dwb         doublewrite copy of the tail record
+//	checkpoint/CURRENT                   generation hint (text)
+//	checkpoint/cp-000001.a / .b          checkpoint blob, primary + mirror
+//
+// Every file is written to a temp name and renamed into place; the manifest
+// is written last, so a save is atomic at the manifest boundary. The
+// manifest's generation — not CURRENT — is authoritative; CURRENT is a
+// recoverable hint (the stale-generation fault class).
+
+// Fault kinds recovery and fsck report.
+const (
+	FaultChecksum     = "checksum"
+	FaultTornTail     = "torn_tail"
+	FaultTruncated    = "truncated"
+	FaultMissing      = "missing"
+	FaultBadHeader    = "bad_header"
+	FaultBadFooter    = "bad_footer"
+	FaultStaleCurrent = "stale_current"
+	FaultCheckpoint   = "checkpoint"
+	FaultDecode       = "decode"
+)
+
+// Recovery actions taken for a finding.
+const (
+	ActionRebuiltSnapshot = "rebuilt_snapshot"
+	ActionRestoredTail    = "truncated_restored"
+	ActionQuarantined     = "quarantined"
+	ActionFellBack        = "fallback_mirror"
+	ActionRescannedGen    = "rescanned_generation"
+)
+
+// Finding is one detected fault with the exact location and the recovery
+// action taken (or, for fsck, the action recovery would take).
+type Finding struct {
+	Store     string `json:"store,omitempty"`
+	Partition int    `json:"partition"`
+	File      string `json:"file,omitempty"`
+	Record    int    `json:"record"`
+	Offset    int64  `json:"offset"`
+	Fault     string `json:"fault"`
+	Action    string `json:"action"`
+	Detail    string `json:"detail,omitempty"`
+}
+
+// Metrics are the storage engine's censys_storage_* counters. They are live
+// telemetry counters (like the chaos injector's), so recovery increments and
+// /v2/metrics read the same memory.
+type Metrics struct {
+	RecordsVerified       *telemetry.Counter
+	ChecksumFailures      *telemetry.Counter
+	TailsTruncated        *telemetry.Counter
+	SnapshotsRebuilt      *telemetry.Counter
+	PartitionsQuarantined *telemetry.Counter
+	CheckpointFallbacks   *telemetry.Counter
+}
+
+// NewMetrics returns zeroed storage counters.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		RecordsVerified:       telemetry.NewCounter(),
+		ChecksumFailures:      telemetry.NewCounter(),
+		TailsTruncated:        telemetry.NewCounter(),
+		SnapshotsRebuilt:      telemetry.NewCounter(),
+		PartitionsQuarantined: telemetry.NewCounter(),
+		CheckpointFallbacks:   telemetry.NewCounter(),
+	}
+}
+
+// Register exposes the counters on reg as the censys_storage_* family.
+func (m *Metrics) Register(reg *telemetry.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	reg.RegisterCounter("censys_storage_records_verified_total",
+		"segment records whose CRC32C verified during recovery", nil, m.RecordsVerified)
+	reg.RegisterCounter("censys_storage_checksum_failures_total",
+		"segment records that failed their CRC32C during recovery", nil, m.ChecksumFailures)
+	reg.RegisterCounter("censys_storage_tails_truncated_total",
+		"torn segment tails truncated to the last valid record and restored", nil, m.TailsTruncated)
+	reg.RegisterCounter("censys_storage_snapshots_rebuilt_total",
+		"corrupt snapshot records reconstructed by CRC-proven replay", nil, m.SnapshotsRebuilt)
+	reg.RegisterCounter("censys_storage_partitions_quarantined_total",
+		"journal partitions quarantined as unrecoverable", nil, m.PartitionsQuarantined)
+	reg.RegisterCounter("censys_storage_checkpoint_fallbacks_total",
+		"checkpoint reads that fell back to the mirror copy", nil, m.CheckpointFallbacks)
+}
+
+// StorageStats is a plain snapshot of the counters, for assertions.
+type StorageStats struct {
+	RecordsVerified       uint64
+	ChecksumFailures      uint64
+	TailsTruncated        uint64
+	SnapshotsRebuilt      uint64
+	PartitionsQuarantined uint64
+	CheckpointFallbacks   uint64
+}
+
+// Stats reads the current counter values.
+func (m *Metrics) Stats() StorageStats {
+	if m == nil {
+		return StorageStats{}
+	}
+	return StorageStats{
+		RecordsVerified:       m.RecordsVerified.Value(),
+		ChecksumFailures:      m.ChecksumFailures.Value(),
+		TailsTruncated:        m.TailsTruncated.Value(),
+		SnapshotsRebuilt:      m.SnapshotsRebuilt.Value(),
+		PartitionsQuarantined: m.PartitionsQuarantined.Value(),
+		CheckpointFallbacks:   m.CheckpointFallbacks.Value(),
+	}
+}
+
+// manifest is the authoritative description of a saved store directory.
+type manifest struct {
+	Version int             `json:"version"`
+	Gen     uint64          `json:"gen"`
+	Stores  []storeManifest `json:"stores"`
+}
+
+type storeManifest struct {
+	Name       string         `json:"name"`
+	Partitions []partManifest `json:"partitions"`
+}
+
+type partManifest struct {
+	Segments []segManifest `json:"segments"`
+	DWB      string        `json:"dwb"`
+}
+
+type segManifest struct {
+	File    string `json:"file"`
+	Records int    `json:"records"`
+	Sealed  bool   `json:"sealed"`
+	SegCRC  uint32 `json:"seg_crc"`
+}
+
+// NamedStore pairs a journal store with its directory name.
+type NamedStore struct {
+	Name  string
+	Store *journal.Store
+}
+
+// SaveOptions tune persistence.
+type SaveOptions struct {
+	// RecordsPerSegment is the seal threshold (default 64). The final chunk
+	// of each partition stays unsealed — it is the active segment.
+	RecordsPerSegment int
+}
+
+// Save persists the stores and checkpoint blob under dir as a new
+// generation. Everything is written via temp-file + rename, manifest last.
+func Save(dir string, stores []NamedStore, checkpoint []byte, opts SaveOptions) error {
+	per := opts.RecordsPerSegment
+	if per <= 0 {
+		per = 64
+	}
+	gen := uint64(1)
+	if old, err := readManifest(dir); err == nil {
+		gen = old.Gen + 1
+	}
+	man := manifest{Version: 1, Gen: gen}
+
+	for _, ns := range stores {
+		sm := storeManifest{Name: ns.Name}
+		storeDir := filepath.Join(dir, "stores", ns.Name)
+		if err := os.RemoveAll(storeDir); err != nil {
+			return fmt.Errorf("durable: save %s: %w", ns.Name, err)
+		}
+		for pi := 0; pi < ns.Store.Partitions(); pi++ {
+			recs := encodePartition(ns.Store.DumpPartition(pi))
+			partDir := filepath.Join(storeDir, fmt.Sprintf("p%04d", pi))
+			if err := os.MkdirAll(partDir, 0o755); err != nil {
+				return fmt.Errorf("durable: save %s/p%04d: %w", ns.Name, pi, err)
+			}
+			pm := partManifest{}
+			for si := 0; len(recs) > 0 || si == 0; si++ {
+				n := per
+				if n > len(recs) {
+					n = len(recs)
+				}
+				chunk := recs[:n]
+				recs = recs[n:]
+				sealed := len(recs) > 0
+				b := newSegment(KindJournal, uint32(pi))
+				for _, r := range chunk {
+					b.append(r)
+				}
+				rel := filepath.Join("stores", ns.Name, fmt.Sprintf("p%04d", pi),
+					fmt.Sprintf("seg-%06d.seg", si))
+				if err := writeFileAtomic(filepath.Join(dir, rel), b.bytes(sealed)); err != nil {
+					return fmt.Errorf("durable: save %s: %w", rel, err)
+				}
+				pm.Segments = append(pm.Segments, segManifest{
+					File: rel, Records: len(chunk), Sealed: sealed, SegCRC: segCRC(b.crcs),
+				})
+				if !sealed {
+					// Doublewrite the tail record so a torn final append is
+					// repairable without byte drift.
+					dwbRel := filepath.Join("stores", ns.Name, fmt.Sprintf("p%04d", pi), "tail.dwb")
+					tail := buildSingleRecord(KindDWB, uint32(pi), chunk[len(chunk)-1])
+					if err := writeFileAtomic(filepath.Join(dir, dwbRel), tail); err != nil {
+						return fmt.Errorf("durable: save %s: %w", dwbRel, err)
+					}
+					pm.DWB = dwbRel
+				}
+			}
+			sm.Partitions = append(sm.Partitions, pm)
+		}
+		man.Stores = append(man.Stores, sm)
+	}
+
+	cpDir := filepath.Join(dir, "checkpoint")
+	if err := os.MkdirAll(cpDir, 0o755); err != nil {
+		return fmt.Errorf("durable: save checkpoint dir: %w", err)
+	}
+	cpSeg := buildSingleRecord(KindCheckpoint, 0, checkpoint)
+	for _, suffix := range []string{"a", "b"} {
+		p := filepath.Join(cpDir, fmt.Sprintf("cp-%06d.%s", gen, suffix))
+		if err := writeFileAtomic(p, cpSeg); err != nil {
+			return fmt.Errorf("durable: save checkpoint %s: %w", p, err)
+		}
+	}
+	if err := writeFileAtomic(filepath.Join(cpDir, "CURRENT"),
+		[]byte(strconv.FormatUint(gen, 10)+"\n")); err != nil {
+		return fmt.Errorf("durable: save CURRENT: %w", err)
+	}
+
+	mb, err := json.Marshal(man)
+	if err != nil {
+		return fmt.Errorf("durable: manifest marshal: %w", err)
+	}
+	mseg := buildSingleRecord(KindManifest, 0, mb)
+	if err := writeFileAtomic(filepath.Join(dir, "MANIFEST.bak"), mseg); err != nil {
+		return fmt.Errorf("durable: save MANIFEST.bak: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(dir, "MANIFEST"), mseg); err != nil {
+		return fmt.Errorf("durable: save MANIFEST: %w", err)
+	}
+	return nil
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func readManifest(dir string) (*manifest, error) {
+	var lastErr error
+	for _, name := range []string{"MANIFEST", "MANIFEST.bak"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		payload, err := decodeSingleRecord(data, KindManifest)
+		if err != nil {
+			lastErr = fmt.Errorf("%s: %w", name, err)
+			continue
+		}
+		var m manifest
+		if err := json.Unmarshal(payload, &m); err != nil {
+			lastErr = fmt.Errorf("%s: %w", name, err)
+			continue
+		}
+		return &m, nil
+	}
+	return nil, fmt.Errorf("durable: no readable manifest in %s: %w", dir, lastErr)
+}
+
+// RecoveryReport describes everything recovery detected and did.
+type RecoveryReport struct {
+	// Gen is the generation that was loaded.
+	Gen uint64 `json:"gen"`
+	// Findings lists each detected fault with its outcome.
+	Findings []Finding `json:"findings,omitempty"`
+	// Quarantined maps store name -> partitions recovery gave up on.
+	Quarantined map[string][]int `json:"quarantined,omitempty"`
+}
+
+// Clean reports whether recovery saw a fully healthy store.
+func (r *RecoveryReport) Clean() bool { return len(r.Findings) == 0 }
+
+// LoadOptions configure recovery.
+type LoadOptions struct {
+	// Rebuild maps store name -> snapshot reconstructor for CRC-proven
+	// snapshot repair; stores without one quarantine on snapshot corruption.
+	Rebuild map[string]SnapshotRebuilder
+	// Metrics receives recovery counters; a fresh set is created when nil.
+	Metrics *Metrics
+}
+
+// Result is a recovered store directory.
+type Result struct {
+	Stores     map[string]*journal.Store
+	Checkpoint []byte
+	Report     *RecoveryReport
+	Metrics    *Metrics
+}
+
+// repairAction is a pending on-disk fix fsck -repair can apply.
+type repairAction struct {
+	Path string
+	Data []byte
+}
+
+// loader carries recovery state across one Load/Fsck pass.
+type loader struct {
+	dir     string
+	man     *manifest
+	metrics *Metrics
+	rebuild map[string]SnapshotRebuilder
+	report  *RecoveryReport
+	repairs []repairAction
+}
+
+// Load recovers the stores and checkpoint saved under dir, detecting and
+// where possible repairing corruption. Unrecoverable partitions come back
+// empty and are listed in Report.Quarantined — degraded mode is the
+// caller's policy.
+func Load(dir string, opts LoadOptions) (*Result, error) {
+	l, err := newLoader(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Stores:  make(map[string]*journal.Store, len(l.man.Stores)),
+		Report:  l.report,
+		Metrics: l.metrics,
+	}
+	for _, sm := range l.man.Stores {
+		st := journal.NewPartitioned(len(sm.Partitions))
+		for pi, pm := range sm.Partitions {
+			dump, ok := l.recoverPartition(sm.Name, pi, pm)
+			if !ok {
+				l.report.Quarantined[sm.Name] = append(l.report.Quarantined[sm.Name], pi)
+				continue
+			}
+			if err := st.RestorePartition(pi, dump); err != nil {
+				return nil, fmt.Errorf("durable: restore %s/p%04d: %w", sm.Name, pi, err)
+			}
+		}
+		res.Stores[sm.Name] = st
+	}
+	cp, err := l.recoverCheckpoint()
+	if err != nil {
+		return nil, err
+	}
+	res.Checkpoint = cp
+	return res, nil
+}
+
+func newLoader(dir string, opts LoadOptions) (*loader, error) {
+	man, err := readManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	m := opts.Metrics
+	if m == nil {
+		m = NewMetrics()
+	}
+	return &loader{
+		dir:     dir,
+		man:     man,
+		metrics: m,
+		rebuild: opts.Rebuild,
+		report:  &RecoveryReport{Gen: man.Gen, Quarantined: make(map[string][]int)},
+	}, nil
+}
+
+func (l *loader) finding(f Finding) { l.report.Findings = append(l.report.Findings, f) }
+
+// frameRec is one record slot in a partition's concatenated stream.
+type frameRec struct {
+	payload    []byte
+	crc        uint32
+	ok         bool
+	file       string
+	record     int
+	offset     int64
+	payloadOff int64
+}
+
+// recoverPartition reads, verifies, and decodes one partition's segment
+// chain. ok=false means the partition is quarantined; every fault is logged
+// as a Finding either way.
+func (l *loader) recoverPartition(store string, pi int, pm partManifest) (journal.PartitionDump, bool) {
+	quarantine := func(f Finding) (journal.PartitionDump, bool) {
+		f.Store, f.Partition, f.Action = store, pi, ActionQuarantined
+		l.finding(f)
+		l.metrics.PartitionsQuarantined.Inc()
+		return journal.PartitionDump{}, false
+	}
+
+	var stream []frameRec
+	for si, sm := range pm.Segments {
+		data, err := os.ReadFile(filepath.Join(l.dir, sm.File))
+		if err != nil {
+			return quarantine(Finding{File: sm.File, Record: -1, Offset: -1,
+				Fault: FaultMissing, Detail: err.Error()})
+		}
+		scan, err := scanSegment(data)
+		if err != nil {
+			return quarantine(Finding{File: sm.File, Record: -1, Offset: -1,
+				Fault: FaultBadHeader, Detail: err.Error()})
+		}
+		if scan.Kind != KindJournal || scan.Partition != uint32(pi) {
+			return quarantine(Finding{File: sm.File, Record: -1, Offset: -1,
+				Fault: FaultBadHeader, Detail: "segment labeled for a different store slot"})
+		}
+		appendFrames := func(frames []Frame, base int) {
+			for fi, fr := range frames {
+				stream = append(stream, frameRec{
+					payload: fr.Payload, crc: fr.StoredCRC, ok: fr.CRCOK,
+					file: sm.File, record: base + fi, offset: fr.Offset, payloadOff: fr.PayloadOff,
+				})
+			}
+		}
+		if sm.Sealed {
+			if !scan.Sealed || scan.FooterErr != nil {
+				fault := FaultBadFooter
+				if scan.Torn || len(scan.Frames) < sm.Records {
+					fault = FaultTruncated
+				}
+				return quarantine(Finding{File: sm.File, Record: len(scan.Frames), Offset: scan.TornOffset,
+					Fault: fault, Detail: "sealed segment lost its footer"})
+			}
+			if scan.FooterCount != uint64(sm.Records) || len(scan.Frames) != sm.Records {
+				return quarantine(Finding{File: sm.File, Record: -1, Offset: -1,
+					Fault: FaultBadFooter,
+					Detail: fmt.Sprintf("footer says %d records, manifest %d, scanned %d",
+						scan.FooterCount, sm.Records, len(scan.Frames))})
+			}
+			crcs := make([]uint32, len(scan.Frames))
+			for i, fr := range scan.Frames {
+				crcs[i] = fr.StoredCRC
+			}
+			if c := segCRC(crcs); c != scan.FooterSegCRC || c != sm.SegCRC {
+				return quarantine(Finding{File: sm.File, Record: -1, Offset: -1,
+					Fault: FaultBadFooter, Detail: "segment checksum disagrees with footer/manifest"})
+			}
+			appendFrames(scan.Frames, 0)
+			continue
+		}
+
+		// Active segment: the only legal home for a torn tail.
+		if scan.Sealed {
+			return quarantine(Finding{File: sm.File, Record: -1, Offset: -1,
+				Fault: FaultBadFooter, Detail: "unexpected footer on active segment"})
+		}
+		frames := scan.Frames
+		tailBroken := scan.Torn
+		if !tailBroken && len(frames) == sm.Records && sm.Records > 0 && !frames[len(frames)-1].CRCOK {
+			// The tail record was overwritten in place rather than cut short.
+			tailBroken = true
+			frames = frames[:len(frames)-1]
+		}
+		if !tailBroken && len(frames) == sm.Records-1 {
+			// The tail record was lost to a cut exactly on the frame boundary —
+			// no torn bytes remain, but the doublewrite sidecar still covers it.
+			tailBroken = true
+		}
+		if !tailBroken {
+			if len(frames) != sm.Records {
+				return quarantine(Finding{File: sm.File, Record: len(frames), Offset: -1,
+					Fault:  FaultTruncated,
+					Detail: fmt.Sprintf("%d records on disk, manifest says %d", len(frames), sm.Records)})
+			}
+			appendFrames(frames, 0)
+			if si != len(pm.Segments)-1 {
+				return quarantine(Finding{File: sm.File, Record: -1, Offset: -1,
+					Fault: FaultBadFooter, Detail: "unsealed segment before the chain tail"})
+			}
+			continue
+		}
+
+		missing := sm.Records - len(frames)
+		if missing != 1 {
+			return quarantine(Finding{File: sm.File, Record: len(frames), Offset: scan.TornOffset,
+				Fault:  FaultTruncated,
+				Detail: fmt.Sprintf("torn write lost %d records; doublewrite covers 1", missing)})
+		}
+		restored, rerr := l.restoreTail(pm, sm, frames, data)
+		if rerr != nil {
+			return quarantine(Finding{File: sm.File, Record: len(frames), Offset: scan.TornOffset,
+				Fault: FaultTornTail, Detail: rerr.Error()})
+		}
+		l.metrics.TailsTruncated.Inc()
+		l.finding(Finding{Store: store, Partition: pi, File: sm.File,
+			Record: len(frames), Offset: scan.TornOffset,
+			Fault: FaultTornTail, Action: ActionRestoredTail,
+			Detail: "truncated to last valid record; tail restored from doublewrite buffer"})
+		appendFrames(frames, 0)
+		stream = append(stream, frameRec{
+			payload: restored, crc: Checksum(restored), ok: true,
+			file: sm.File, record: len(frames), offset: -1,
+		})
+	}
+
+	// Decode the record stream, attempting CRC-proven snapshot repair at
+	// each corrupt record.
+	pd := &partitionDecoder{}
+	rebuild := l.rebuild[store]
+	for _, fr := range stream {
+		if !fr.ok {
+			l.metrics.ChecksumFailures.Inc()
+			cand, repaired := pd.tryRepair(fr.crc, rebuild)
+			if !repaired {
+				return quarantine(Finding{File: fr.file, Record: fr.record, Offset: fr.offset,
+					Fault: FaultChecksum, Detail: "record failed CRC32C and could not be reconstructed"})
+			}
+			l.metrics.SnapshotsRebuilt.Inc()
+			l.finding(Finding{Store: store, Partition: pi, File: fr.file,
+				Record: fr.record, Offset: fr.offset,
+				Fault: FaultChecksum, Action: ActionRebuiltSnapshot,
+				Detail: "snapshot record reconstructed by replay; CRC32C proves byte-exact"})
+			if len(cand) == len(fr.payload) && fr.payloadOff >= 0 {
+				l.patchFile(fr.file, fr.payloadOff, cand)
+			}
+			fr.payload = cand
+		} else {
+			l.metrics.RecordsVerified.Inc()
+		}
+		if err := pd.next(fr.payload); err != nil {
+			return quarantine(Finding{File: fr.file, Record: fr.record, Offset: fr.offset,
+				Fault: FaultDecode, Detail: err.Error()})
+		}
+	}
+	dump, err := pd.finish()
+	if err != nil {
+		file := ""
+		if n := len(pm.Segments); n > 0 {
+			file = pm.Segments[n-1].File
+		}
+		return quarantine(Finding{File: file, Record: -1, Offset: -1,
+			Fault: FaultDecode, Detail: err.Error()})
+	}
+	return dump, true
+}
+
+// restoreTail validates the doublewrite sidecar against the manifest's
+// segment checksum and, on proof, queues the corrected segment file. It
+// returns the restored tail record payload.
+func (l *loader) restoreTail(pm partManifest, sm segManifest, valid []Frame, data []byte) ([]byte, error) {
+	if pm.DWB == "" {
+		return nil, fmt.Errorf("no doublewrite sidecar")
+	}
+	raw, err := os.ReadFile(filepath.Join(l.dir, pm.DWB))
+	if err != nil {
+		return nil, fmt.Errorf("doublewrite sidecar: %w", err)
+	}
+	payload, err := decodeSingleRecord(raw, KindDWB)
+	if err != nil {
+		return nil, fmt.Errorf("doublewrite sidecar: %w", err)
+	}
+	crcs := make([]uint32, 0, len(valid)+1)
+	for _, fr := range valid {
+		crcs = append(crcs, fr.StoredCRC)
+	}
+	crcs = append(crcs, Checksum(payload))
+	if segCRC(crcs) != sm.SegCRC {
+		return nil, fmt.Errorf("doublewrite record does not complete the segment checksum")
+	}
+	// Corrected file: the intact prefix plus the re-framed tail record.
+	end := int64(headerSize)
+	if n := len(valid); n > 0 {
+		end = valid[n-1].PayloadOff + int64(len(valid[n-1].Payload))
+	}
+	fixed := make([]byte, 0, int(end)+frameHeader+len(payload))
+	fixed = append(fixed, data[:end]...)
+	var frame segmentBuilder
+	frame.append(payload)
+	fixed = append(fixed, frame.buf...)
+	l.repairs = append(l.repairs, repairAction{Path: filepath.Join(l.dir, sm.File), Data: fixed})
+	return payload, nil
+}
+
+// patchFile queues an in-place payload rewrite for fsck -repair.
+func (l *loader) patchFile(rel string, payloadOff int64, payload []byte) {
+	path := filepath.Join(l.dir, rel)
+	data, err := os.ReadFile(path)
+	if err != nil || payloadOff+int64(len(payload)) > int64(len(data)) {
+		return
+	}
+	fixed := append([]byte(nil), data...)
+	copy(fixed[payloadOff:], payload)
+	l.repairs = append(l.repairs, repairAction{Path: path, Data: fixed})
+}
+
+// recoverCheckpoint loads the manifest generation's checkpoint, repairing a
+// stale CURRENT hint and falling back to the mirror copy on corruption.
+func (l *loader) recoverCheckpoint() ([]byte, error) {
+	gen := l.man.Gen
+	curRel := filepath.Join("checkpoint", "CURRENT")
+	raw, err := os.ReadFile(filepath.Join(l.dir, curRel))
+	cur, perr := strconv.ParseUint(strings.TrimSpace(string(raw)), 10, 64)
+	if err != nil || perr != nil || cur != gen {
+		detail := fmt.Sprintf("CURRENT names generation %d; manifest pins %d", cur, gen)
+		if err != nil {
+			detail = "CURRENT unreadable: " + err.Error()
+		}
+		l.finding(Finding{Store: "checkpoint", Partition: -1, File: curRel,
+			Record: -1, Offset: -1,
+			Fault: FaultStaleCurrent, Action: ActionRescannedGen, Detail: detail})
+		l.repairs = append(l.repairs, repairAction{
+			Path: filepath.Join(l.dir, curRel),
+			Data: []byte(strconv.FormatUint(gen, 10) + "\n"),
+		})
+	}
+
+	aRel := filepath.Join("checkpoint", fmt.Sprintf("cp-%06d.a", gen))
+	bRel := filepath.Join("checkpoint", fmt.Sprintf("cp-%06d.b", gen))
+	primary, perr2 := readCheckpointFile(filepath.Join(l.dir, aRel))
+	if perr2 == nil {
+		return primary, nil
+	}
+	l.metrics.CheckpointFallbacks.Inc()
+	l.finding(Finding{Store: "checkpoint", Partition: -1, File: aRel,
+		Record: 0, Offset: -1,
+		Fault: FaultCheckpoint, Action: ActionFellBack, Detail: perr2.Error()})
+	mirror, merr := readCheckpointFile(filepath.Join(l.dir, bRel))
+	if merr != nil {
+		return nil, fmt.Errorf("durable: checkpoint generation %d unrecoverable: primary %s: %v; mirror %s: %w",
+			gen, aRel, perr2, bRel, merr)
+	}
+	if raw, err := os.ReadFile(filepath.Join(l.dir, bRel)); err == nil {
+		l.repairs = append(l.repairs, repairAction{Path: filepath.Join(l.dir, aRel), Data: raw})
+	}
+	return mirror, nil
+}
+
+func readCheckpointFile(path string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decodeSingleRecord(data, KindCheckpoint)
+}

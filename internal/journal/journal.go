@@ -283,6 +283,93 @@ func (s *Store) Migrate() int {
 	return moved
 }
 
+// RowDump is one entity's serialized journal row: its event history split by
+// storage tier plus the replay bookkeeping. Byte counters are not dumped —
+// they are derivable from the payload lengths and recomputed on restore.
+type RowDump struct {
+	Entity   string
+	HDD      []Event
+	SSD      []Event
+	LastSnap int
+	NextSeq  uint64
+}
+
+// PartitionDump is the full serialized state of one partition: every row in
+// sorted entity order plus the partition's access counters. It is the unit
+// the durable storage engine persists and restores.
+type PartitionDump struct {
+	Rows     []RowDump
+	SSDReads uint64
+	HDDReads uint64
+	Appends  uint64
+	Snaps    uint64
+}
+
+// DumpPartition serializes partition i. Rows are sorted by entity ID so two
+// dumps of identical stores are identical.
+func (s *Store) DumpPartition(i int) PartitionDump {
+	p := s.parts[i]
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	d := PartitionDump{
+		SSDReads: p.ssdReads, HDDReads: p.hddReads,
+		Appends: p.appends, Snaps: p.snaps,
+	}
+	ids := make([]string, 0, len(p.rows))
+	for id := range p.rows {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		r := p.rows[id]
+		d.Rows = append(d.Rows, RowDump{
+			Entity:   id,
+			HDD:      append([]Event(nil), r.hdd...),
+			SSD:      append([]Event(nil), r.ssd...),
+			LastSnap: r.lastSnap,
+			NextSeq:  r.nextSeq,
+		})
+	}
+	return d
+}
+
+// ErrWrongPartition is returned by RestorePartition when a dumped row does
+// not hash to the partition being restored — the corruption-detection
+// backstop for rows that moved across partition files.
+var ErrWrongPartition = errors.New("journal: restored row routed to a different partition")
+
+// RestorePartition replaces partition i's contents with a dump, recomputing
+// the derived byte counters. Every row must hash to partition i under the
+// store's current stripe count.
+func (s *Store) RestorePartition(i int, d PartitionDump) error {
+	p := s.parts[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.rows = make(map[string]*row, len(d.Rows))
+	p.ssdBytes, p.hddBytes = 0, 0
+	p.ssdReads, p.hddReads = d.SSDReads, d.HDDReads
+	p.appends, p.snaps = d.Appends, d.Snaps
+	for _, rd := range d.Rows {
+		if shard.Of(rd.Entity, len(s.parts)) != i {
+			return ErrWrongPartition
+		}
+		r := &row{
+			hdd:      append([]Event(nil), rd.HDD...),
+			ssd:      append([]Event(nil), rd.SSD...),
+			lastSnap: rd.LastSnap,
+			nextSeq:  rd.NextSeq,
+		}
+		for _, ev := range r.hdd {
+			p.hddBytes += int64(len(ev.Payload))
+		}
+		for _, ev := range r.ssd {
+			p.ssdBytes += int64(len(ev.Payload))
+		}
+		p.rows[rd.Entity] = r
+	}
+	return nil
+}
+
 // PartitionStats is the per-partition slice of the append/snapshot
 // counters, exposed so telemetry can label journal activity by partition.
 type PartitionStats struct {

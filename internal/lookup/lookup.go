@@ -16,8 +16,14 @@ import (
 	"censysmap/internal/cqrs"
 	"censysmap/internal/entity"
 	"censysmap/internal/search"
+	"censysmap/internal/shard"
 	"censysmap/internal/simclock"
 )
+
+// DegradedHeader is set on every response while the backing map serves in
+// degraded mode (storage recovery quarantined partitions). Its value names
+// the quarantined partitions, e.g. "quarantined-partitions=2,5/8".
+const DegradedHeader = "X-Censys-Degraded"
 
 // Service answers lookups; it is both a Go API and an http.Handler.
 type Service struct {
@@ -28,6 +34,12 @@ type Service struct {
 	index  *search.Index
 	// metrics is the optional telemetry hookup (see AttachMetrics).
 	metrics *svcMetrics
+
+	// Degraded-mode state (see SetDegraded): quarantined partition set,
+	// the partition space it indexes, and the precomputed header value.
+	degradedParts map[int]bool
+	degradedMod   int
+	degradedVal   string
 }
 
 // New creates a lookup service. certs may be nil.
@@ -67,6 +79,30 @@ func (s *Service) CertHosts(fingerprint string) []string {
 	return s.certs.Locations(fingerprint)
 }
 
+// SetDegraded switches the service into degraded mode: every response
+// carries DegradedHeader, and point lookups for entities in quarantined
+// partitions answer 503 (honest unavailability) instead of 404 (a claim the
+// host does not exist that the journal can no longer back).
+func (s *Service) SetDegraded(parts []int, mod int) {
+	if len(parts) == 0 || mod <= 0 {
+		s.degradedParts, s.degradedMod, s.degradedVal = nil, 0, ""
+		return
+	}
+	s.degradedParts = make(map[int]bool, len(parts))
+	list := make([]string, len(parts))
+	for i, p := range parts {
+		s.degradedParts[p] = true
+		list[i] = strconv.Itoa(p)
+	}
+	s.degradedMod = mod
+	s.degradedVal = "quarantined-partitions=" + strings.Join(list, ",") + "/" + strconv.Itoa(mod)
+}
+
+// quarantined reports whether an entity ID falls in a quarantined partition.
+func (s *Service) quarantined(id string) bool {
+	return s.degradedParts != nil && s.degradedParts[shard.Of(id, s.degradedMod)]
+}
+
 type errorBody struct {
 	Error string `json:"error"`
 }
@@ -101,6 +137,11 @@ func (s *Service) handleHost(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{"invalid at timestamp (RFC3339)"})
 		return
 	}
+	if s.quarantined(ip.String()) {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{"host partition quarantined; serving degraded"})
+		return
+	}
 	h, found := s.reader.HostAt(ip.String(), at)
 	if !found {
 		writeJSON(w, http.StatusNotFound, errorBody{"host not found"})
@@ -121,6 +162,11 @@ func (s *Service) handleHistory(w http.ResponseWriter, r *http.Request) {
 	ip, err := netip.ParseAddr(r.PathValue("ip"))
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{"invalid ip"})
+		return
+	}
+	if s.quarantined(ip.String()) {
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorBody{"host partition quarantined; serving degraded"})
 		return
 	}
 	events := s.reader.History(ip.String())

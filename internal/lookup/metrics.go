@@ -40,8 +40,13 @@ func (s *Service) AttachMetrics(reg *telemetry.Registry, tracer *telemetry.Trace
 }
 
 // ServeHTTP implements http.Handler, recording per-route telemetry when
-// metrics are attached.
+// metrics are attached. In degraded mode every response — including search
+// results and metric scrapes — carries the degraded header, so clients can
+// tell "no results" from "partitions missing".
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if s.degradedVal != "" {
+		w.Header().Set(DegradedHeader, s.degradedVal)
+	}
 	m := s.metrics
 	if m == nil {
 		s.mux.ServeHTTP(w, r)

@@ -348,6 +348,30 @@ func (p *indexPart) removeLocked(id string) {
 	delete(p.docs, id)
 }
 
+// DropPartition removes every document in partition i — the degraded-mode
+// purge for a quarantined journal partition. The index and journal stripe by
+// the same shard hash over the same partition count, so index partition i
+// holds exactly the entities of journal partition i.
+func (ix *Index) DropPartition(i int) {
+	if i < 0 || i >= len(ix.parts) {
+		return
+	}
+	p := ix.parts[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.docs) == 0 {
+		return
+	}
+	p.gen.Add(1)
+	ids := make([]string, 0, len(p.docs))
+	for id := range p.docs {
+		ids = append(ids, id)
+	}
+	for _, id := range ids {
+		p.removeLocked(id)
+	}
+}
+
 // Len reports the number of indexed entities.
 func (ix *Index) Len() int {
 	n := 0
