@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race chaos chaos-disk fsck fuzz bench bench-search bench-json check
+.PHONY: all vet lint build test race chaos chaos-disk cluster-diff fsck fuzz bench bench-search bench-json check
 
 all: check
 
@@ -42,6 +42,15 @@ chaos-disk:
 	$(GO) test -race ./internal/chaos/ \
 		-run 'TestDiskCrashResumeCleanRoundTrip|TestDiskFaultDifferential|TestFsckDetectsInjectedCorruption|TestStorageTelemetryDeterministic'
 
+# The cluster differential suite: replicated multi-node runs (several node
+# counts, several chaos seeds, quorum-preserving node kills/rejoins) must be
+# externally bit-identical to the serial pipeline — dataset, journal,
+# per-partition replica state, follower-read answers — plus the degraded
+# HTTP surface and metric determinism, under the race detector.
+cluster-diff:
+	$(GO) test -race ./internal/cluster/ ./internal/chaos/ \
+		-run 'TestClusterDifferential|TestClusterDegradedSurface|TestClusterTelemetryDeterministic|TestNodeFaultSchedule'
+
 # Offline store verification: the storage engine's unit + golden-fixture
 # tests, then censysfsck over the committed corrupted stores — it must flag
 # both (exit 1), proving the operator tool sees what recovery sees.
@@ -71,9 +80,10 @@ bench-search:
 		-benchmem -benchtime 20x ./internal/search/
 
 # Machine-readable benchmark snapshot: pipeline throughput (serial, sharded,
-# sharded+telemetry) and search latency, written to BENCH_<date>.json so the
-# perf trajectory diffs across PRs.
+# sharded+telemetry, 1/3-node cluster replication overhead) and search
+# latency, written to BENCH_<date>.json so the perf trajectory diffs across
+# PRs.
 bench-json:
 	$(GO) run ./cmd/benchtables -bench-json
 
-check: lint build race chaos chaos-disk fsck
+check: lint build race chaos chaos-disk cluster-diff fsck

@@ -16,6 +16,7 @@ import (
 	"testing"
 	"time"
 
+	"censysmap/internal/cluster"
 	"censysmap/internal/core"
 	"censysmap/internal/simclock"
 	"censysmap/internal/simnet"
@@ -81,6 +82,45 @@ func pipelineBench(shards, workers int, instrumented bool) func(b *testing.B) {
 	}
 }
 
+// clusterPipelineBench measures the same steady-state workload as
+// pipelineBench(8, 4) but driven through an N-node replication cluster, so
+// the delta against pipeline/shards8_workers4 is the pure cost of log
+// extraction, segment sealing, and shipping (the 1-node row is the
+// replication machinery's floor: no followers, but the plog still runs).
+func clusterPipelineBench(nodes int) func(b *testing.B) {
+	return func(b *testing.B) {
+		net := benchUniverse()
+		cfg := core.DefaultConfig()
+		cfg.CloudBlocks = 1
+		cfg.Shards = 8
+		cfg.InterroWorkers = 4
+		cfg.RefreshEvery = time.Hour
+		m, err := core.New(cfg, net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl, err := cluster.New(m, cluster.Config{Nodes: nodes})
+		if err != nil {
+			b.Fatal(err)
+		}
+		step := func() {
+			if err := cl.Step(func() { m.Run(24 * time.Hour) }); err != nil {
+				b.Fatal(err)
+			}
+		}
+		step()
+		before := m.Stats().Interrogations
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			step()
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(m.Stats().Interrogations-before)/float64(b.N), "interro/simday")
+		st := cl.Stats()
+		b.ReportMetric(float64(st.RecordsShipped)/float64(b.N+1), "shipped/simday")
+	}
+}
+
 // searchBenchQueries are the read-path workloads: a selective field query, a
 // broad one, a numeric range, and a negation (the planner's worst case).
 var searchBenchQueries = []struct{ name, q string }{
@@ -132,6 +172,8 @@ func runBenchJSON(dir string) (string, error) {
 	record("pipeline/serial", pipelineBench(1, 1, false))
 	record("pipeline/shards8_workers4", pipelineBench(8, 4, false))
 	record("pipeline/shards8_workers4_telemetry", pipelineBench(8, 4, true))
+	record("pipeline/shards8_workers4_cluster1", clusterPipelineBench(1))
+	record("pipeline/shards8_workers4_cluster3", clusterPipelineBench(3))
 
 	// One shared warmed map for the search benches.
 	net := benchUniverse()

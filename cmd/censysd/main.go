@@ -10,6 +10,12 @@
 //	curl localhost:8181/v2/hosts/10.0.1.7
 //	curl localhost:8181/v2/hosts/10.0.1.7/history
 //	curl localhost:8181/v2/certificates/<sha256>/hosts
+//
+// With -cluster-nodes N the process simulates an N-node serving cluster:
+// journal partitions replicate to per-node replica journals, point lookups
+// route to the partition's lease holder (X-Censys-Serving-Node names it),
+// and quorum health surfaces in X-Censys-Degraded. -node-id picks which
+// node this process front-ends for identification in logs.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"censysmap"
+	"censysmap/internal/cluster"
 )
 
 func main() {
@@ -29,6 +36,8 @@ func main() {
 	listen := flag.String("listen", ":8181", "REST API listen address")
 	seed := flag.Uint64("seed", 1, "universe seed")
 	rate := flag.Duration("rate", time.Minute, "simulated time advanced per real second")
+	clusterNodes := flag.Int("cluster-nodes", 0, "simulate an N-node serving cluster (0 = single-process)")
+	nodeID := flag.Int("node-id", 0, "node this process identifies as (requires -cluster-nodes)")
 	flag.Parse()
 
 	prefix, err := netip.ParsePrefix(*universe)
@@ -42,18 +51,53 @@ func main() {
 		os.Exit(1)
 	}
 
+	var cl *cluster.Cluster
+	if *clusterNodes > 0 {
+		if *nodeID < 0 || *nodeID >= *clusterNodes {
+			fmt.Fprintf(os.Stderr, "bad -node-id: %d outside 0..%d\n", *nodeID, *clusterNodes-1)
+			os.Exit(2)
+		}
+		cl, err = cluster.New(sys.Map(), cluster.Config{
+			Nodes:     *clusterNodes,
+			Telemetry: sys.Metrics(),
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	// advance moves simulated time, driving a replication round around each
+	// advance when clustered.
+	advance := func(d time.Duration) {
+		if cl == nil {
+			sys.Run(d)
+			return
+		}
+		if err := cl.Step(func() { sys.Run(d) }); err != nil {
+			fmt.Fprintln(os.Stderr, "replication:", err)
+			os.Exit(1)
+		}
+	}
+
 	fmt.Printf("universe %v: %d hosts; warming up %d simulated days...\n",
 		prefix, sys.Internet().Hosts(), *days)
 	start := time.Now()
-	sys.Run(time.Duration(*days) * 24 * time.Hour)
+	advance(time.Duration(*days) * 24 * time.Hour)
 	fmt.Printf("warmup done in %v: %d services mapped, %d web properties, sim time %v\n",
 		time.Since(start).Round(time.Millisecond), len(sys.Services()),
 		len(sys.WebProperties()), sys.Now().Format(time.RFC3339))
+	if cl != nil {
+		st := cl.Stats()
+		fmt.Printf("cluster: %d nodes, serving as %s; %d partitions replicated, %d records shipped\n",
+			cl.Nodes(), cl.NodeName(*nodeID), cl.Partitions(), st.RecordsShipped)
+	}
 
-	// Keep simulated time flowing while serving.
+	// Keep simulated time flowing while serving. Queries route through the
+	// placement on every request, so each advance's replication round is
+	// immediately visible.
 	go func() {
 		for range time.Tick(time.Second) {
-			sys.Run(*rate)
+			advance(*rate)
 		}
 	}()
 

@@ -273,6 +273,20 @@ func assertDegradedSurface(t *testing.T, r *Run, base Observation, quar []int, m
 		}
 	}
 
+	// Fan-out queries (interactive search, certificate-to-hosts) span every
+	// partition; with any partition quarantined they must refuse whole
+	// rather than present a partial answer as complete.
+	for _, u := range []string{"/v2/hosts/search?q=services.port:%20443", "/v2/certificates/deadbeef/hosts"} {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", u, nil))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Errorf("degraded fan-out %s: %d, want 503", u, rec.Code)
+		}
+		if got := rec.Header().Get(lookup.DegradedHeader); got == "" {
+			t.Errorf("degraded fan-out %s missing degraded header", u)
+		}
+	}
+
 	rec := httptest.NewRecorder()
 	h.ServeHTTP(rec, httptest.NewRequest("GET", "/v2/metrics", nil))
 	if rec.Code != http.StatusOK {

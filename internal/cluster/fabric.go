@@ -1,0 +1,44 @@
+package cluster
+
+import "sort"
+
+// fabric is the cluster's deterministic in-process RPC transport. Calls are
+// synchronous Go function dispatch — there is no real network — but every
+// call is routed through one place so the harness can count messages and
+// bytes per method, and so a future lossy transport (simnet-style fault
+// injection on the RPC layer) has a single seam to wrap. Determinism falls
+// out of call order: the cluster iterates partitions and replicas in fixed
+// order, so two runs with the same seeds issue the identical call sequence.
+type fabric struct {
+	calls map[string]uint64
+	bytes map[string]uint64
+}
+
+// RPC method names, recorded per call.
+const (
+	rpcShip      = "replicate.Ship"      // leader -> replica: sealed segments + tail
+	rpcRenew     = "lease.Renew"         // leader heartbeat extending its lease
+	rpcGrant     = "lease.Grant"         // placement -> new leader on failover/regrant
+	rpcRebalance = "placement.Rebalance" // placement moving a lease to its home node
+)
+
+func newFabric() *fabric {
+	return &fabric{calls: make(map[string]uint64), bytes: make(map[string]uint64)}
+}
+
+// record books one RPC of the given payload size.
+func (f *fabric) record(method string, payload int) {
+	f.calls[method]++
+	f.bytes[method] += uint64(payload)
+}
+
+// methods returns the recorded method names, sorted for deterministic
+// exposition.
+func (f *fabric) methods() []string {
+	out := make([]string, 0, len(f.calls))
+	for m := range f.calls {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}

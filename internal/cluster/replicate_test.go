@@ -1,0 +1,162 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"censysmap/internal/journal"
+)
+
+// fillOrigin appends rounds of events for a few entities starting at round
+// offset `from`, migrating halfway.
+func fillOrigin(t *testing.T, origin *journal.Store, from, rounds int) {
+	t.Helper()
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC).Add(time.Duration(from) * time.Hour)
+	entities := []string{"10.1.0.1", "10.1.0.2", "cert:aa"}
+	for r := 0; r < rounds; r++ {
+		for _, e := range entities {
+			kind := "delta"
+			if r%3 == 2 {
+				kind = journal.SnapshotKind
+			}
+			if _, err := origin.Append(e, t0.Add(time.Duration(r)*time.Minute), kind, []byte{byte(r)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if r == rounds/2 {
+			origin.Migrate()
+		}
+	}
+}
+
+// TestPlogShipApplyRoundTrip: extract → seal → ship → apply reproduces the
+// origin partition on a replica, for both a tail-following replica and one
+// catching up from offset zero through sealed segments.
+func TestPlogShipApplyRoundTrip(t *testing.T) {
+	origin := journal.NewStore()
+	lg := newPlog()
+
+	// Two extraction rounds with a mid-round migrate in the first.
+	fillOrigin(t, origin, 0, 8)
+	lg.extract(origin.DumpPartition(0), 1)
+	lg.seal(4, 0)
+	follower := journal.NewStore()
+	off, err := applyShipment(follower, 0, 0, lg.ship(0, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != len(lg.records) {
+		t.Fatalf("follower applied %d of %d", off, len(lg.records))
+	}
+
+	fillOrigin(t, origin, 8, 5)
+	origin.Migrate()
+	added := lg.extract(origin.DumpPartition(0), 2)
+	if added == 0 {
+		t.Fatal("second round extracted nothing")
+	}
+	lg.seal(4, 0)
+
+	// Tail follower continues from its offset; a cold replica replays the
+	// sealed segments from zero.
+	off, err = applyShipment(follower, 0, off, lg.ship(off, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := journal.NewStore()
+	sh := lg.ship(0, 4)
+	if !sh.Catchup || len(sh.Segments) == 0 {
+		t.Fatalf("cold ship should replay sealed segments: %+v", sh)
+	}
+	coldOff, err := applyShipment(cold, 0, 0, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coldOff != off {
+		t.Fatalf("cold replica at %d, tail follower at %d", coldOff, off)
+	}
+
+	od := origin.DumpPartition(0)
+	for _, replica := range []*journal.Store{follower, cold} {
+		rd := replica.DumpPartition(0)
+		if len(od.Rows) != len(rd.Rows) || od.Appends != rd.Appends || od.Snaps != rd.Snaps {
+			t.Fatalf("replica counters diverged: %+v vs %+v", od, rd)
+		}
+		for i := range od.Rows {
+			o, r := od.Rows[i], rd.Rows[i]
+			if o.Entity != r.Entity || o.LastSnap != r.LastSnap || o.NextSeq != r.NextSeq ||
+				len(o.HDD) != len(r.HDD) || len(o.SSD) != len(r.SSD) {
+				t.Fatalf("row %s diverged: %+v vs %+v", o.Entity, o, r)
+			}
+		}
+	}
+}
+
+// TestPlogMidSegmentResume: a replica whose offset lands inside a sealed
+// segment re-receives that whole segment and skips the prefix.
+func TestPlogMidSegmentResume(t *testing.T) {
+	origin := journal.NewStore()
+	lg := newPlog()
+	fillOrigin(t, origin, 0, 10)
+	lg.extract(origin.DumpPartition(0), 1)
+	lg.seal(4, 0)
+	if lg.sealedN == 0 {
+		t.Fatal("nothing sealed")
+	}
+
+	mid := lg.sealedN - 2 // inside the last sealed segment
+	replica := journal.NewStore()
+	if _, err := applyShipment(replica, 0, 0, shipment{Start: 0, Tail: lg.records[:mid]}); err != nil {
+		t.Fatal(err)
+	}
+	sh := lg.ship(mid, 4)
+	if sh.Start >= mid || len(sh.Segments) == 0 {
+		t.Fatalf("mid-segment ship = %+v", sh)
+	}
+	off, err := applyShipment(replica, 0, mid, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off != len(lg.records) {
+		t.Fatalf("resumed replica applied %d of %d", off, len(lg.records))
+	}
+}
+
+func TestApplyShipmentRefusesCorruptSegment(t *testing.T) {
+	origin := journal.NewStore()
+	lg := newPlog()
+	fillOrigin(t, origin, 0, 10)
+	lg.extract(origin.DumpPartition(0), 1)
+	lg.seal(4, 0)
+	sh := lg.ship(0, 4)
+	bad := make([][]byte, len(sh.Segments))
+	for i, s := range sh.Segments {
+		bad[i] = append([]byte(nil), s...)
+	}
+	bad[0][len(bad[0])/2] ^= 1
+	sh.Segments = bad
+	replica := journal.NewStore()
+	if _, err := applyShipment(replica, 0, 0, sh); err == nil {
+		t.Fatal("corrupt segment applied")
+	}
+	if n := len(replica.Entities()); n != 0 {
+		t.Fatalf("refused ship still wrote %d rows", n)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Nodes: 0},
+		{Nodes: 2, ReplicationFactor: 3},
+		{Nodes: 3, Faults: []NodeFault{{Round: 1, Node: 5, Down: 2}}},
+		{Nodes: 3, Faults: []NodeFault{{Round: 0, Node: 1, Down: 2}}},
+	}
+	for _, cfg := range cases {
+		if _, err := New(nil, cfg); err == nil {
+			t.Fatalf("config %+v accepted", cfg)
+		} else if !strings.Contains(err.Error(), "cluster:") {
+			t.Fatalf("config %+v: unexpected error %v", cfg, err)
+		}
+	}
+}

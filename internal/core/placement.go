@@ -1,0 +1,74 @@
+package core
+
+// Partition placement: the partition — not the process — is the unit of
+// placement. A Map's journal, index, and pipeline all stripe entities over
+// the same shard.Of space, so a placement that maps partitions to serving
+// nodes can route any entity's reads without consulting the write path. The
+// interfaces live in internal/lookup (the consumer); core re-exports them so
+// the cluster layer and single-node deployments speak one vocabulary without
+// an import cycle.
+
+import (
+	"censysmap/internal/cqrs"
+	"censysmap/internal/journal"
+	"censysmap/internal/lookup"
+)
+
+// Placement routes partitions to serving nodes; see lookup.Placement.
+type Placement = lookup.Placement
+
+// Route is one partition's serving state; see lookup.Route.
+type Route = lookup.Route
+
+// PartitionStore is the storage surface the replication layer needs:
+// per-partition dump/restore-grade state inspection, per-partition tier
+// migration, and verbatim event application. *journal.Store implements it;
+// the interface exists so the cluster layer depends on the contract, not the
+// concrete store.
+type PartitionStore interface {
+	// Partitions is the stripe count entity IDs hash into via shard.Of.
+	Partitions() int
+	// DumpPartition snapshots one partition's rows and counters.
+	DumpPartition(i int) journal.PartitionDump
+	// MigratePartition moves one partition's snapshotted SSD prefix to the
+	// HDD tier, returning rows moved.
+	MigratePartition(i int) int
+	// ApplyReplicated appends an origin event verbatim, enforcing sequence
+	// continuity.
+	ApplyReplicated(ev journal.Event) error
+}
+
+var _ PartitionStore = (*journal.Store)(nil)
+
+// PartitionStore exposes the map's journal as the replication surface.
+func (m *Map) PartitionStore() PartitionStore { return m.Journal() }
+
+// SetPlacement installs (or clears, with nil) a partition placement on the
+// lookup service: point lookups route to the serving replica's reader and
+// quorum health surfaces in the degraded header. The single-node deployment
+// never calls this — a nil placement is the degenerate one-node case and
+// serves bit-identically to the pre-cluster code path.
+func (m *Map) SetPlacement(p Placement) { m.lookupSvc.SetPlacement(p) }
+
+// ReaderOver builds a read path over an arbitrary journal — a follower
+// replica's, typically — using this map's enrichment feeds, so replicated
+// reads enrich identically to local ones.
+func (m *Map) ReaderOver(j *journal.Store) *cqrs.Reader {
+	return cqrs.NewReader(j, m.enricher)
+}
+
+// SinglePlacement is the one-node degenerate placement: every partition
+// routes to the named node, healthy, served by the provided reader (nil =
+// the service's own). It exists mostly for tests and for exercising the
+// placement plumbing without a cluster.
+type SinglePlacement struct {
+	Node   string
+	Parts  int
+	Reader *cqrs.Reader
+}
+
+func (s SinglePlacement) Partitions() int { return s.Parts }
+
+func (s SinglePlacement) Route(int) Route { return Route{Node: s.Node} }
+
+func (s SinglePlacement) ReaderFor(int) *cqrs.Reader { return s.Reader }

@@ -57,6 +57,10 @@ const (
 	// KindDWB segments are the doublewrite tail sidecar: a copy of the
 	// active segment's final record, used to repair torn appends.
 	KindDWB SegmentKind = 4
+	// KindReplica segments carry one partition's replication-log records
+	// between cluster nodes: sealed chains for catch-up, unsealed tails for
+	// per-round deltas (see internal/cluster and BuildSegment in ship.go).
+	KindReplica SegmentKind = 5
 )
 
 const (
@@ -181,7 +185,7 @@ func scanSegment(data []byte) (*SegmentScan, error) {
 		Partition: binary.BigEndian.Uint32(data[8:12]),
 	}
 	switch s.Kind {
-	case KindJournal, KindCheckpoint, KindManifest, KindDWB:
+	case KindJournal, KindCheckpoint, KindManifest, KindDWB, KindReplica:
 	default:
 		return nil, fmt.Errorf("%w: unknown kind %d", ErrBadHeader, data[7])
 	}

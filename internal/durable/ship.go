@@ -1,0 +1,78 @@
+package durable
+
+// Segment shipping: the cluster replication layer moves journal records
+// between nodes inside the same CRC32C-framed segment format the storage
+// engine writes to disk. A leader packages a partition's replication-log
+// records as sealed segments (immutable, footer-checksummed — the catch-up
+// chain) plus one unsealed tail (the current round's delta); a follower
+// verifies every frame and the footer before applying a single record, so a
+// corrupted ship is detected exactly like a corrupted disk.
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// BuildSegment frames records as one segment file of the given kind for a
+// partition. Sealed segments carry the footer and are immutable; unsealed
+// segments are tail deltas a later ship supersedes.
+func BuildSegment(kind SegmentKind, partition uint32, records [][]byte, sealed bool) []byte {
+	b := newSegment(kind, partition)
+	for _, rec := range records {
+		b.append(rec)
+	}
+	return b.bytes(sealed)
+}
+
+// DecodeShippedSegment strictly decodes a shipped segment, additionally
+// checking that it is of the expected kind and partition — a replication
+// stream must not silently apply records that were built for a different
+// partition's row space.
+func DecodeShippedSegment(data []byte, kind SegmentKind, partition uint32) ([][]byte, error) {
+	scan, err := scanSegment(data)
+	if err != nil {
+		return nil, err
+	}
+	if scan.Kind != kind {
+		return nil, fmt.Errorf("%w: shipped kind %d, want %d", ErrBadHeader, scan.Kind, kind)
+	}
+	if scan.Partition != partition {
+		return nil, fmt.Errorf("%w: shipped partition %d, want %d", ErrBadHeader, scan.Partition, partition)
+	}
+	return DecodeSegment(data)
+}
+
+// ShipState is the per-partition replication bookkeeping nodes exchange
+// during catch-up negotiation: which placement generation the records belong
+// to, the leader lease epoch that produced them, and how many log records the
+// holder has applied. It rides the wire as a single-record sealed KindReplica
+// segment so its integrity is checked like everything else shipped.
+type ShipState struct {
+	Partition  uint32 `json:"partition"`
+	Generation uint64 `json:"generation"`
+	Epoch      uint64 `json:"epoch"`
+	Applied    uint64 `json:"applied"`
+}
+
+// Encode frames s as a single-record sealed KindReplica segment.
+func (s ShipState) Encode() []byte {
+	payload, err := json.Marshal(s)
+	if err != nil {
+		// ShipState is plain integers; Marshal cannot fail.
+		panic(err)
+	}
+	return buildSingleRecord(KindReplica, s.Partition, payload)
+}
+
+// DecodeShipState reads a ShipState segment produced by Encode.
+func DecodeShipState(data []byte) (ShipState, error) {
+	payload, err := decodeSingleRecord(data, KindReplica)
+	if err != nil {
+		return ShipState{}, err
+	}
+	var s ShipState
+	if err := json.Unmarshal(payload, &s); err != nil {
+		return ShipState{}, fmt.Errorf("durable: ship state payload: %w", err)
+	}
+	return s, nil
+}

@@ -1,0 +1,71 @@
+package durable
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestBuildSegmentRoundTrip(t *testing.T) {
+	records := [][]byte{[]byte(`{"t":"ev","seq":0}`), []byte(`{"t":"ev","seq":1}`), []byte(`{"t":"ctl"}`)}
+	for _, sealed := range []bool{true, false} {
+		data := BuildSegment(KindReplica, 3, records, sealed)
+		got, err := DecodeShippedSegment(data, KindReplica, 3)
+		if err != nil {
+			t.Fatalf("sealed=%v: %v", sealed, err)
+		}
+		if len(got) != len(records) {
+			t.Fatalf("sealed=%v: %d records, want %d", sealed, len(got), len(records))
+		}
+		for i := range records {
+			if !bytes.Equal(got[i], records[i]) {
+				t.Fatalf("sealed=%v: record %d = %q, want %q", sealed, i, got[i], records[i])
+			}
+		}
+		scan, err := InspectSegment(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if scan.Sealed != sealed || scan.Kind != KindReplica || scan.Partition != 3 {
+			t.Fatalf("scan = %+v, want sealed=%v kind=%d partition=3", scan, sealed, KindReplica)
+		}
+	}
+}
+
+func TestDecodeShippedSegmentRejectsMismatch(t *testing.T) {
+	data := BuildSegment(KindReplica, 2, [][]byte{[]byte("x")}, true)
+	if _, err := DecodeShippedSegment(data, KindReplica, 5); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("wrong partition accepted: %v", err)
+	}
+	if _, err := DecodeShippedSegment(data, KindJournal, 2); !errors.Is(err, ErrBadHeader) {
+		t.Fatalf("wrong kind accepted: %v", err)
+	}
+}
+
+func TestDecodeShippedSegmentDetectsCorruption(t *testing.T) {
+	data := BuildSegment(KindReplica, 0, [][]byte{[]byte("payload-a"), []byte("payload-b")}, true)
+	// Flip one payload bit: the follower must refuse the whole ship.
+	corrupt := append([]byte(nil), data...)
+	corrupt[headerSize+frameHeader+2] ^= 1
+	if _, err := DecodeShippedSegment(corrupt, KindReplica, 0); !errors.Is(err, ErrChecksum) {
+		t.Fatalf("corrupted ship decoded: %v", err)
+	}
+	// Truncate the sealed footer: also refused.
+	if _, err := DecodeShippedSegment(data[:len(data)-4], KindReplica, 0); err == nil {
+		t.Fatal("footer-truncated ship decoded cleanly")
+	}
+}
+
+func TestShipStateRoundTrip(t *testing.T) {
+	want := ShipState{Partition: 4, Generation: 7, Epoch: 3, Applied: 129}
+	got, err := DecodeShipState(want.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip = %+v, want %+v", got, want)
+	}
+	if _, err := DecodeShipState([]byte("garbage")); err == nil {
+		t.Fatal("garbage decoded as ship state")
+	}
+}

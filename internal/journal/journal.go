@@ -260,25 +260,36 @@ func (s *Store) Entities() []string {
 // moved.
 func (s *Store) Migrate() int {
 	moved := 0
-	for _, p := range s.parts {
-		p.mu.Lock()
-		for _, r := range p.rows {
-			if r.lastSnap <= 0 {
-				continue
-			}
-			old := r.ssd[:r.lastSnap]
-			for _, ev := range old {
-				p.ssdBytes -= int64(len(ev.Payload))
-				p.hddBytes += int64(len(ev.Payload))
-			}
-			r.hdd = append(r.hdd, old...)
-			rest := make([]Event, len(r.ssd)-r.lastSnap)
-			copy(rest, r.ssd[r.lastSnap:])
-			r.ssd = rest
-			r.lastSnap = 0
-			moved += len(old)
+	for i := range s.parts {
+		moved += s.MigratePartition(i)
+	}
+	return moved
+}
+
+// MigratePartition migrates one partition's rows (see Migrate). A replica
+// applying a shipped replication round uses it to reproduce the origin's
+// SSD/HDD tier split partition by partition, without touching partitions
+// whose rounds it has not applied yet.
+func (s *Store) MigratePartition(i int) int {
+	p := s.parts[i]
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	moved := 0
+	for _, r := range p.rows {
+		if r.lastSnap <= 0 {
+			continue
 		}
-		p.mu.Unlock()
+		old := r.ssd[:r.lastSnap]
+		for _, ev := range old {
+			p.ssdBytes -= int64(len(ev.Payload))
+			p.hddBytes += int64(len(ev.Payload))
+		}
+		r.hdd = append(r.hdd, old...)
+		rest := make([]Event, len(r.ssd)-r.lastSnap)
+		copy(rest, r.ssd[r.lastSnap:])
+		r.ssd = rest
+		r.lastSnap = 0
+		moved += len(old)
 	}
 	return moved
 }

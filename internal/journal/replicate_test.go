@@ -1,0 +1,166 @@
+package journal
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestApplyReplicatedMirrorsAppend: replaying an origin journal's events
+// through ApplyReplicated (with MigratePartition at the origin's migration
+// points) reproduces the origin's partition dumps bit for bit — rows, tier
+// split, sequence state, and write counters.
+func TestApplyReplicatedMirrorsAppend(t *testing.T) {
+	const parts = 4
+	origin := NewPartitioned(parts)
+	replica := NewPartitioned(parts)
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+	entities := []string{"10.0.0.1", "10.0.0.2", "10.0.0.3", "10.9.3.77", "cert:abc"}
+	step := 0
+	appendAll := func(rounds int, snapshotEvery int) {
+		for r := 0; r < rounds; r++ {
+			for _, e := range entities {
+				kind, payload := "delta", []byte{byte(step)}
+				if snapshotEvery > 0 && step%snapshotEvery == snapshotEvery-1 {
+					kind, payload = SnapshotKind, []byte("snap")
+				}
+				seq, err := origin.Append(e, t0.Add(time.Duration(step)*time.Minute), kind, payload)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := replica.ApplyReplicated(Event{Entity: e, Seq: seq,
+					Time: t0.Add(time.Duration(step) * time.Minute), Kind: kind, Payload: payload}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			step++
+		}
+	}
+
+	appendAll(7, 3)
+	origin.Migrate()
+	for i := 0; i < parts; i++ {
+		replica.MigratePartition(i)
+	}
+	appendAll(5, 3)
+
+	for i := 0; i < parts; i++ {
+		od, rd := origin.DumpPartition(i), replica.DumpPartition(i)
+		if len(od.Rows) != len(rd.Rows) {
+			t.Fatalf("partition %d: %d rows vs %d", i, len(od.Rows), len(rd.Rows))
+		}
+		if od.Appends != rd.Appends || od.Snaps != rd.Snaps {
+			t.Fatalf("partition %d: counters (%d,%d) vs (%d,%d)",
+				i, od.Appends, od.Snaps, rd.Appends, rd.Snaps)
+		}
+		for ri := range od.Rows {
+			o, r := od.Rows[ri], rd.Rows[ri]
+			if o.Entity != r.Entity || o.LastSnap != r.LastSnap || o.NextSeq != r.NextSeq ||
+				len(o.HDD) != len(r.HDD) || len(o.SSD) != len(r.SSD) {
+				t.Fatalf("partition %d row %s: %+v vs %+v", i, o.Entity, o, r)
+			}
+		}
+	}
+	os, rs := origin.Stats(), replica.Stats()
+	if os.SSDEvents != rs.SSDEvents || os.HDDEvents != rs.HDDEvents ||
+		os.SSDBytes != rs.SSDBytes || os.HDDBytes != rs.HDDBytes {
+		t.Fatalf("tier stats diverged: %+v vs %+v", os, rs)
+	}
+}
+
+// TestSyncTierSplitMirrorsInterleavedMigrate: when the origin migrates in
+// the middle of a replication round (appends, Migrate, more appends —
+// including post-migrate snapshots), a replica that applies the whole
+// round's events and then syncs the origin's HDD lengths reproduces the
+// origin's split exactly. Re-running Migrate on the replica instead would
+// overshoot: it would also migrate up to the post-migrate snapshots.
+func TestSyncTierSplitMirrorsInterleavedMigrate(t *testing.T) {
+	origin := NewStore()
+	replica := NewStore()
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var round []Event
+	add := func(e, kind string, step int) {
+		seq, err := origin.Append(e, t0.Add(time.Duration(step)*time.Minute), kind, []byte{byte(step)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		round = append(round, Event{Entity: e, Seq: seq,
+			Time: t0.Add(time.Duration(step) * time.Minute), Kind: kind, Payload: []byte{byte(step)}})
+	}
+
+	// One "round" at the origin: deltas, a snapshot, migrate, then a
+	// post-migrate snapshot and more deltas.
+	add("h1", "delta", 0)
+	add("h1", "delta", 1)
+	add("h1", SnapshotKind, 2)
+	add("h1", "delta", 3)
+	origin.Migrate() // moves h1 events 0,1; snapshot stays at ssd[0]
+	add("h1", SnapshotKind, 4)
+	add("h1", "delta", 5)
+
+	for _, ev := range round {
+		if err := replica.ApplyReplicated(ev); err != nil {
+			t.Fatal(err)
+		}
+	}
+	od := origin.DumpPartition(0)
+	want := map[string]int{"h1": len(od.Rows[0].HDD)}
+	if _, err := replica.SyncTierSplit(0, want); err != nil {
+		t.Fatal(err)
+	}
+	rd := replica.DumpPartition(0)
+	o, r := od.Rows[0], rd.Rows[0]
+	if len(o.HDD) != len(r.HDD) || len(o.SSD) != len(r.SSD) ||
+		o.LastSnap != r.LastSnap || o.NextSeq != r.NextSeq {
+		t.Fatalf("split diverged: origin %+v replica %+v", o, r)
+	}
+	os, rs := origin.Stats(), replica.Stats()
+	if os.SSDBytes != rs.SSDBytes || os.HDDBytes != rs.HDDBytes {
+		t.Fatalf("byte counters diverged: %+v vs %+v", os, rs)
+	}
+}
+
+func TestSyncTierSplitRejectsBadTargets(t *testing.T) {
+	s := NewStore()
+	t0 := time.Unix(0, 0).UTC()
+	for i := 0; i < 3; i++ {
+		if err := s.ApplyReplicated(Event{Entity: "e", Seq: uint64(i), Time: t0, Kind: "delta"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.SyncTierSplit(0, map[string]int{"missing": 1}); !errors.Is(err, ErrTierSync) {
+		t.Fatalf("unknown row accepted: %v", err)
+	}
+	if _, err := s.SyncTierSplit(0, map[string]int{"e": 4}); !errors.Is(err, ErrTierSync) {
+		t.Fatalf("overshoot accepted: %v", err)
+	}
+	if _, err := s.SyncTierSplit(0, map[string]int{"e": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SyncTierSplit(0, map[string]int{"e": 1}); !errors.Is(err, ErrTierSync) {
+		t.Fatalf("shrink accepted: %v", err)
+	}
+}
+
+func TestApplyReplicatedRejectsGapsAndDuplicates(t *testing.T) {
+	s := NewStore()
+	t0 := time.Unix(0, 0).UTC()
+	ev := Event{Entity: "e", Seq: 0, Time: t0, Kind: "delta", Payload: []byte("a")}
+	if err := s.ApplyReplicated(ev); err != nil {
+		t.Fatal(err)
+	}
+	// Duplicate.
+	if err := s.ApplyReplicated(ev); !errors.Is(err, ErrReplicaGap) {
+		t.Fatalf("duplicate accepted: %v", err)
+	}
+	// Gap.
+	if err := s.ApplyReplicated(Event{Entity: "e", Seq: 5, Time: t0, Kind: "delta"}); !errors.Is(err, ErrReplicaGap) {
+		t.Fatalf("gap accepted: %v", err)
+	}
+	// Time regression.
+	if err := s.ApplyReplicated(Event{Entity: "e", Seq: 1,
+		Time: t0.Add(-time.Hour), Kind: "delta"}); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("time regression accepted: %v", err)
+	}
+}

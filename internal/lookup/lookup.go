@@ -9,6 +9,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/netip"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -21,9 +22,45 @@ import (
 )
 
 // DegradedHeader is set on every response while the backing map serves in
-// degraded mode (storage recovery quarantined partitions). Its value names
-// the quarantined partitions, e.g. "quarantined-partitions=2,5/8".
+// degraded mode: storage recovery quarantined partitions, or — under a
+// cluster placement — partitions whose replica quorum is below majority or
+// whose serving replica lags the replication log. Its value names the
+// affected partitions, e.g. "quarantined-partitions=2,5/8" or
+// "degraded-quorum-partitions=1,3/8".
 const DegradedHeader = "X-Censys-Degraded"
+
+// ServingNodeHeader names the cluster node whose replica answered a routed
+// point lookup. Absent when no placement is installed (the classic
+// single-process deployment).
+const ServingNodeHeader = "X-Censys-Serving-Node"
+
+// Route is one partition's serving state under a placement.
+type Route struct {
+	// Node names the serving replica's node.
+	Node string
+	// Degraded reports a partition served below its safety margin: fewer
+	// alive replicas than a majority of the replication factor, or a serving
+	// replica still catching up on the replication log.
+	Degraded bool
+	// Unserved reports that no alive replica can answer for the partition;
+	// lookups for its entities get 503, and fan-out queries fail whole.
+	Unserved bool
+}
+
+// Placement routes partitions to serving nodes. The cluster layer implements
+// it over its placement map and leases; a single-node deployment uses the
+// degenerate implementation in internal/core, which routes every partition to
+// the local node and never degrades.
+type Placement interface {
+	// Partitions is the placement's partition space (the journal stripe
+	// count entity IDs hash into).
+	Partitions() int
+	// Route reports the serving state of one partition.
+	Route(partition int) Route
+	// ReaderFor returns the serving replica's read path for a partition, or
+	// nil to fall back on the service's own reader (the local journal).
+	ReaderFor(partition int) *cqrs.Reader
+}
 
 // Service answers lookups; it is both a Go API and an http.Handler.
 type Service struct {
@@ -40,6 +77,11 @@ type Service struct {
 	degradedParts map[int]bool
 	degradedMod   int
 	degradedVal   string
+
+	// placement, when set, routes point lookups to the serving replica's
+	// reader and folds quorum health into the degraded header (see
+	// SetPlacement).
+	placement Placement
 }
 
 // New creates a lookup service. certs may be nil.
@@ -103,6 +145,92 @@ func (s *Service) quarantined(id string) bool {
 	return s.degradedParts != nil && s.degradedParts[shard.Of(id, s.degradedMod)]
 }
 
+// SetPlacement installs (or, with nil, clears) a partition placement. With a
+// placement installed point lookups route to the serving replica's reader,
+// responses name that replica in ServingNodeHeader, and partitions with a
+// weak or absent quorum surface in DegradedHeader alongside quarantine state.
+func (s *Service) SetPlacement(p Placement) { s.placement = p }
+
+// routeFor resolves an entity ID under the installed placement. routed is
+// false when no placement is installed; the reader is never nil — a placement
+// that declines to provide one falls back on the service's own.
+func (s *Service) routeFor(id string) (rt Route, reader *cqrs.Reader, routed bool) {
+	if s.placement == nil {
+		return Route{}, s.reader, false
+	}
+	part := shard.Of(id, s.placement.Partitions())
+	rt = s.placement.Route(part)
+	reader = s.placement.ReaderFor(part)
+	if reader == nil {
+		reader = s.reader
+	}
+	return rt, reader, true
+}
+
+// degradedValue combines quarantine state and placement quorum health into
+// the DegradedHeader value. Empty means fully healthy.
+func (s *Service) degradedValue() string {
+	fields := make([]string, 0, 3)
+	if s.degradedVal != "" {
+		fields = append(fields, s.degradedVal)
+	}
+	if s.placement != nil {
+		n := s.placement.Partitions()
+		var deg, uns []string
+		for p := 0; p < n; p++ {
+			rt := s.placement.Route(p)
+			switch {
+			case rt.Unserved:
+				uns = append(uns, strconv.Itoa(p))
+			case rt.Degraded:
+				deg = append(deg, strconv.Itoa(p))
+			}
+		}
+		if len(deg) > 0 {
+			fields = append(fields, "degraded-quorum-partitions="+strings.Join(deg, ",")+"/"+strconv.Itoa(n))
+		}
+		if len(uns) > 0 {
+			fields = append(fields, "unserved-partitions="+strings.Join(uns, ",")+"/"+strconv.Itoa(n))
+		}
+	}
+	return strings.Join(fields, "; ")
+}
+
+// fanoutUnavailable lists partitions that cannot contribute to a fan-out
+// query (interactive search, certificate→hosts): quarantined by storage
+// recovery or unserved under the placement. A fan-out answer is only
+// trustworthy when every partition can answer, so any entry here turns the
+// whole query into 503 (paper §5.2: partial answers are presented as
+// complete, which is worse than honest unavailability).
+func (s *Service) fanoutUnavailable() []int {
+	var parts []int
+	for p := 0; p < s.degradedMod; p++ {
+		if s.degradedParts[p] {
+			parts = append(parts, p)
+		}
+	}
+	if s.placement != nil {
+		for p := 0; p < s.placement.Partitions(); p++ {
+			if s.placement.Route(p).Unserved && !s.degradedParts[p] {
+				parts = append(parts, p)
+			}
+		}
+	}
+	sort.Ints(parts)
+	return parts
+}
+
+// failFanout writes the 503 for a fan-out query blocked by unavailable
+// partitions.
+func failFanout(w http.ResponseWriter, what string, parts []int) {
+	list := make([]string, len(parts))
+	for i, p := range parts {
+		list[i] = strconv.Itoa(p)
+	}
+	writeJSON(w, http.StatusServiceUnavailable, errorBody{
+		what + " fans out over all partitions; unavailable: " + strings.Join(list, ",")})
+}
+
 type errorBody struct {
 	Error string `json:"error"`
 }
@@ -142,7 +270,16 @@ func (s *Service) handleHost(w http.ResponseWriter, r *http.Request) {
 			errorBody{"host partition quarantined; serving degraded"})
 		return
 	}
-	h, found := s.reader.HostAt(ip.String(), at)
+	rt, reader, routed := s.routeFor(ip.String())
+	if routed {
+		w.Header().Set(ServingNodeHeader, rt.Node)
+		if rt.Unserved {
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{"host partition unserved; no in-sync replica"})
+			return
+		}
+	}
+	h, found := reader.HostAt(ip.String(), at)
 	if !found {
 		writeJSON(w, http.StatusNotFound, errorBody{"host not found"})
 		return
@@ -169,7 +306,16 @@ func (s *Service) handleHistory(w http.ResponseWriter, r *http.Request) {
 			errorBody{"host partition quarantined; serving degraded"})
 		return
 	}
-	events := s.reader.History(ip.String())
+	rt, reader, routed := s.routeFor(ip.String())
+	if routed {
+		w.Header().Set(ServingNodeHeader, rt.Node)
+		if rt.Unserved {
+			writeJSON(w, http.StatusServiceUnavailable,
+				errorBody{"host partition unserved; no in-sync replica"})
+			return
+		}
+	}
+	events := reader.History(ip.String())
 	out := make([]historyEntry, 0, len(events))
 	for _, ev := range events {
 		out = append(out, historyEntry{Seq: ev.Seq, Time: ev.Time, Kind: ev.Kind,
@@ -193,6 +339,10 @@ func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
+	if parts := s.fanoutUnavailable(); len(parts) > 0 {
+		failFanout(w, "search", parts)
+		return
+	}
 	hosts, err := s.index.SearchHosts(q)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
@@ -213,6 +363,10 @@ func (s *Service) handleCertHosts(w http.ResponseWriter, r *http.Request) {
 	fp := strings.ToLower(r.PathValue("fp"))
 	if fp == "" {
 		writeJSON(w, http.StatusBadRequest, errorBody{"missing fingerprint"})
+		return
+	}
+	if parts := s.fanoutUnavailable(); len(parts) > 0 {
+		failFanout(w, "certificate-to-hosts", parts)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{

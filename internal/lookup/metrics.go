@@ -40,12 +40,13 @@ func (s *Service) AttachMetrics(reg *telemetry.Registry, tracer *telemetry.Trace
 }
 
 // ServeHTTP implements http.Handler, recording per-route telemetry when
-// metrics are attached. In degraded mode every response — including search
-// results and metric scrapes — carries the degraded header, so clients can
-// tell "no results" from "partitions missing".
+// metrics are attached. In degraded mode — quarantined partitions, or weak
+// quorum under a placement — every response, including search results and
+// metric scrapes, carries the degraded header, so clients can tell "no
+// results" from "partitions missing".
 func (s *Service) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	if s.degradedVal != "" {
-		w.Header().Set(DegradedHeader, s.degradedVal)
+	if v := s.degradedValue(); v != "" {
+		w.Header().Set(DegradedHeader, v)
 	}
 	m := s.metrics
 	if m == nil {
