@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race chaos chaos-disk cluster-diff fsck fuzz bench bench-search bench-json check
+.PHONY: all vet lint build test race chaos chaos-disk cluster-diff fsck fuzz bench bench-search bench-json serve-test loadgen check
 
 all: check
 
@@ -69,6 +69,22 @@ fuzz:
 	$(GO) test ./internal/search/ -fuzz FuzzSearchDifferential -fuzztime 30s
 	$(GO) test ./internal/wire/ -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/durable/ -fuzz FuzzSegmentDecode -fuzztime 30s
+	$(GO) test ./internal/serve/ -fuzz FuzzDecodeCursor -fuzztime 30s
+
+# The serving-tier suite: HTTP conformance goldens over every /v2 route,
+# the export byte-stability differential (writes interleaved between pages),
+# deterministic rate-limit/quota/shed accounting, and the bounded-allocation
+# regression for limited search — all under the race detector.
+serve-test:
+	$(GO) test -race ./internal/serve/
+	$(GO) test -race ./internal/lookup/ -run 'TestSearchBoundedAllocation|TestPlacement'
+
+# Deterministic open-loop load generation against the assembled system:
+# seeded Zipf query mix, simclock arrivals, QPS sweep to the max sustainable
+# level; serial then 3-node cluster, results merged into BENCH_<date>.json.
+loadgen:
+	$(GO) run ./cmd/loadgen -bench-dir .
+	$(GO) run ./cmd/loadgen -bench-dir . -cluster-nodes 3
 
 # Serial vs sharded pipeline throughput (1/4/8 workers).
 bench:
@@ -85,5 +101,7 @@ bench-search:
 # PRs.
 bench-json:
 	$(GO) run ./cmd/benchtables -bench-json
+	$(GO) run ./cmd/loadgen -bench-dir .
+	$(GO) run ./cmd/loadgen -bench-dir . -cluster-nodes 3
 
-check: lint build race chaos chaos-disk cluster-diff fsck
+check: lint build race chaos chaos-disk cluster-diff fsck serve-test

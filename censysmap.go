@@ -24,6 +24,7 @@ import (
 	"censysmap/internal/core"
 	"censysmap/internal/entity"
 	"censysmap/internal/journal"
+	"censysmap/internal/serve"
 	"censysmap/internal/simclock"
 	"censysmap/internal/simnet"
 	"censysmap/internal/telemetry"
@@ -157,6 +158,12 @@ func (s *System) WebProperties() []*WebProperty { return s.m.WebProperties().All
 // APIHandler returns the REST lookup API (GET /v2/hosts/{ip},
 // /v2/hosts/{ip}/history, /v2/certificates/{fp}/hosts).
 func (s *System) APIHandler() http.Handler { return s.m.Lookup() }
+
+// Frontend wraps the lookup API in the serving tier: per-tenant API keys
+// with rate limits and quotas, priority-aware load shedding, snapshot-pinned
+// bulk export, and conditional GETs. Mount it at /v2/ in place of
+// APIHandler for authenticated heavy-traffic deployments.
+func (s *System) Frontend(cfg serve.Config) (*serve.Server, error) { return s.m.Frontend(cfg) }
 
 // Services exports the current dataset as flat records.
 func (s *System) Services() []core.ServiceRecord { return s.m.CurrentServices(false) }

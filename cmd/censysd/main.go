@@ -11,6 +11,13 @@
 //	curl localhost:8181/v2/hosts/10.0.1.7/history
 //	curl localhost:8181/v2/certificates/<sha256>/hosts
 //
+// The /v2 surface is fronted by the serving tier: per-tenant API keys
+// (-api-keys name:key:tier), token-bucket rate limits and daily quotas per
+// tier, priority-aware load shedding (-capacity), snapshot-pinned bulk
+// export under /v2/export/hosts, and ETag conditional GETs. Unauthenticated
+// requests are served under -anonymous-tier (default free); set it empty to
+// require a key.
+//
 // With -cluster-nodes N the process simulates an N-node serving cluster:
 // journal partitions replicate to per-node replica journals, point lookups
 // route to the partition's lease holder (X-Censys-Serving-Node names it),
@@ -24,11 +31,30 @@ import (
 	"net/http"
 	"net/netip"
 	"os"
+	"strings"
 	"time"
 
 	"censysmap"
 	"censysmap/internal/cluster"
+	"censysmap/internal/serve"
 )
+
+// parseTenants parses the -api-keys flag: comma-separated name:key:tier
+// entries, e.g. "alice:s3cret:standard,bench:hunter2:internal".
+func parseTenants(raw string) ([]serve.Tenant, error) {
+	if raw == "" {
+		return nil, nil
+	}
+	var out []serve.Tenant
+	for _, entry := range strings.Split(raw, ",") {
+		parts := strings.Split(entry, ":")
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("bad -api-keys entry %q (want name:key:tier)", entry)
+		}
+		out = append(out, serve.Tenant{Name: parts[0], Key: parts[1], Tier: parts[2]})
+	}
+	return out, nil
+}
 
 func main() {
 	universe := flag.String("universe", "10.0.0.0/20", "IPv4 universe prefix")
@@ -38,6 +64,12 @@ func main() {
 	rate := flag.Duration("rate", time.Minute, "simulated time advanced per real second")
 	clusterNodes := flag.Int("cluster-nodes", 0, "simulate an N-node serving cluster (0 = single-process)")
 	nodeID := flag.Int("node-id", 0, "node this process identifies as (requires -cluster-nodes)")
+	apiKeys := flag.String("api-keys", "",
+		"serving-tier tenants, comma-separated name:key:tier (tiers: free, standard, enterprise, internal)")
+	anonTier := flag.String("anonymous-tier", "free",
+		"tier unauthenticated requests are served under; empty requires an API key (401)")
+	capacity := flag.Int("capacity", 64,
+		"max concurrently admitted requests; load shedding starts at half this")
 	flag.Parse()
 
 	prefix, err := netip.ParsePrefix(*universe)
@@ -101,8 +133,23 @@ func main() {
 		}
 	}()
 
+	tenants, err := parseTenants(*apiKeys)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	front, err := sys.Frontend(serve.Config{
+		Tenants:       tenants,
+		AnonymousTier: *anonTier,
+		Capacity:      *capacity,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
 	mux := http.NewServeMux()
-	mux.Handle("/v2/", sys.APIHandler())
+	mux.Handle("/v2/", front)
 	mux.HandleFunc("GET /v1/search", func(w http.ResponseWriter, r *http.Request) {
 		q := r.URL.Query().Get("q")
 		hosts, err := sys.Search(q)

@@ -40,6 +40,7 @@ var exemptCmds = map[string]bool{
 	"cmd/censysfsck":  true,
 	"cmd/censysql":    true,
 	"cmd/lintclock":   true,
+	"cmd/loadgen":     true,
 }
 
 func exempt(rel string) bool {

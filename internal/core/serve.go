@@ -1,0 +1,20 @@
+package core
+
+import (
+	"censysmap/internal/serve"
+)
+
+// Frontend builds the serving tier of paper §5 over the map's lookup service
+// and search index — per-tenant rate limits and quotas, priority-aware load
+// shedding, snapshot-pinned bulk export, conditional GETs — instrumented on
+// the map's telemetry registry when one is attached. The returned server is
+// the http.Handler a production deployment mounts at /v2/ in place of the
+// raw lookup mux.
+func (m *Map) Frontend(cfg serve.Config) (*serve.Server, error) {
+	srv, err := serve.New(cfg, m.lookupSvc, m.index, m.clock)
+	if err != nil {
+		return nil, err
+	}
+	srv.AttachMetrics(m.Metrics())
+	return srv, nil
+}

@@ -1,0 +1,64 @@
+package lookup
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"net/netip"
+	"testing"
+
+	"censysmap/internal/entity"
+	"censysmap/internal/search"
+)
+
+// TestSearchBoundedAllocation is the regression guard for the limited-search
+// allocation fix: /v2/hosts/search?limit=n must clone and serialize only the
+// n hosts it returns, not the full result set. With 2048 matching hosts and
+// limit=4, the old full-slice path cloned every host (several allocations
+// apiece — well over 2048 total); the ID-first path stays within a small
+// constant budget.
+func TestSearchBoundedAllocation(t *testing.T) {
+	s, _ := fixture(t)
+	ix := search.NewPartitioned(4)
+	const hosts = 2048
+	for i := 0; i < hosts; i++ {
+		h := entity.NewHost(netip.MustParseAddr(fmt.Sprintf("10.0.%d.%d", i/256, i%256)))
+		h.Location = &entity.Location{Country: "US"}
+		h.SetService(&entity.Service{Port: 443, Transport: entity.TCP,
+			Protocol: "HTTP", TLS: true, Banner: "server-banner", Verified: true})
+		ix.Upsert(h)
+	}
+	s.AttachSearch(ix)
+
+	req := httptest.NewRequest("GET",
+		"/v2/hosts/search?q=services.protocol%3A+HTTP&limit=4", nil)
+	// Warm the query cache and any lazy route state outside the measurement.
+	s.ServeHTTP(httptest.NewRecorder(), req)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		rec := httptest.NewRecorder()
+		s.ServeHTTP(rec, req)
+		if rec.Code != 200 {
+			t.Fatalf("status = %d body=%s", rec.Code, rec.Body)
+		}
+	})
+	// The budget covers the recorder, response envelope, 4 host clones, and
+	// JSON encoding — and nothing proportional to the 2048 matches. Cloning
+	// the full result set costs thousands of allocations and fails loudly.
+	const budget = 400
+	if allocs > budget {
+		t.Fatalf("limited search allocates %.0f allocs/op over %d matching hosts; budget %d — "+
+			"result materialization is no longer bounded by limit", allocs, hosts, budget)
+	}
+
+	// The limit still reports the full match count.
+	rec := httptest.NewRecorder()
+	s.ServeHTTP(rec, req)
+	var body searchBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Total != hosts || len(body.Hosts) != 4 {
+		t.Fatalf("total=%d hosts=%d, want total=%d hosts=4", body.Total, len(body.Hosts), hosts)
+	}
+}

@@ -343,15 +343,19 @@ func (s *Service) handleSearch(w http.ResponseWriter, r *http.Request) {
 		failFanout(w, "search", parts)
 		return
 	}
-	hosts, err := s.index.SearchHosts(q)
+	// IDs first, hosts second: a limited search clones and serializes only
+	// the hosts it will return, not the full result slice — the total still
+	// reports the complete match count from the (cheap) ID lists.
+	ids, err := s.index.Search(q)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 		return
 	}
-	total := len(hosts)
+	total := len(ids)
 	if limit > 0 && total > limit {
-		hosts = hosts[:limit]
+		ids = ids[:limit]
 	}
+	hosts := s.index.HostsByID(ids)
 	writeJSON(w, http.StatusOK, map[string]any{
 		"query": q,
 		"total": total,

@@ -74,6 +74,18 @@ func (ix *Index) Stats() CacheStats {
 	return st
 }
 
+// Generation returns the summed per-partition mutation counter: it advances
+// on every Upsert/Remove, and an unchanged value proves (monotonicity per
+// partition) that no partition mutated. The serving tier stamps pinned
+// export snapshots and cache entries with it.
+func (ix *Index) Generation() uint64 {
+	var g uint64
+	for _, p := range ix.parts {
+		g += p.gen.Load()
+	}
+	return g
+}
+
 // PostingsEntries reports the total number of (document, token) postings
 // plus numeric column entries resident across all partitions — the size of
 // the index's core read structures, exported as a telemetry gauge.

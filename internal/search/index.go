@@ -394,6 +394,25 @@ func (ix *Index) Host(id string) *entity.Host {
 	return nil
 }
 
+// HostsByID clones the indexed host records for a sorted entity-ID list,
+// batching the fetch per partition (one lock acquisition per partition, not
+// one per host) and returning the hosts in ID order. It is the bounded-fetch
+// companion to SearchHosts: callers that already hold the matching IDs — a
+// limited search page, a cursor slice — materialize only the hosts they will
+// serve instead of cloning the full result set.
+func (ix *Index) HostsByID(ids []string) []*entity.Host {
+	perPart := make([][]string, len(ix.parts))
+	for _, id := range ids {
+		p := shard.Of(id, len(ix.parts))
+		perPart[p] = append(perPart[p], id)
+	}
+	hosts := make([][]*entity.Host, len(ix.parts))
+	for i, p := range ix.parts {
+		hosts[i] = p.hostsFor(perPart[i])
+	}
+	return mergeHostsByID(hosts)
+}
+
 // hostsFor clones the indexed hosts for a sorted per-partition ID list in
 // one pass under a single read-lock acquisition (the batched fetch behind
 // SearchHosts — one lock per partition, not one per result).

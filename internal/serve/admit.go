@@ -1,0 +1,63 @@
+package serve
+
+import "sync"
+
+// admission is the priority-aware load shedder: a single in-flight counter
+// with one threshold per class. A class is admitted only while the in-flight
+// count is below its threshold, so as load rises the classes stop admitting
+// in strict shed-priority order:
+//
+//	in-flight <  cap/2   : everything admitted
+//	in-flight >= cap/2   : search shed        (fan-out over all partitions)
+//	in-flight >= 3*cap/4 : search+export shed (bulk reads)
+//	in-flight >= cap     : everything shed    (point lookups last)
+//
+// The thresholds are pure functions of the counter, so for any fixed
+// sequence of acquire/release transitions the shed decisions are
+// deterministic.
+type admission struct {
+	capacity int
+
+	mu       sync.Mutex
+	inflight int
+}
+
+func newAdmission(capacity int) *admission {
+	return &admission{capacity: capacity}
+}
+
+// threshold is the in-flight level at which a class stops being admitted.
+func (a *admission) threshold(c Class) int {
+	switch c {
+	case ClassSearch:
+		return (a.capacity + 1) / 2
+	case ClassExport:
+		return (3*a.capacity + 3) / 4
+	}
+	return a.capacity
+}
+
+// acquire admits one request of the class, reporting false when it must be
+// shed. Every acquire(true) must be paired with a release.
+func (a *admission) acquire(c Class) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight >= a.threshold(c) {
+		return false
+	}
+	a.inflight++
+	return true
+}
+
+func (a *admission) release() {
+	a.mu.Lock()
+	a.inflight--
+	a.mu.Unlock()
+}
+
+// load reports the current in-flight count (the censys_serve_inflight gauge).
+func (a *admission) load() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}

@@ -1,0 +1,311 @@
+package serve
+
+import (
+	"bytes"
+	"flag"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"censysmap/internal/cqrs"
+	"censysmap/internal/lookup"
+	"censysmap/internal/shard"
+)
+
+// -update rewrites the conformance body goldens from the current responses.
+var update = flag.Bool("update", false, "rewrite conformance goldens")
+
+// TestConformance pins the externally visible HTTP contract of every /v2
+// route through the serving tier: status code, headers, and (for
+// deterministic routes) the exact response body. The fixture dataset is
+// seeded at the fixed simulated epoch, so bodies are reproducible and any
+// wire-format drift shows up as a golden diff.
+func TestConformance(t *testing.T) {
+	f := newFixture(t, Config{})
+
+	cases := []struct {
+		name    string
+		method  string
+		url     string
+		key     string
+		status  int
+		headers map[string]string // want exact value; "*" wants presence
+		golden  string            // body golden under testdata/conformance
+	}{
+		{
+			name: "host-current", method: "GET", url: "/v2/hosts/10.0.0.1", key: "k-int",
+			status: 200, golden: "host_current.json",
+			headers: map[string]string{
+				"Content-Type":        "application/json",
+				"ETag":                "*",
+				TenantHeader:          "internal-bench",
+				lookup.DegradedHeader: "",
+			},
+		},
+		{
+			name: "host-at", method: "GET",
+			url: "/v2/hosts/10.0.0.1?at=2024-08-20T01:00:00Z", key: "k-int",
+			status: 200, golden: "host_current.json", // same state all day
+		},
+		{
+			name: "host-bad-ip", method: "GET", url: "/v2/hosts/banana", key: "k-int",
+			status: 400, golden: "bad_ip.json",
+			headers: map[string]string{"Content-Type": "application/json"},
+		},
+		{
+			name: "host-bad-at", method: "GET",
+			url: "/v2/hosts/10.0.0.1?at=notatime", key: "k-int", status: 400,
+		},
+		{
+			name: "host-not-found", method: "GET", url: "/v2/hosts/10.9.9.9", key: "k-int",
+			status: 404, golden: "not_found.json",
+		},
+		{
+			name: "history", method: "GET", url: "/v2/hosts/10.0.0.1/history", key: "k-int",
+			status: 200, golden: "history.json",
+			headers: map[string]string{"Content-Type": "application/json", "ETag": ""},
+		},
+		{
+			name: "history-bad-ip", method: "GET", url: "/v2/hosts/banana/history",
+			key: "k-int", status: 400,
+		},
+		{
+			name: "search", method: "GET",
+			url: "/v2/hosts/search?q=services.protocol%3A+HTTP&limit=2", key: "k-int",
+			status: 200, golden: "search.json",
+			headers: map[string]string{"Content-Type": "application/json"},
+		},
+		{
+			name: "search-missing-q", method: "GET", url: "/v2/hosts/search",
+			key: "k-int", status: 400,
+		},
+		{
+			name: "search-bad-query", method: "GET",
+			url: "/v2/hosts/search?q=%28%28%28", key: "k-int", status: 400,
+		},
+		{
+			name: "cert-hosts", method: "GET",
+			url: "/v2/certificates/fp-10.0.0.3/hosts", key: "k-int",
+			status: 200, golden: "cert_hosts.json",
+		},
+		{
+			name: "cert-hosts-unknown", method: "GET",
+			url: "/v2/certificates/deadbeef/hosts", key: "k-int",
+			status: 200, golden: "cert_hosts_empty.json",
+		},
+		{
+			name: "export-page", method: "GET",
+			url: "/v2/export/hosts?q=services.tls%3A+true&per_page=3", key: "k-int",
+			status: 200, golden: "export_page.json",
+			headers: map[string]string{
+				"Content-Type":         "application/json",
+				ExportGenerationHeader: "*",
+				ExportTotalHeader:      "8",
+			},
+		},
+		{
+			name: "export-missing-q", method: "GET", url: "/v2/export/hosts",
+			key: "k-int", status: 400, golden: "export_missing_q.json",
+		},
+		{
+			name: "export-bad-cursor", method: "GET",
+			url: "/v2/export/hosts?cursor=%21%21%21", key: "k-int", status: 400,
+		},
+		{
+			name: "export-bad-per-page", method: "GET",
+			url: "/v2/export/hosts?q=services.tls%3A+true&per_page=0",
+			key: "k-int", status: 400,
+		},
+		{
+			name: "export-stream", method: "GET",
+			url: "/v2/export/hosts/stream?q=services.tls%3A+true", key: "k-int",
+			status: 200, golden: "export_stream.ndjson",
+			headers: map[string]string{
+				"Content-Type":         "application/x-ndjson",
+				ExportGenerationHeader: "*",
+				ExportTotalHeader:      "8",
+			},
+		},
+		{
+			name: "metrics-unauthenticated", method: "GET", url: "/v2/metrics",
+			status: 200, // ops plane: reachable without a key
+		},
+		{
+			name: "unauthorized", method: "GET", url: "/v2/hosts/10.0.0.1",
+			status: 401, golden: "unauthorized.json",
+			headers: map[string]string{"Content-Type": "application/json"},
+		},
+		{
+			name: "method-not-allowed", method: "POST", url: "/v2/hosts/10.0.0.1",
+			key: "k-int", status: 405,
+		},
+		{
+			name: "unknown-route", method: "GET", url: "/v2/nope", key: "k-int",
+			status: 404,
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rec := httptest.NewRecorder()
+			req := httptest.NewRequest(c.method, c.url, nil)
+			if c.key != "" {
+				req.Header.Set("Authorization", "Bearer "+c.key)
+			}
+			f.srv.ServeHTTP(rec, req)
+			if rec.Code != c.status {
+				t.Fatalf("status = %d, want %d; body=%s", rec.Code, c.status, rec.Body)
+			}
+			for h, want := range c.headers {
+				got := rec.Header().Get(h)
+				switch want {
+				case "*":
+					if got == "" {
+						t.Errorf("header %s absent, want present", h)
+					}
+				default:
+					if got != want {
+						t.Errorf("header %s = %q, want %q", h, got, want)
+					}
+				}
+			}
+			if c.golden != "" {
+				checkGolden(t, c.golden, rec.Body.Bytes())
+			}
+		})
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", "conformance", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run go test -run TestConformance -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("body diverges from golden %s:\n--- got\n%s\n--- want\n%s", name, got, want)
+	}
+}
+
+// TestConformanceBackpressureHeaders pins the 429 and 503 header contract:
+// both carry Retry-After, a shed 503 names its class, and a rate-limit 429
+// still identifies the tenant.
+func TestConformanceBackpressureHeaders(t *testing.T) {
+	f := newFixture(t, Config{Capacity: 8})
+
+	// Exhaust the tiny tenant's burst for a 429.
+	f.get("/v2/hosts/10.0.0.1", "k-tiny")
+	f.get("/v2/hosts/10.0.0.1", "k-tiny")
+	rec := f.get("/v2/hosts/10.0.0.1", "k-tiny")
+	if rec.Code != 429 {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("429 missing Retry-After")
+	}
+	if got := rec.Header().Get(TenantHeader); got != "tiny-tenant" {
+		t.Errorf("429 %s = %q", TenantHeader, got)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("429 Content-Type = %q", ct)
+	}
+
+	// Saturate admission for a 503 on search.
+	for i := 0; i < 4; i++ {
+		f.srv.adm.acquire(ClassLookup)
+	}
+	defer func() {
+		for i := 0; i < 4; i++ {
+			f.srv.adm.release()
+		}
+	}()
+	rec = f.get("/v2/hosts/search?q=services.protocol%3A+HTTP", "k-int")
+	if rec.Code != 503 {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if rec.Header().Get("Retry-After") == "" {
+		t.Error("503 missing Retry-After")
+	}
+	if got := rec.Header().Get(ShedClassHeader); got != "search" {
+		t.Errorf("503 %s = %q, want search", ShedClassHeader, got)
+	}
+}
+
+// servePlacement is a minimal lookup.Placement for driving the routed-read
+// headers through the serving tier.
+type servePlacement struct {
+	parts  int
+	routes map[int]lookup.Route
+}
+
+func (p servePlacement) Partitions() int { return p.parts }
+func (p servePlacement) Route(i int) lookup.Route {
+	if rt, ok := p.routes[i]; ok {
+		return rt
+	}
+	return lookup.Route{Node: "node-0"}
+}
+func (p servePlacement) ReaderFor(int) *cqrs.Reader { return nil }
+
+// TestConformanceClusterHeaders: the serving tier is transparent to the
+// cluster placement headers — X-Censys-Serving-Node and X-Censys-Degraded
+// pass through it unchanged, on 200s, 503s, and conditional 304s alike.
+func TestConformanceClusterHeaders(t *testing.T) {
+	f := newFixture(t, Config{})
+	const parts = 4
+	part := shard.Of("10.0.0.1", parts)
+	f.srv.svc.SetPlacement(servePlacement{parts: parts,
+		routes: map[int]lookup.Route{part: {Node: "node-2", Degraded: true}}})
+
+	rec := f.get("/v2/hosts/10.0.0.1", "k-int")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body)
+	}
+	if got := rec.Header().Get(lookup.ServingNodeHeader); got != "node-2" {
+		t.Errorf("%s = %q, want node-2", lookup.ServingNodeHeader, got)
+	}
+	wantDeg := "degraded-quorum-partitions=" + strconv.Itoa(part) + "/4"
+	if got := rec.Header().Get(lookup.DegradedHeader); got != wantDeg {
+		t.Errorf("%s = %q, want %q", lookup.DegradedHeader, got, wantDeg)
+	}
+
+	// The degraded headers survive a conditional 304 too.
+	req := httptest.NewRequest(http.MethodGet, "/v2/hosts/10.0.0.1", nil)
+	req.Header.Set("Authorization", "Bearer k-int")
+	req.Header.Set("If-None-Match", rec.Header().Get("ETag"))
+	rec2 := httptest.NewRecorder()
+	f.srv.ServeHTTP(rec2, req)
+	if rec2.Code != 304 {
+		t.Fatalf("revalidation status = %d", rec2.Code)
+	}
+	if got := rec2.Header().Get(lookup.ServingNodeHeader); got != "node-2" {
+		t.Errorf("304 %s = %q", lookup.ServingNodeHeader, got)
+	}
+	if got := rec2.Header().Get(lookup.DegradedHeader); got != wantDeg {
+		t.Errorf("304 %s = %q", lookup.DegradedHeader, got)
+	}
+
+	// An unserved partition's 503 passes through untouched.
+	f.srv.svc.SetPlacement(servePlacement{parts: parts,
+		routes: map[int]lookup.Route{part: {Node: "node-2", Unserved: true}}})
+	rec3 := f.get("/v2/hosts/10.0.0.1", "k-int")
+	if rec3.Code != 503 {
+		t.Fatalf("unserved status = %d, want 503", rec3.Code)
+	}
+	if got := rec3.Header().Get(lookup.ServingNodeHeader); got != "node-2" {
+		t.Errorf("503 %s = %q", lookup.ServingNodeHeader, got)
+	}
+}

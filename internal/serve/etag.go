@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"bytes"
+	"hash/fnv"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// Conditional GET on /v2/hosts/{ip}: the downstream response is buffered,
+// hashed into a strong ETag, and compared against If-None-Match — a match
+// answers 304 with no body, so polling clients (the dominant point-read
+// pattern) pay headers only while the host is unchanged. The ETag is a pure
+// function of the response bytes, so it is stable across replicas and
+// deterministic under the simulated clock.
+
+// recorder buffers a downstream response so it can be hashed before being
+// committed to the client.
+type recorder struct {
+	header http.Header
+	code   int
+	body   bytes.Buffer
+}
+
+func newRecorder() *recorder { return &recorder{header: make(http.Header)} }
+
+func (rec *recorder) Header() http.Header { return rec.header }
+
+func (rec *recorder) WriteHeader(code int) {
+	if rec.code == 0 {
+		rec.code = code
+	}
+}
+
+func (rec *recorder) Write(b []byte) (int, error) {
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+	}
+	return rec.body.Write(b)
+}
+
+// conditionalHost forwards a host point read through the buffer, attaching
+// ETag/If-None-Match semantics to 200 responses.
+func (s *Server) conditionalHost(w http.ResponseWriter, r *http.Request) {
+	rec := newRecorder()
+	s.svc.ServeHTTP(rec, r)
+	if rec.code == 0 {
+		rec.code = http.StatusOK
+	}
+	for k, vs := range rec.header {
+		w.Header()[k] = vs
+	}
+	if rec.code != http.StatusOK {
+		w.WriteHeader(rec.code)
+		_, _ = w.Write(rec.body.Bytes())
+		return
+	}
+	h := fnv.New64a()
+	_, _ = h.Write(rec.body.Bytes())
+	etag := `"` + strconv.FormatUint(h.Sum64(), 16) + `"`
+	w.Header().Set("ETag", etag)
+	if etagMatch(r.Header.Get("If-None-Match"), etag) {
+		s.metrics.conditionalInc(true)
+		w.Header().Del("Content-Type")
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	s.metrics.conditionalInc(false)
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write(rec.body.Bytes())
+}
+
+// etagMatch implements If-None-Match: a comma-separated list of entity tags
+// or "*". Weak-validator prefixes compare equal to their strong form (RFC
+// 9110 §8.8.3.2 weak comparison, the correct one for If-None-Match).
+func etagMatch(header, etag string) bool {
+	for _, candidate := range strings.Split(header, ",") {
+		candidate = strings.TrimSpace(candidate)
+		if candidate == "" {
+			continue
+		}
+		if candidate == "*" {
+			return true
+		}
+		if strings.TrimPrefix(candidate, "W/") == strings.TrimPrefix(etag, "W/") {
+			return true
+		}
+	}
+	return false
+}

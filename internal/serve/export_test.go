@@ -1,0 +1,232 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// walkPages drives a paginated export to completion, returning the
+// concatenation of every page's raw result lines (newline-terminated, the
+// stream wire format) plus the page envelopes. between, when non-nil, runs
+// after every page fetch — the differential tests use it to land writes
+// mid-export.
+func walkPages(t *testing.T, f *fixture, query string, perPage int, between func(page int)) ([]byte, []exportPage) {
+	t.Helper()
+	var buf bytes.Buffer
+	var pages []exportPage
+	url := "/v2/export/hosts?per_page=" + fmt.Sprint(perPage) +
+		"&q=" + strings.ReplaceAll(query, " ", "+")
+	for page := 0; ; page++ {
+		rec := f.get(url, "k-int")
+		if rec.Code != 200 {
+			t.Fatalf("page %d: status = %d body=%s", page, rec.Code, rec.Body)
+		}
+		var p exportPage
+		if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+			t.Fatalf("page %d: %v", page, err)
+		}
+		pages = append(pages, p)
+		for _, line := range p.Results {
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		if between != nil {
+			between(page)
+		}
+		if p.NextCursor == "" {
+			return buf.Bytes(), pages
+		}
+		url = "/v2/export/hosts?per_page=" + fmt.Sprint(perPage) + "&cursor=" + p.NextCursor
+	}
+}
+
+// stream fetches the whole export as NDJSON in one shot.
+func (f *fixture) stream(t *testing.T, query string) []byte {
+	t.Helper()
+	rec := f.get("/v2/export/hosts/stream?q="+strings.ReplaceAll(query, " ", "+"), "k-int")
+	if rec.Code != 200 {
+		t.Fatalf("stream: status = %d body=%s", rec.Code, rec.Body)
+	}
+	return rec.Body.Bytes()
+}
+
+// TestExportDifferentialByteStable is the tentpole's core guarantee: an
+// export paginated across many requests, with index writes landing between
+// every page, produces byte-for-byte the same output as a single-shot
+// export taken before any of the writes.
+func TestExportDifferentialByteStable(t *testing.T) {
+	f := newFixture(t, Config{PageSize: 3})
+	const query = "services.tls: true"
+
+	// Reference: one single-shot stream before any interleaved writes. This
+	// pins the snapshot the paginated walk will reuse (same generation).
+	reference := f.stream(t, query)
+	genBefore := f.ix.Generation()
+
+	// Paginated walk with writes interleaved after every page: new hosts
+	// join the index and an existing in-snapshot host changes its banner.
+	paged, pages := walkPages(t, f, query, 3, func(page int) {
+		f.seedHost(t, fmt.Sprintf("10.0.1.%d", page+1), "late-arrival")
+		f.seedHost(t, "10.0.0.1", fmt.Sprintf("mutated-%d", page))
+	})
+
+	if !bytes.Equal(paged, reference) {
+		t.Fatalf("paginated export diverges from pre-write single shot:\n--- paged\n%s\n--- reference\n%s",
+			paged, reference)
+	}
+	if len(pages) != 3 {
+		t.Fatalf("pages = %d, want 3 (8 rows / 3 per page)", len(pages))
+	}
+	for i, p := range pages {
+		if p.Generation != genBefore {
+			t.Errorf("page %d generation = %d, want pinned %d", i, p.Generation, genBefore)
+		}
+		if p.Total != 8 {
+			t.Errorf("page %d total = %d, want 8", i, p.Total)
+		}
+	}
+
+	// Guard against a vacuous pass: the interleaved writes really moved the
+	// index, and a fresh export (new pin, new generation) sees them.
+	if f.ix.Generation() == genBefore {
+		t.Fatal("interleaved writes did not advance the index generation")
+	}
+	fresh := f.stream(t, query)
+	if bytes.Equal(fresh, reference) {
+		t.Fatal("post-write export identical to pre-write export; writes invisible")
+	}
+	if !strings.Contains(string(fresh), "late-arrival") {
+		t.Fatal("post-write export missing the interleaved hosts")
+	}
+}
+
+// TestExportStreamMatchesPages: the NDJSON stream and the paginated walk of
+// the same pinned snapshot emit identical bytes.
+func TestExportStreamMatchesPages(t *testing.T) {
+	f := newFixture(t, Config{})
+	const query = "services.protocol: HTTP"
+	streamed := f.stream(t, query)
+	paged, _ := walkPages(t, f, query, 3, nil)
+	if !bytes.Equal(streamed, paged) {
+		t.Fatalf("stream and page walks diverge:\n--- stream\n%s\n--- paged\n%s", streamed, paged)
+	}
+}
+
+// TestExportEvictedPinRebuilds: with room for a single pin, opening a second
+// export evicts the first; while the index generation is unchanged the first
+// cursor still resumes, rebuilding the snapshot bit-identically.
+func TestExportEvictedPinRebuilds(t *testing.T) {
+	f := newFixture(t, Config{MaxPins: 1})
+	const query = "services.tls: true"
+
+	first, pages := walkPagesPartial(t, f, query, 3, 1)
+	// Evict the pin with a different export.
+	f.stream(t, "services.protocol: HTTP")
+	if got := f.srv.exp.pinCount(); got != 1 {
+		t.Fatalf("pins resident = %d, want 1", got)
+	}
+
+	// Resume: generation unchanged, so the rebuild must be byte-identical.
+	rest := resumeToEnd(t, f, pages[len(pages)-1].NextCursor, 3)
+	reference := f.stream(t, query)
+	if got := append(append([]byte{}, first...), rest...); !bytes.Equal(got, reference) {
+		t.Fatalf("rebuilt export diverges:\n--- resumed\n%s\n--- reference\n%s", got, reference)
+	}
+}
+
+// TestExportExpiredCursor410: once the pinned snapshot is evicted AND the
+// index has moved on, the cursor is unservable — 410 Gone, restart.
+func TestExportExpiredCursor410(t *testing.T) {
+	f := newFixture(t, Config{MaxPins: 1})
+	_, pages := walkPagesPartial(t, f, "services.tls: true", 3, 1)
+	next := pages[len(pages)-1].NextCursor
+	if next == "" {
+		t.Fatal("first page did not return a cursor")
+	}
+
+	f.stream(t, "services.protocol: HTTP") // evict the pin
+	f.seedHost(t, "10.0.2.1", "mover")     // move the generation
+
+	rec := f.get("/v2/export/hosts?cursor="+next, "k-int")
+	if rec.Code != 410 {
+		t.Fatalf("status = %d body=%s, want 410", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), "expired") {
+		t.Fatalf("body = %s", rec.Body)
+	}
+}
+
+// TestExportEmptyResult: a query matching nothing exports cleanly — zero
+// total, empty results array (not null), no cursor, empty stream.
+func TestExportEmptyResult(t *testing.T) {
+	f := newFixture(t, Config{})
+	const query = "services.protocol: MODBUS"
+	rec := f.get("/v2/export/hosts?q=services.protocol%3A+MODBUS", "k-int")
+	if rec.Code != 200 {
+		t.Fatalf("status = %d body=%s", rec.Code, rec.Body)
+	}
+	if !strings.Contains(rec.Body.String(), `"results":[]`) {
+		t.Fatalf("empty export results not []: %s", rec.Body)
+	}
+	var p exportPage
+	if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+		t.Fatal(err)
+	}
+	if p.Total != 0 || p.Count != 0 || p.NextCursor != "" {
+		t.Fatalf("page = %+v", p)
+	}
+	if body := f.stream(t, query); len(body) != 0 {
+		t.Fatalf("empty stream body = %q", body)
+	}
+}
+
+// walkPagesPartial fetches the first n pages only.
+func walkPagesPartial(t *testing.T, f *fixture, query string, perPage, n int) ([]byte, []exportPage) {
+	t.Helper()
+	var buf bytes.Buffer
+	var pages []exportPage
+	url := "/v2/export/hosts?per_page=" + fmt.Sprint(perPage) +
+		"&q=" + strings.ReplaceAll(query, " ", "+")
+	for page := 0; page < n; page++ {
+		rec := f.get(url, "k-int")
+		if rec.Code != 200 {
+			t.Fatalf("page %d: status = %d body=%s", page, rec.Code, rec.Body)
+		}
+		var p exportPage
+		if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+			t.Fatal(err)
+		}
+		pages = append(pages, p)
+		for _, line := range p.Results {
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		url = "/v2/export/hosts?per_page=" + fmt.Sprint(perPage) + "&cursor=" + p.NextCursor
+	}
+	return buf.Bytes(), pages
+}
+
+// resumeToEnd walks a cursor to the final page.
+func resumeToEnd(t *testing.T, f *fixture, cursor string, perPage int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	for cursor != "" {
+		rec := f.get("/v2/export/hosts?per_page="+fmt.Sprint(perPage)+"&cursor="+cursor, "k-int")
+		if rec.Code != 200 {
+			t.Fatalf("resume: status = %d body=%s", rec.Code, rec.Body)
+		}
+		var p exportPage
+		if err := json.Unmarshal(rec.Body.Bytes(), &p); err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range p.Results {
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+		cursor = p.NextCursor
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,47 @@
+package serve
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzDecodeCursor hammers the untrusted-cursor parser: any input must
+// either decode to a well-formed cursor or return one of the typed
+// ErrCursor* sentinels — never panic, never return an untyped error. A
+// successful decode must survive an encode/decode round trip unchanged.
+func FuzzDecodeCursor(f *testing.F) {
+	// Well-formed tokens at each boundary, plus every malformation class.
+	f.Add(encodeCursor(cursor{V: 1, Q: "services.tls: true", Gen: 8, Off: 0}))
+	f.Add(encodeCursor(cursor{V: 1, Q: "q", Gen: 0, Off: 1 << 30}))
+	f.Add(encodeCursor(cursor{V: 2, Q: "q", Gen: 1, Off: 0}))  // bad version
+	f.Add(encodeCursor(cursor{V: 1, Q: "", Gen: 1, Off: 0}))   // empty query
+	f.Add(encodeCursor(cursor{V: 1, Q: "q", Gen: 1, Off: -1})) // negative offset
+	f.Add("!!!not base64url!!!")
+	f.Add("bm90IGpzb24")                  // base64("not json")
+	f.Add("e30")                          // base64("{}") — zero version
+	f.Add("eyJ2IjoxLCJxIjoicSJ9e30")      // trailing data after the object
+	f.Add("eyJ2IjoxLCJxIjoicSIsIlgiOjF9") // unknown field
+	f.Add("")
+	f.Add("A")
+
+	f.Fuzz(func(t *testing.T, token string) {
+		c, err := decodeCursor(token)
+		if err != nil {
+			if !errors.Is(err, ErrCursorEncoding) && !errors.Is(err, ErrCursorSyntax) &&
+				!errors.Is(err, ErrCursorVersion) && !errors.Is(err, ErrCursorField) {
+				t.Fatalf("untyped error %v for token %q", err, token)
+			}
+			return
+		}
+		if c.V != cursorVersion || c.Off < 0 || c.Q == "" {
+			t.Fatalf("decode accepted out-of-range cursor %+v from %q", c, token)
+		}
+		c2, err := decodeCursor(encodeCursor(c))
+		if err != nil {
+			t.Fatalf("round trip of %+v failed: %v", c, err)
+		}
+		if c2 != c {
+			t.Fatalf("round trip changed cursor: %+v -> %+v", c, c2)
+		}
+	})
+}

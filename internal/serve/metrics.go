@@ -1,0 +1,97 @@
+package serve
+
+import "censysmap/internal/telemetry"
+
+// serveMetrics instruments every admission decision the tier makes. All
+// methods are nil-receiver safe, so an unattached server (no registry) pays
+// a nil check per decision and nothing else.
+type serveMetrics struct {
+	requests    *telemetry.CounterVec // admitted requests, by class
+	shed        *telemetry.CounterVec // load-shed requests, by class
+	rateLimited *telemetry.CounterVec // 429s from the token bucket, by tenant
+	quota       *telemetry.CounterVec // 429s from quota exhaustion, by tenant
+	unauth      *telemetry.Counter    // 401s
+	conditional *telemetry.CounterVec // conditional GETs, by outcome hit/miss
+	exportPages *telemetry.Counter    // export pages (and streams) served
+	exportRows  *telemetry.Counter    // export rows written
+}
+
+// AttachMetrics registers the serving-tier metric families on the registry.
+// A nil registry is a no-op (the unattached server stays uninstrumented).
+func (s *Server) AttachMetrics(reg *telemetry.Registry) {
+	if reg == nil {
+		return
+	}
+	s.metrics = &serveMetrics{
+		requests: reg.CounterVec("censys_serve_requests_total",
+			"requests admitted past auth, limits, and load shedding, by class", "class"),
+		shed: reg.CounterVec("censys_serve_shed_total",
+			"requests shed by priority-aware admission control, by class", "class"),
+		rateLimited: reg.CounterVec("censys_serve_rate_limited_total",
+			"requests rejected by the token-bucket rate limit, by tenant", "tenant"),
+		quota: reg.CounterVec("censys_serve_quota_exhausted_total",
+			"requests rejected on an exhausted daily quota, by tenant", "tenant"),
+		unauth: reg.Counter("censys_serve_unauthorized_total",
+			"requests rejected for a missing or unknown API key"),
+		conditional: reg.CounterVec("censys_serve_conditional_total",
+			"conditional host GETs, by If-None-Match outcome", "outcome"),
+		exportPages: reg.Counter("censys_serve_export_pages_total",
+			"bulk-export pages and streams served"),
+		exportRows: reg.Counter("censys_serve_export_rows_total",
+			"bulk-export rows written"),
+	}
+	reg.GaugeFunc("censys_serve_inflight",
+		"requests currently admitted and executing", nil,
+		func() float64 { return float64(s.adm.load()) })
+	reg.GaugeFunc("censys_serve_export_pins",
+		"pinned export snapshots resident", nil,
+		func() float64 { return float64(s.exp.pinCount()) })
+}
+
+func (m *serveMetrics) requestInc(c Class) {
+	if m != nil {
+		m.requests.With(c.String()).Inc()
+	}
+}
+
+func (m *serveMetrics) shedInc(c Class) {
+	if m != nil {
+		m.shed.With(c.String()).Inc()
+	}
+}
+
+func (m *serveMetrics) deniedInc(tenant string, quota bool) {
+	if m == nil {
+		return
+	}
+	if quota {
+		m.quota.With(tenant).Inc()
+	} else {
+		m.rateLimited.With(tenant).Inc()
+	}
+}
+
+func (m *serveMetrics) unauthorizedInc() {
+	if m != nil {
+		m.unauth.Inc()
+	}
+}
+
+func (m *serveMetrics) conditionalInc(hit bool) {
+	if m == nil {
+		return
+	}
+	if hit {
+		m.conditional.With("hit").Inc()
+	} else {
+		m.conditional.With("miss").Inc()
+	}
+}
+
+func (m *serveMetrics) exportPage(rows int) {
+	if m == nil {
+		return
+	}
+	m.exportPages.Inc()
+	m.exportRows.Add(uint64(rows))
+}

@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// tenantState is one tenant's live limiter state: a token bucket refilled on
+// the service clock and a per-simulated-UTC-day quota window. All refill
+// arithmetic is driven by clock deltas, so under the simulated clock the
+// admit/deny sequence for a fixed request schedule is fully deterministic.
+type tenantState struct {
+	name string
+	lim  TierLimits
+
+	mu     sync.Mutex
+	primed bool      // bucket initialized on first request
+	tokens float64   // current bucket level
+	last   time.Time // instant of the last refill
+	day    time.Time // UTC day the quota window covers
+	used   int       // requests charged against the day's quota
+}
+
+// denial describes a 429: why, and how long the client should back off.
+type denial struct {
+	reason     string
+	retryAfter int  // seconds
+	quota      bool // true for quota exhaustion, false for rate limiting
+}
+
+// admit charges one request against the tenant's bucket and quota.
+// remaining is the quota left after this request (-1 when the tier has no
+// quota). A non-nil denial means the request must be rejected with 429.
+//
+// Ordering: the bucket is checked first, so rate-limited requests never
+// consume quota; a request that clears the bucket but exhausts the quota
+// does burn its token (the work of rejecting it was still rate-limited).
+func (t *tenantState) admit(now time.Time) (remaining int, d *denial) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	remaining = -1
+	if !t.lim.unlimited() {
+		burst := float64(t.lim.Burst)
+		if burst < 1 {
+			burst = 1
+		}
+		if !t.primed {
+			t.primed = true
+			t.tokens = burst
+			t.last = now
+		}
+		if elapsed := now.Sub(t.last); elapsed > 0 {
+			t.tokens += elapsed.Seconds() * t.lim.RatePerSec
+			if t.tokens > burst {
+				t.tokens = burst
+			}
+			t.last = now
+		}
+		if t.tokens < 1 {
+			wait := time.Second
+			if t.lim.RatePerSec > 0 {
+				wait = time.Duration((1 - t.tokens) / t.lim.RatePerSec * float64(time.Second))
+			}
+			return remaining, &denial{
+				reason:     "rate limit exceeded for tenant " + t.name,
+				retryAfter: ceilSeconds(wait),
+			}
+		}
+		t.tokens--
+	}
+	if t.lim.DailyQuota > 0 {
+		day := now.UTC().Truncate(24 * time.Hour)
+		if !day.Equal(t.day) {
+			t.day = day
+			t.used = 0
+		}
+		if t.used >= t.lim.DailyQuota {
+			return 0, &denial{
+				reason:     "daily quota exhausted for tenant " + t.name,
+				retryAfter: ceilSeconds(day.Add(24 * time.Hour).Sub(now)),
+				quota:      true,
+			}
+		}
+		t.used++
+		remaining = t.lim.DailyQuota - t.used
+	}
+	return remaining, nil
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
