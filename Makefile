@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race chaos chaos-disk cluster-diff fsck fuzz bench bench-search bench-json serve-test loadgen check
+.PHONY: all vet lint build test race chaos chaos-disk cluster-diff fsck fuzz bench bench-search bench-json bench-delta serve-test loadgen check
 
 all: check
 
@@ -104,4 +104,17 @@ bench-json:
 	$(GO) run ./cmd/loadgen -bench-dir .
 	$(GO) run ./cmd/loadgen -bench-dir . -cluster-nodes 3
 
+# Perf-regression gate: diff the newest working-tree BENCH_<date>.json
+# against the version committed at HEAD; fail on >15% ns/op or any allocs/op
+# regression. In `make check` the target is advisory (leading `-`): timing on
+# shared single-core CI is too noisy to hard-fail the gate, but the report is
+# printed for review.
+bench-delta:
+	@f=$$(ls BENCH_*.json 2>/dev/null | sort | tail -1); \
+	if [ -z "$$f" ]; then echo "bench-delta: no BENCH_*.json in working tree"; exit 0; fi; \
+	if ! git show HEAD:$$f > .bench_head.json 2>/dev/null; then \
+		echo "bench-delta: $$f not committed at HEAD; nothing to diff"; rm -f .bench_head.json; exit 0; fi; \
+	$(GO) run ./cmd/benchdelta -old .bench_head.json -new $$f; st=$$?; rm -f .bench_head.json; exit $$st
+
 check: lint build race chaos chaos-disk cluster-diff fsck serve-test
+	-$(MAKE) bench-delta

@@ -1,0 +1,160 @@
+// Command benchdelta diffs two BENCH_<date>.json documents (cmd/benchtables
+// -bench-json output) and fails when a row regressed beyond a threshold on
+// ns/op or allocs/op. `make bench-delta` runs it against the committed
+// baseline; `make check` includes it advisorily (a regression prints loudly
+// but does not fail the gate, since single-core CI timing is noisy).
+//
+//	benchdelta -old BENCH_A.json -new BENCH_B.json [-threshold 0.15]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type benchResult struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchDoc struct {
+	Date    string        `json:"date"`
+	Results []benchResult `json:"results"`
+}
+
+// delta is one row's comparison across the two documents.
+type delta struct {
+	Name               string
+	OldNs, NewNs       float64
+	OldAllocs          *float64
+	NewAllocs          *float64
+	NsRegressed        bool
+	AllocsRegressed    bool
+	OnlyOld, OnlyNew   bool
+	NsRatio, AllocsRat float64 // new/old; 0 when not comparable
+}
+
+// regressed reports whether new exceeds old by more than threshold
+// (fractional). A measurement that was zero regresses on any increase:
+// 0 allocs/op is a pinned invariant, not a ratio.
+func regressed(old, new, threshold float64) bool {
+	if old == 0 {
+		return new > 0
+	}
+	return new > old*(1+threshold)
+}
+
+// compare pairs rows by name and flags regressions. Rows present in only one
+// document are reported but never fail the run.
+func compare(old, new benchDoc, threshold float64) []delta {
+	oldBy := make(map[string]benchResult, len(old.Results))
+	for _, r := range old.Results {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]benchResult, len(new.Results))
+	var out []delta
+	for _, nr := range new.Results {
+		newBy[nr.Name] = nr
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			out = append(out, delta{Name: nr.Name, NewNs: nr.NsPerOp, NewAllocs: nr.AllocsPerOp, OnlyNew: true})
+			continue
+		}
+		d := delta{
+			Name: nr.Name, OldNs: or.NsPerOp, NewNs: nr.NsPerOp,
+			OldAllocs: or.AllocsPerOp, NewAllocs: nr.AllocsPerOp,
+		}
+		// Rows without timing (loadgen's max_sustainable_qps summary) carry
+		// ns_per_op 0 on both sides; skip the ns comparison for those.
+		if or.NsPerOp > 0 || nr.NsPerOp > 0 {
+			d.NsRegressed = regressed(or.NsPerOp, nr.NsPerOp, threshold)
+			if or.NsPerOp > 0 {
+				d.NsRatio = nr.NsPerOp / or.NsPerOp
+			}
+		}
+		if or.AllocsPerOp != nil && nr.AllocsPerOp != nil {
+			d.AllocsRegressed = regressed(*or.AllocsPerOp, *nr.AllocsPerOp, threshold)
+			if *or.AllocsPerOp > 0 {
+				d.AllocsRat = *nr.AllocsPerOp / *or.AllocsPerOp
+			}
+		}
+		out = append(out, d)
+	}
+	for _, or := range old.Results {
+		if _, ok := newBy[or.Name]; !ok {
+			out = append(out, delta{Name: or.Name, OldNs: or.NsPerOp, OldAllocs: or.AllocsPerOp, OnlyOld: true})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func readDoc(path string) (benchDoc, error) {
+	var doc benchDoc
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return doc, err
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		return doc, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+func fmtAllocs(a *float64) string {
+	if a == nil {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f", *a)
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline BENCH_<date>.json")
+	newPath := flag.String("new", "", "candidate BENCH_<date>.json")
+	threshold := flag.Float64("threshold", 0.15,
+		"fractional regression tolerance for ns/op and allocs/op")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "usage: benchdelta -old A.json -new B.json [-threshold 0.15]")
+		os.Exit(2)
+	}
+	oldDoc, err := readDoc(*oldPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(2)
+	}
+	newDoc, err := readDoc(*newPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdelta:", err)
+		os.Exit(2)
+	}
+
+	bad := 0
+	for _, d := range compare(oldDoc, newDoc, *threshold) {
+		switch {
+		case d.OnlyNew:
+			fmt.Printf("  NEW   %-44s %12.0f ns/op  %s allocs/op\n", d.Name, d.NewNs, fmtAllocs(d.NewAllocs))
+		case d.OnlyOld:
+			fmt.Printf("  GONE  %-44s was %12.0f ns/op\n", d.Name, d.OldNs)
+		case d.NsRegressed || d.AllocsRegressed:
+			bad++
+			fmt.Printf("  REGR  %-44s %12.0f -> %.0f ns/op (%.2fx)  allocs %s -> %s\n",
+				d.Name, d.OldNs, d.NewNs, d.NsRatio, fmtAllocs(d.OldAllocs), fmtAllocs(d.NewAllocs))
+		default:
+			fmt.Printf("  ok    %-44s %12.0f -> %.0f ns/op (%.2fx)  allocs %s -> %s\n",
+				d.Name, d.OldNs, d.NewNs, d.NsRatio, fmtAllocs(d.OldAllocs), fmtAllocs(d.NewAllocs))
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("benchdelta: %d row(s) regressed beyond %.0f%%\n", bad, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdelta: no regressions")
+}

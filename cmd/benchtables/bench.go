@@ -31,6 +31,11 @@ type benchResult struct {
 	Iterations int `json:"iterations"`
 	// NsPerOp is wall time per iteration.
 	NsPerOp float64 `json:"ns_per_op"`
+	// AllocsPerOp/BytesPerOp are heap allocations per iteration. Pointers so
+	// rows from documents that predate the fields round-trip without gaining
+	// fabricated zeros (0 allocs is a meaningful measurement, not absence).
+	AllocsPerOp *float64 `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64 `json:"bytes_per_op,omitempty"`
 	// Metrics are the benchmark's ReportMetric extras (interro/simday, ...).
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
@@ -149,8 +154,10 @@ func searchBench(m *core.Map, query string) func(b *testing.B) {
 	}
 }
 
-// runBenchJSON runs every workload and writes BENCH_<date>.json into dir.
-// It returns the path written.
+// runBenchJSON runs every workload and merges the rows into BENCH_<date>.json
+// in dir: regenerated rows replace same-named existing ones, and rows this
+// tool does not produce (loadgen's serve/* sweep) are preserved. It returns
+// the path written.
 func runBenchJSON(dir string) (string, error) {
 	doc := benchDoc{
 		Date:       time.Now().UTC().Format("2006-01-02"),
@@ -160,12 +167,17 @@ func runBenchJSON(dir string) (string, error) {
 	record := func(name string, fn func(b *testing.B)) {
 		fmt.Fprintf(os.Stderr, "bench %-40s ", name)
 		r := testing.Benchmark(fn)
-		fmt.Fprintf(os.Stderr, "%12.0f ns/op  n=%d\n", float64(r.NsPerOp()), r.N)
+		allocs := float64(r.AllocsPerOp())
+		bytes := float64(r.AllocedBytesPerOp())
+		fmt.Fprintf(os.Stderr, "%12.0f ns/op %10.0f allocs/op  n=%d\n",
+			float64(r.NsPerOp()), allocs, r.N)
 		doc.Results = append(doc.Results, benchResult{
-			Name:       name,
-			Iterations: r.N,
-			NsPerOp:    float64(r.NsPerOp()),
-			Metrics:    r.Extra,
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: &allocs,
+			BytesPerOp:  &bytes,
+			Metrics:     r.Extra,
 		})
 	}
 
@@ -190,11 +202,32 @@ func runBenchJSON(dir string) (string, error) {
 		record("search/"+q.name, searchBench(m, q.q))
 	}
 
+	recordHotPath(record)
+	record("pipeline/soak7day_incremental_save", soakBench())
+
+	// Merge: regenerated rows win by name; everything else in an existing
+	// same-day document (the loadgen serve/* sweep) is carried over.
+	path := fmt.Sprintf("%s/BENCH_%s.json", dir, doc.Date)
+	if blob, err := os.ReadFile(path); err == nil {
+		var old benchDoc
+		if err := json.Unmarshal(blob, &old); err != nil {
+			return "", fmt.Errorf("existing %s: %w", path, err)
+		}
+		fresh := make(map[string]bool, len(doc.Results))
+		for _, r := range doc.Results {
+			fresh[r.Name] = true
+		}
+		for _, r := range old.Results {
+			if !fresh[r.Name] {
+				doc.Results = append(doc.Results, r)
+			}
+		}
+	}
+
 	blob, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
 		return "", err
 	}
-	path := fmt.Sprintf("%s/BENCH_%s.json", dir, doc.Date)
 	if err := os.WriteFile(path, append(blob, '\n'), 0o644); err != nil {
 		return "", err
 	}

@@ -1,0 +1,301 @@
+package main
+
+// Hot-path A/B workloads for the BENCH_<date>.json document: each perf front
+// gets a before row (the legacy strategy, kept behind a toggle) and an after
+// row (the default), so the document itself proves the win — ns/op for I/O
+// and evaluation, allocs/op for the codecs.
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/netip"
+	"os"
+	"testing"
+	"time"
+
+	"censysmap/internal/core"
+	"censysmap/internal/cqrs"
+	"censysmap/internal/durable"
+	"censysmap/internal/entity"
+	"censysmap/internal/journal"
+	"censysmap/internal/search"
+)
+
+// benchService is a representative journaled service: TLS metadata, a
+// multi-line banner, and two attributes — the median write-path payload.
+func benchService() *entity.Service {
+	t0 := time.Date(2026, 3, 1, 8, 30, 0, 0, time.UTC)
+	return &entity.Service{
+		Port: 443, Transport: entity.TCP, Protocol: "HTTP",
+		TLS: true, CertSHA256: "9f2a4c0e7b1d55aa31c8e6f4d2b09e7c5a1f3d6b8e0c2a4f6d8b0e2c4a6f8d0b",
+		Banner:     "HTTP/1.1 200 OK\r\nServer: nginx/1.24.0",
+		Attributes: map[string]string{"http.title": "Admin Console", "http.server": "nginx/1.24.0"},
+		Method:     entity.DetectRefresh, Verified: true,
+		FirstSeen: t0, LastSeen: t0.Add(26 * time.Hour), SourcePoP: "us-east-1",
+	}
+}
+
+// journalEncodeBench measures one service-event encode per op: the legacy
+// encoding/json marshal vs the hand-rolled appender into a reused buffer.
+func journalEncodeBench(useJSON bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		svc := benchService()
+		var buf []byte
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if useJSON {
+				var err error
+				buf, err = json.Marshal(struct {
+					Service *entity.Service `json:"service"`
+				}{svc})
+				if err != nil {
+					b.Fatal(err)
+				}
+			} else {
+				buf = cqrs.AppendServiceEvent(buf[:0], svc)
+			}
+		}
+		_ = buf
+	}
+}
+
+// journalApplyBench measures steady-state replay: the same service_changed
+// delta applied to a host whose slot already holds that state — the dominant
+// shape during refresh replay, where most fields are unchanged.
+func journalApplyBench(fast bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		svc := benchService()
+		ev := journal.Event{
+			Entity: "10.1.2.3", Kind: cqrs.KindServiceChanged,
+			Time: svc.LastSeen, Payload: cqrs.EncodeServiceEvent(svc),
+		}
+		h := entity.NewHost(netip.MustParseAddr("10.1.2.3"))
+		cqrs.SetFastApply(fast)
+		defer cqrs.SetFastApply(true)
+		if err := cqrs.ApplyEvent(h, ev); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := cqrs.ApplyEvent(h, ev); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchStore builds a parts-partition journal with entities × eventsEach
+// delta rows plus one snapshot per entity.
+func benchStore(parts, entities, eventsEach int) *journal.Store {
+	s := journal.NewPartitioned(parts)
+	base := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	payload := cqrs.EncodeServiceEvent(benchService())
+	for i := 0; i < entities; i++ {
+		id := fmt.Sprintf("bench-host-%04d", i)
+		for e := 0; e < eventsEach; e++ {
+			if _, err := s.Append(id, base.Add(time.Duration(e)*time.Minute), cqrs.KindServiceChanged, payload); err != nil {
+				panic(err)
+			}
+		}
+		if _, err := s.AppendSnapshot(id, base.Add(time.Duration(eventsEach)*time.Minute), []byte(`{"state":"up"}`)); err != nil {
+			panic(err)
+		}
+	}
+	return s
+}
+
+// segmentLoadBench measures a full durable recovery of a saved 8-partition
+// store: per-file os.ReadFile vs the batched shared-buffer reader.
+func segmentLoadBench(perFile bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "benchload")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		s := benchStore(8, 256, 4)
+		stores := []durable.NamedStore{{Name: "journal", Store: s}}
+		if err := durable.Save(dir, stores, []byte(`{}`), durable.SaveOptions{RecordsPerSegment: 32}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := durable.Load(dir, durable.LoadOptions{PerFileReads: perFile})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !res.Report.Clean() {
+				b.Fatalf("findings: %+v", res.Report.Findings)
+			}
+		}
+	}
+}
+
+// entityInPartition finds an entity id hashing into the wanted partition of
+// a parts-wide store.
+func entityInPartition(parts, want int) string {
+	for i := 0; ; i++ {
+		id := fmt.Sprintf("dirty-host-%d", i)
+		probe := journal.NewPartitioned(parts)
+		if _, err := probe.Append(id, time.Unix(0, 1).UTC(), "k", nil); err != nil {
+			panic(err)
+		}
+		for pi := 0; pi < parts; pi++ {
+			if len(probe.DumpPartition(pi).Rows) > 0 {
+				if pi == want {
+					return id
+				}
+				break
+			}
+		}
+	}
+}
+
+// checkpointBench measures one durable Save of an 8-partition store per op.
+// dirty < 0 is the legacy full rewrite; otherwise each iteration dirties
+// exactly dirty partitions before an incremental save, so ns/op tracks the
+// dirty-partition count rather than the store size.
+func checkpointBench(dirty int) func(b *testing.B) {
+	return func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "benchckpt")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		const parts = 8
+		s := benchStore(parts, 512, 2)
+		stores := []durable.NamedStore{{Name: "journal", Store: s}}
+		opts := durable.SaveOptions{RecordsPerSegment: 64, Incremental: dirty >= 0}
+		if err := durable.Save(dir, stores, []byte(`{}`), opts); err != nil {
+			b.Fatal(err)
+		}
+		var dirtyIDs []string
+		for k := 0; k < dirty; k++ {
+			dirtyIDs = append(dirtyIDs, entityInPartition(parts, k))
+		}
+		ts := time.Date(2026, 4, 1, 0, 0, 0, 0, time.UTC)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if len(dirtyIDs) > 0 {
+				b.StopTimer()
+				for _, id := range dirtyIDs {
+					ts = ts.Add(time.Second)
+					if _, err := s.Append(id, ts, cqrs.KindServiceChanged, []byte(`{"x":1}`)); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StartTimer()
+			}
+			if err := durable.Save(dir, stores, []byte(`{}`), opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// benchSearchIndex mirrors the search package's benchmark corpus: field
+// cardinalities spanning the selectivity spectrum over n documents.
+func benchSearchIndex(n int) *search.Index {
+	ix := search.NewPartitioned(1)
+	countries := []string{"US", "CN", "DE", "FR", "JP"}
+	protos := []string{"HTTP", "SSH", "FTP", "MODBUS"}
+	for i := 0; i < n; i++ {
+		h := entity.NewHost(netip.AddrFrom4([4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}))
+		h.Location = &entity.Location{Country: countries[i%len(countries)]}
+		h.AS = &entity.AS{Number: uint32(64000 + i%500), Org: fmt.Sprintf("Org %d", i%100)}
+		h.SetService(&entity.Service{
+			Port: uint16(1 + i%65535), Transport: entity.TCP,
+			Protocol: protos[i%len(protos)], Verified: true,
+			Banner:     fmt.Sprintf("banner item %d", i),
+			Attributes: map[string]string{"http.title": fmt.Sprintf("Console %d", i%50)},
+		})
+		ix.Upsert(h)
+	}
+	ix.SetQueryCache(false)
+	return ix
+}
+
+// searchEvalBench measures raw plan evaluation (cache off) under the fused
+// or the legacy AND evaluator.
+func searchEvalBench(ix *search.Index, query string, fused bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		search.SetFusedAnd(fused)
+		defer search.SetFusedAnd(true)
+		q, err := search.ParseQuery(query)
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			n = len(ix.Execute(q))
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(n), "hits")
+	}
+}
+
+// recordHotPath emits the four fronts' before/after rows.
+func recordHotPath(record func(string, func(b *testing.B))) {
+	record("journal/delta_encode_json", journalEncodeBench(true))
+	record("journal/delta_encode", journalEncodeBench(false))
+	record("journal/delta_apply_json", journalApplyBench(false))
+	record("journal/delta_apply", journalApplyBench(true))
+
+	record("durable/segment_load_perfile", segmentLoadBench(true))
+	record("durable/segment_load_batched", segmentLoadBench(false))
+
+	record("checkpoint/full_8parts", checkpointBench(-1))
+	record("checkpoint/incremental_dirty1of8", checkpointBench(1))
+	record("checkpoint/incremental_dirty4of8", checkpointBench(4))
+	record("checkpoint/incremental_dirty8of8", checkpointBench(8))
+
+	ix := benchSearchIndex(50000)
+	const and3 = `as.number: 64120 and services.protocol: HTTP and location.country: US`
+	const andNot = `location.country: US and not services.protocol: HTTP and not services.protocol: SSH`
+	record("search/and3_legacy", searchEvalBench(ix, and3, false))
+	record("search/and3_fused", searchEvalBench(ix, and3, true))
+	record("search/and_not_legacy", searchEvalBench(ix, andNot, false))
+	record("search/and_not_fused", searchEvalBench(ix, andNot, true))
+}
+
+// soakBench is the multi-simulated-day soak: each iteration runs seven
+// simulated days on the warmed 8-shard pipeline with an incremental
+// SaveDurable checkpoint after every day — the production cadence of
+// continuous scanning punctuated by durable ticks.
+func soakBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		net := benchUniverse()
+		cfg := core.DefaultConfig()
+		cfg.CloudBlocks = 1
+		cfg.Shards = 8
+		cfg.InterroWorkers = 4
+		cfg.RefreshEvery = time.Hour
+		m, err := core.New(cfg, net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m.Run(24 * time.Hour)
+		dir, err := os.MkdirTemp("", "benchsoak")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		opts := durable.SaveOptions{RecordsPerSegment: 64, Incremental: true}
+		if err := m.SaveDurable(dir, opts); err != nil {
+			b.Fatal(err)
+		}
+		before := m.Stats().Interrogations
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for day := 0; day < 7; day++ {
+				m.Run(24 * time.Hour)
+				if err := m.SaveDurable(dir, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(m.Stats().Interrogations-before)/float64(b.N*7), "interro/simday")
+	}
+}

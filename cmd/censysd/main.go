@@ -29,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"net/netip"
 	"os"
 	"strings"
@@ -70,7 +71,27 @@ func main() {
 		"tier unauthenticated requests are served under; empty requires an API key (401)")
 	capacity := flag.Int("capacity", 64,
 		"max concurrently admitted requests; load shedding starts at half this")
+	pprofAddr := flag.String("pprof", "",
+		"side listener exposing net/http/pprof (e.g. localhost:6060); empty disables")
 	flag.Parse()
+
+	// The profiler gets its own listener and mux so /debug/pprof/ never
+	// shares a port with the public API surface (it bypasses the serving
+	// tier's auth and admission control by design — bind it to localhost).
+	if *pprofAddr != "" {
+		pmux := http.NewServeMux()
+		pmux.HandleFunc("/debug/pprof/", pprof.Index)
+		pmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, pmux); err != nil {
+				fmt.Fprintln(os.Stderr, "pprof listener:", err)
+			}
+		}()
+		fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprofAddr)
+	}
 
 	prefix, err := netip.ParsePrefix(*universe)
 	if err != nil {

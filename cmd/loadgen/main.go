@@ -307,10 +307,14 @@ func main() {
 // benchResult / benchDoc mirror cmd/benchtables' BENCH_<date>.json schema so
 // loadgen rows merge into the same document.
 type benchResult struct {
-	Name       string             `json:"name"`
-	Iterations int                `json:"iterations"`
-	NsPerOp    float64            `json:"ns_per_op"`
-	Metrics    map[string]float64 `json:"metrics,omitempty"`
+	Name       string  `json:"name"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// AllocsPerOp/BytesPerOp are written by benchtables; mirrored here so
+	// merging serve/* rows into an existing document round-trips them.
+	AllocsPerOp *float64           `json:"allocs_per_op,omitempty"`
+	BytesPerOp  *float64           `json:"bytes_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
 }
 
 type benchDoc struct {

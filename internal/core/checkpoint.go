@@ -1,6 +1,7 @@
 package core
 
 import (
+	"encoding/json"
 	"fmt"
 	"net/netip"
 	"sort"
@@ -79,6 +80,27 @@ func (m *Map) Durable() Durable {
 		Quarantined: m.QuarantinedPartitions(),
 		Storage:     m.storageMetrics,
 	}
+}
+
+// SaveDurable persists the Map's journals and a freshly taken checkpoint to
+// dir through the durable storage engine, without stopping the Map. Like
+// Checkpoint, call it only between ticks. With opts.Incremental set, only
+// journal partitions whose content generation moved since the previous save
+// into dir are rewritten, so a steady save cadence costs proportional to
+// churn since the last tick boundary rather than to total map size; the
+// resulting manifest stitches reused and rewritten partition generations
+// together and loads through the unchanged recovery path.
+func (m *Map) SaveDurable(dir string, opts durable.SaveOptions) error {
+	cp := m.Checkpoint()
+	blob, err := json.Marshal(cp)
+	if err != nil {
+		return fmt.Errorf("core: marshal checkpoint: %w", err)
+	}
+	d := m.Durable()
+	return durable.Save(dir, []durable.NamedStore{
+		{Name: "journal", Store: d.Journal},
+		{Name: "webjournal", Store: d.WebJournal},
+	}, blob, opts)
 }
 
 // KnownSlot is one dataset slot's refresh bookkeeping.

@@ -1,0 +1,308 @@
+package cqrs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"censysmap/internal/entity"
+	"censysmap/internal/journal"
+)
+
+// nastyStrings exercise every escaping regime encoding/json has: HTML
+// escapes, control shorthands, \u00xx controls, invalid UTF-8 (replaced by
+// U+FFFD), U+2028/U+2029, multi-byte runes, and plain ASCII.
+var nastyStrings = []string{
+	"",
+	"plain ascii",
+	"<html>&amp;</html>",
+	"line\nbreak\ttab\rret",
+	"quote\"back\\slash/solidus",
+	"ctrl\x01\x1f\x00byte",
+	"bad utf8 \xff\xfe\xc3(",
+	"line sep \u2028 para sep \u2029",
+	"h\u00e9llo w\u00f6rld \u4e16\u754c \U0001F600",
+	"trailing high surrogate byte \xed\xa0\x80",
+	"MODBUS/TCP \u2192 unit",
+}
+
+func randString(rng *rand.Rand) string {
+	return nastyStrings[rng.Intn(len(nastyStrings))]
+}
+
+func randTime(rng *rand.Rand) time.Time {
+	base := time.Date(2024, 8, 20, 0, 0, 0, 0, time.UTC)
+	t := base.Add(time.Duration(rng.Int63n(int64(100 * 24 * time.Hour))))
+	switch rng.Intn(3) {
+	case 0:
+		return t // whole seconds
+	case 1:
+		return t.Add(time.Duration(rng.Intn(1e9))) // nanos
+	default:
+		return t.Add(time.Duration(rng.Intn(1000)) * time.Millisecond)
+	}
+}
+
+func randService(rng *rand.Rand) *entity.Service {
+	svc := &entity.Service{
+		Port:      uint16(rng.Intn(65536)),
+		Transport: []entity.Transport{entity.TCP, entity.UDP}[rng.Intn(2)],
+		Protocol:  []string{"HTTP", "MODBUS", "UNKNOWN", randString(rng)}[rng.Intn(4)],
+		TLS:       rng.Intn(2) == 0,
+		Verified:  rng.Intn(2) == 0,
+		FirstSeen: randTime(rng),
+		LastSeen:  randTime(rng),
+	}
+	if rng.Intn(2) == 0 {
+		svc.CertSHA256 = randString(rng)
+	}
+	if rng.Intn(2) == 0 {
+		svc.Banner = randString(rng)
+	}
+	if rng.Intn(2) == 0 {
+		svc.Method = entity.DetectPriorityScan
+	}
+	if rng.Intn(2) == 0 {
+		svc.SourcePoP = randString(rng)
+	}
+	if n := rng.Intn(20); n > 0 {
+		svc.Attributes = make(map[string]string, n)
+		for i := 0; i < n; i++ {
+			svc.Attributes[fmt.Sprintf("attr.%s.%d", randString(rng), i)] = randString(rng)
+		}
+	}
+	if rng.Intn(3) == 0 {
+		t := randTime(rng)
+		svc.PendingRemovalSince = &t
+	}
+	return svc
+}
+
+func randHost(rng *rand.Rand) *entity.Host {
+	h := &entity.Host{LastUpdated: randTime(rng)}
+	if rng.Intn(8) > 0 {
+		h.IP = netip.AddrFrom4([4]byte{byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256)), byte(rng.Intn(256))})
+	}
+	for i, n := 0, rng.Intn(20); i < n; i++ {
+		h.SetService(randService(rng))
+	}
+	if rng.Intn(2) == 0 {
+		h.Location = &entity.Location{Country: randString(rng), City: randString(rng)}
+	}
+	if rng.Intn(2) == 0 {
+		h.AS = &entity.AS{Number: uint32(rng.Intn(3)) * 64512, Name: randString(rng), Org: randString(rng)}
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		h.Software = append(h.Software, entity.Software{
+			Vendor: randString(rng), Product: "nginx", Version: randString(rng), Part: "a",
+		})
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		h.Vulns = append(h.Vulns, randString(rng))
+	}
+	for i, n := 0, rng.Intn(3); i < n; i++ {
+		h.Labels = append(h.Labels, randString(rng))
+	}
+	return h
+}
+
+// TestCodecDifferentialEncode holds the hand-rolled encoders byte-identical
+// to encoding/json over randomized inputs covering the full escaping and
+// omitempty surface.
+func TestCodecDifferentialEncode(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 2000; i++ {
+		svc := randService(rng)
+		want, err := json.Marshal(servicePayload{Service: svc})
+		if err != nil {
+			t.Fatalf("reference marshal: %v", err)
+		}
+		if got := EncodeServiceEvent(svc); !bytes.Equal(got, want) {
+			t.Fatalf("service event %d:\n got %s\nwant %s", i, got, want)
+		}
+
+		key := entity.ServiceKey{Port: svc.Port, Transport: svc.Transport}
+		since := randTime(rng)
+		want, _ = json.Marshal(keyPayload{Port: key.Port, Transport: key.Transport, Since: since})
+		if got := EncodeKeyEvent(key, since); !bytes.Equal(got, want) {
+			t.Fatalf("key event %d:\n got %s\nwant %s", i, got, want)
+		}
+
+		h := randHost(rng)
+		want, err = json.Marshal(h)
+		if err != nil {
+			t.Fatalf("reference marshal host: %v", err)
+		}
+		if got := EncodeHostSnapshot(h); !bytes.Equal(got, want) {
+			t.Fatalf("host snapshot %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+	// Degenerate shapes the generator can miss.
+	if got, want := EncodeServiceEvent(nil), `{"service":null}`; string(got) != want {
+		t.Fatalf("nil service: got %s want %s", got, want)
+	}
+	want, _ := json.Marshal(&entity.Host{})
+	if got := EncodeHostSnapshot(&entity.Host{}); !bytes.Equal(got, want) {
+		t.Fatalf("zero host: got %s want %s", got, want)
+	}
+	want, _ = json.Marshal(keyPayload{})
+	if got := EncodeKeyEvent(entity.ServiceKey{}, time.Time{}); !bytes.Equal(got, want) {
+		t.Fatalf("zero key event: got %s want %s", got, want)
+	}
+}
+
+// applyReference is the pre-codec reducer (pure encoding/json), kept here as
+// the semantic oracle for the fast decode path.
+func applyReference(h *entity.Host, ev journal.Event) error {
+	switch ev.Kind {
+	case KindServiceFound, KindServiceChanged, KindServiceRestored:
+		var p servicePayload
+		if err := json.Unmarshal(ev.Payload, &p); err != nil {
+			return fmt.Errorf("cqrs: apply %s: %w", ev.Kind, err)
+		}
+		if p.Service == nil {
+			return fmt.Errorf("cqrs: %s event without service", ev.Kind)
+		}
+		h.SetService(p.Service)
+	case KindServicePending:
+		var p keyPayload
+		if err := json.Unmarshal(ev.Payload, &p); err != nil {
+			return fmt.Errorf("cqrs: apply pending: %w", err)
+		}
+		if svc := h.Service(entity.ServiceKey{Port: p.Port, Transport: p.Transport}); svc != nil {
+			since := p.Since
+			svc.PendingRemovalSince = &since
+		}
+	case KindServiceRemoved:
+		var p keyPayload
+		if err := json.Unmarshal(ev.Payload, &p); err != nil {
+			return fmt.Errorf("cqrs: apply removed: %w", err)
+		}
+		h.RemoveService(entity.ServiceKey{Port: p.Port, Transport: p.Transport})
+	}
+	if ev.Time.After(h.LastUpdated) {
+		h.LastUpdated = ev.Time
+	}
+	return nil
+}
+
+// TestApplyEventDifferential replays randomized event sequences through the
+// fast decoder and the encoding/json oracle and requires the resulting host
+// states to re-encode to identical bytes.
+func TestApplyEventDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	kinds := []string{KindServiceFound, KindServiceChanged, KindServiceRestored}
+	for seq := 0; seq < 200; seq++ {
+		fast := &entity.Host{}
+		ref := &entity.Host{}
+		for i := 0; i < 30; i++ {
+			var ev journal.Event
+			ev.Time = randTime(rng)
+			switch rng.Intn(4) {
+			case 0, 1:
+				ev.Kind = kinds[rng.Intn(len(kinds))]
+				ev.Payload = EncodeServiceEvent(randService(rng))
+			case 2:
+				ev.Kind = KindServicePending
+				ev.Payload = EncodeKeyEvent(entity.ServiceKey{
+					Port: uint16(rng.Intn(8)), Transport: entity.TCP,
+				}, randTime(rng))
+			default:
+				ev.Kind = KindServiceRemoved
+				ev.Payload = EncodeKeyEvent(entity.ServiceKey{
+					Port: uint16(rng.Intn(8)), Transport: entity.TCP,
+				}, randTime(rng))
+			}
+			if err := ApplyEvent(fast, ev); err != nil {
+				t.Fatalf("seq %d ev %d: fast apply: %v", seq, i, err)
+			}
+			if err := applyReference(ref, ev); err != nil {
+				t.Fatalf("seq %d ev %d: reference apply: %v", seq, i, err)
+			}
+		}
+		got := EncodeHostSnapshot(fast)
+		want := EncodeHostSnapshot(ref)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("seq %d diverged:\n fast %s\n ref  %s", seq, got, want)
+		}
+	}
+}
+
+// TestApplyEventFallbackShapes feeds payload shapes the span scanner must
+// reject to the full ApplyEvent and requires behavior identical to the
+// encoding/json oracle — including error text.
+func TestApplyEventFallbackShapes(t *testing.T) {
+	base := EncodeServiceEvent(&entity.Service{
+		Port: 80, Transport: entity.TCP, Protocol: "HTTP",
+		FirstSeen: time.Date(2024, 8, 20, 1, 0, 0, 0, time.UTC),
+		LastSeen:  time.Date(2024, 8, 21, 1, 0, 0, 0, time.UTC),
+	})
+	payloads := [][]byte{
+		[]byte(` { "service" : { "port" : 80 , "transport" : "tcp" , "protocol" : "HTTP" , "first_seen" : "2024-08-20T01:00:00Z" , "last_seen" : "2024-08-21T01:00:00Z" } } `),
+		[]byte(`{"service":{"transport":"tcp","port":80,"protocol":"HTTP","first_seen":"2024-08-20T01:00:00Z","last_seen":"2024-08-21T01:00:00Z"}}`),
+		[]byte(`{"service":{"port":80,"transport":"tcp","protocol":"HTTP","first_seen":"2024-08-20T01:00:00+00:00","last_seen":"2024-08-21T01:00:00Z"}}`),
+		[]byte(`{"service":{"port":80,"transport":"tcp","protocol":"HTTP","future_field":1,"first_seen":"2024-08-20T01:00:00Z","last_seen":"2024-08-21T01:00:00Z"}}`),
+		[]byte(`{"service":null}`),
+		[]byte(`{"service":`),
+		[]byte(`{"service":{}}`),
+		[]byte(`not json`),
+		[]byte(`{"service":{"port":99999,"transport":"tcp"}}`),
+		[]byte(`{"service":{"port":80,"transport":"tcp","first_seen":"2024-02-30T01:00:00Z"}}`),
+		base,
+		append(append([]byte{}, base...), ' '),
+		append(append([]byte{}, base...), 'x'),
+	}
+	for i, payload := range payloads {
+		for _, kind := range []string{KindServiceFound, KindServicePending, KindServiceRemoved} {
+			ev := journal.Event{Kind: kind, Time: time.Date(2024, 9, 1, 0, 0, 0, 0, time.UTC), Payload: payload}
+			if kind != KindServiceFound {
+				// Key events get key-shaped payloads for the valid cases;
+				// the malformed ones are interesting for every kind.
+				ev.Payload = []byte(`{"port":80,"transport":"tcp","since":"2024-08-22T00:00:00Z"}`)
+				if i >= 5 && i <= 9 {
+					ev.Payload = payload
+				}
+			}
+			fast := &entity.Host{}
+			ref := &entity.Host{}
+			fast.SetService(&entity.Service{Port: 80, Transport: entity.TCP, Protocol: "OLD"})
+			ref.SetService(&entity.Service{Port: 80, Transport: entity.TCP, Protocol: "OLD"})
+			errFast := ApplyEvent(fast, ev)
+			errRef := applyReference(ref, ev)
+			if (errFast == nil) != (errRef == nil) {
+				t.Fatalf("payload %d kind %s: fast err %v, ref err %v", i, kind, errFast, errRef)
+			}
+			if errFast != nil && errFast.Error() != errRef.Error() {
+				t.Fatalf("payload %d kind %s: error text diverged:\n fast %q\n ref  %q", i, kind, errFast, errRef)
+			}
+			got, want := EncodeHostSnapshot(fast), EncodeHostSnapshot(ref)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("payload %d kind %s diverged:\n fast %s\n ref  %s", i, kind, got, want)
+			}
+		}
+	}
+}
+
+// TestEventEncoderStability verifies arena-interned payloads survive later
+// encodes (the journal retains them forever).
+func TestEventEncoderStability(t *testing.T) {
+	var enc eventEncoder
+	rng := rand.New(rand.NewSource(99))
+	var payloads [][]byte
+	var want []string
+	for i := 0; i < 500; i++ {
+		svc := randService(rng)
+		b := enc.serviceEvent(svc)
+		payloads = append(payloads, b)
+		want = append(want, string(b))
+	}
+	for i := range payloads {
+		if string(payloads[i]) != want[i] {
+			t.Fatalf("payload %d mutated after later encodes", i)
+		}
+	}
+}

@@ -11,11 +11,21 @@ package cqrs
 import (
 	"encoding/json"
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"censysmap/internal/entity"
 	"censysmap/internal/journal"
 )
+
+// slowApply forces ApplyEvent down the encoding/json fallback path. Both
+// paths are bit-identical (the differential suite proves it); the toggle
+// exists so benchmarks can measure the fast decoder against its predecessor.
+var slowApply atomic.Bool
+
+// SetFastApply enables or disables the pooled span-scanning decoder in
+// ApplyEvent (on by default). Off routes every event through encoding/json.
+func SetFastApply(on bool) { slowApply.Store(!on) }
 
 // Event kinds journaled by the write side. Each is a delta touching one
 // service slot; full host state appears only in snapshots.
@@ -39,31 +49,22 @@ type keyPayload struct {
 	Since     time.Time        `json:"since,omitempty"`
 }
 
-// EncodeServiceEvent serializes a found/changed/restored delta.
+// EncodeServiceEvent serializes a found/changed/restored delta. The bytes
+// are produced by the hand-rolled codec (codec.go), which matches
+// encoding/json's output bit-for-bit; the write path's per-shard
+// eventEncoder reuses buffers instead of calling this allocating form.
 func EncodeServiceEvent(svc *entity.Service) []byte {
-	b, err := json.Marshal(servicePayload{Service: svc})
-	if err != nil {
-		panic("cqrs: marshal cannot fail: " + err.Error())
-	}
-	return b
+	return AppendServiceEvent(nil, svc)
 }
 
 // EncodeKeyEvent serializes a pending/removed delta.
 func EncodeKeyEvent(key entity.ServiceKey, since time.Time) []byte {
-	b, err := json.Marshal(keyPayload{Port: key.Port, Transport: key.Transport, Since: since})
-	if err != nil {
-		panic("cqrs: marshal cannot fail: " + err.Error())
-	}
-	return b
+	return AppendKeyEvent(nil, key, since)
 }
 
 // EncodeHostSnapshot serializes full host state for snapshot events.
 func EncodeHostSnapshot(h *entity.Host) []byte {
-	b, err := json.Marshal(h)
-	if err != nil {
-		panic("cqrs: marshal cannot fail: " + err.Error())
-	}
-	return b
+	return AppendHostSnapshot(nil, h)
 }
 
 // DecodeHostSnapshot parses a snapshot payload.
@@ -77,32 +78,37 @@ func DecodeHostSnapshot(payload []byte) (*entity.Host, error) {
 
 // ApplyEvent applies one journaled delta to a host record, the reducer used
 // by read-side replay. Unknown kinds are ignored (forward compatibility).
+//
+// The common case runs through the pooled span-scanning decoder (decode.go)
+// which mutates the host's existing service slot in place without
+// allocating; payloads the scanner does not fully recognize take the
+// original encoding/json path with identical semantics and error text.
 func ApplyEvent(h *entity.Host, ev journal.Event) error {
 	switch ev.Kind {
 	case KindServiceFound, KindServiceChanged, KindServiceRestored:
-		var p servicePayload
-		if err := json.Unmarshal(ev.Payload, &p); err != nil {
-			return fmt.Errorf("cqrs: apply %s: %w", ev.Kind, err)
+		ok := false
+		if !slowApply.Load() {
+			d := decoderPool.Get().(*decoder)
+			ok = d.applyService(h, ev.Payload)
+			decoderPool.Put(d)
 		}
-		if p.Service == nil {
-			return fmt.Errorf("cqrs: %s event without service", ev.Kind)
+		if !ok {
+			if err := applyServiceSlow(h, ev); err != nil {
+				return err
+			}
 		}
-		h.SetService(p.Service)
-	case KindServicePending:
-		var p keyPayload
-		if err := json.Unmarshal(ev.Payload, &p); err != nil {
-			return fmt.Errorf("cqrs: apply pending: %w", err)
+	case KindServicePending, KindServiceRemoved:
+		ok := false
+		if !slowApply.Load() {
+			d := decoderPool.Get().(*decoder)
+			ok = d.applyKey(h, ev.Payload, ev.Kind == KindServiceRemoved)
+			decoderPool.Put(d)
 		}
-		if svc := h.Service(entity.ServiceKey{Port: p.Port, Transport: p.Transport}); svc != nil {
-			since := p.Since
-			svc.PendingRemovalSince = &since
+		if !ok {
+			if err := applyKeySlow(h, ev); err != nil {
+				return err
+			}
 		}
-	case KindServiceRemoved:
-		var p keyPayload
-		if err := json.Unmarshal(ev.Payload, &p); err != nil {
-			return fmt.Errorf("cqrs: apply removed: %w", err)
-		}
-		h.RemoveService(entity.ServiceKey{Port: p.Port, Transport: p.Transport})
 	case journal.SnapshotKind:
 		// Snapshots are handled by the replay driver, not the reducer.
 	}

@@ -1,0 +1,88 @@
+package durable
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// copyTree duplicates a fixture store into a temp dir so loads that queue
+// repairs never touch the committed testdata.
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	if err := filepath.Walk(src, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(src, path)
+		target := filepath.Join(dst, rel)
+		if info.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(target, data, 0o644)
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBatchedReadDifferential holds the batched shared-buffer reader
+// byte-equivalent to the legacy per-file reader: identical stores, findings,
+// quarantine sets, and checkpoints over a clean store, a freshly corrupted
+// store, and both committed corrupted fixtures.
+func TestBatchedReadDifferential(t *testing.T) {
+	dirs := make(map[string]string)
+
+	clean := t.TempDir()
+	saveFixture(t, clean, fixtureStore(t))
+	dirs["clean"] = clean
+
+	corrupted := t.TempDir()
+	saveFixture(t, corrupted, fixtureStore(t))
+	corruptMatching(t, corrupted, `"kind":"snapshot"`)
+	dirs["corrupted"] = corrupted
+
+	for _, fixture := range []string{"store_repairable", "store_quarantine"} {
+		dst := t.TempDir()
+		copyTree(t, filepath.Join("testdata", fixture), dst)
+		dirs[fixture] = dst
+	}
+
+	for name, dir := range dirs {
+		// Load is read-only (repairs are only queued, applied by fsck
+		// -repair), so both strategies can read the same directory — and
+		// must, since Finding.Detail strings embed absolute paths.
+		rebuild := map[string]SnapshotRebuilder{"journal": fixtureRebuilder}
+		per, perErr := Load(dir, LoadOptions{Rebuild: rebuild, PerFileReads: true})
+		bat, batErr := Load(dir, LoadOptions{Rebuild: rebuild})
+		if (perErr == nil) != (batErr == nil) {
+			t.Fatalf("%s: per-file err %v, batched err %v", name, perErr, batErr)
+		}
+		if perErr != nil {
+			continue
+		}
+		if !bytes.Equal(per.Checkpoint, bat.Checkpoint) {
+			t.Fatalf("%s: checkpoints differ", name)
+		}
+		if !reflect.DeepEqual(per.Report, bat.Report) {
+			t.Fatalf("%s: reports differ:\n per-file %+v\n batched  %+v", name, per.Report, bat.Report)
+		}
+		if len(per.Stores) != len(bat.Stores) {
+			t.Fatalf("%s: store sets differ", name)
+		}
+		for sn, ps := range per.Stores {
+			bs, ok := bat.Stores[sn]
+			if !ok {
+				t.Fatalf("%s: store %s missing from batched result", name, sn)
+			}
+			if !reflect.DeepEqual(dumpAll(ps), dumpAll(bs)) {
+				t.Fatalf("%s: store %s dumps differ between readers", name, sn)
+			}
+		}
+	}
+}

@@ -101,6 +101,16 @@ type partitionDecoder struct {
 	dump    journal.PartitionDump
 	sawMeta bool
 
+	// fastDecode enables the hand-rolled envelope scanner (fastenvelope.go);
+	// off, every record goes through encoding/json — the legacy decode path
+	// LoadOptions.PerFileReads restores for A/B benchmarks.
+	fastDecode bool
+	// Scratch envelope bodies the fast parser fills in place of per-record
+	// heap structs; apply consumes them before the next record arrives.
+	scratchMeta metaRec
+	scratchRow  rowRec
+	scratchEv   evRec
+
 	// Current row being filled, with its declared shape.
 	cur     *journal.RowDump
 	curHDD  int
@@ -110,10 +120,20 @@ type partitionDecoder struct {
 
 // next consumes one decoded record payload.
 func (pd *partitionDecoder) next(payload []byte) error {
+	if pd.fastDecode {
+		if e, ok := pd.parseFast(payload); ok {
+			return pd.apply(e)
+		}
+	}
 	var e envelope
 	if err := json.Unmarshal(payload, &e); err != nil {
 		return fmt.Errorf("envelope: %w", err)
 	}
+	return pd.apply(e)
+}
+
+// apply folds one decoded envelope into the dump state machine.
+func (pd *partitionDecoder) apply(e envelope) error {
 	switch e.T {
 	case "meta":
 		if pd.sawMeta || e.Meta == nil {

@@ -143,6 +143,12 @@ type storeManifest struct {
 type partManifest struct {
 	Segments []segManifest `json:"segments"`
 	DWB      string        `json:"dwb"`
+	// SrcGen is the journal partition's content generation
+	// (journal.Store.PartitionGen) captured when these segments were
+	// written. An incremental save reuses the segment files verbatim while
+	// the live partition still reports the same generation; 0 (absent in
+	// manifests from before this field) always forces a rewrite.
+	SrcGen uint64 `json:"src_gen,omitempty"`
 }
 
 type segManifest struct {
@@ -163,6 +169,29 @@ type SaveOptions struct {
 	// RecordsPerSegment is the seal threshold (default 64). The final chunk
 	// of each partition stays unsealed — it is the active segment.
 	RecordsPerSegment int
+	// Incremental reuses the previous generation's segment files for every
+	// partition whose content generation has not moved since they were
+	// written, rewriting only dirtied partitions. The new manifest stitches
+	// reused and rewritten partitions together; recovery needs no special
+	// handling because it always follows manifest paths. False (the zero
+	// value) preserves the original rewrite-everything behavior.
+	Incremental bool
+}
+
+// segmentsIntact reports whether every file a reusable partition manifest
+// references still exists on disk.
+func segmentsIntact(dir string, pm partManifest) bool {
+	for _, sm := range pm.Segments {
+		if _, err := os.Stat(filepath.Join(dir, sm.File)); err != nil {
+			return false
+		}
+	}
+	if pm.DWB != "" {
+		if _, err := os.Stat(filepath.Join(dir, pm.DWB)); err != nil {
+			return false
+		}
+	}
+	return true
 }
 
 // Save persists the stores and checkpoint blob under dir as a new
@@ -172,25 +201,57 @@ func Save(dir string, stores []NamedStore, checkpoint []byte, opts SaveOptions) 
 	if per <= 0 {
 		per = 64
 	}
+	var old *manifest
+	if m, err := readManifest(dir); err == nil {
+		old = m
+	}
 	gen := uint64(1)
-	if old, err := readManifest(dir); err == nil {
+	if old != nil {
 		gen = old.Gen + 1
 	}
 	man := manifest{Version: 1, Gen: gen}
 
 	for _, ns := range stores {
+		// An incremental save may reuse the previous generation's partition
+		// manifests, but only when the directory layout still lines up.
+		var oldParts []partManifest
+		if opts.Incremental && old != nil {
+			for _, osm := range old.Stores {
+				if osm.Name == ns.Name && len(osm.Partitions) == ns.Store.Partitions() {
+					oldParts = osm.Partitions
+				}
+			}
+		}
 		sm := storeManifest{Name: ns.Name}
 		storeDir := filepath.Join(dir, "stores", ns.Name)
-		if err := os.RemoveAll(storeDir); err != nil {
-			return fmt.Errorf("durable: save %s: %w", ns.Name, err)
+		if oldParts == nil {
+			if err := os.RemoveAll(storeDir); err != nil {
+				return fmt.Errorf("durable: save %s: %w", ns.Name, err)
+			}
 		}
 		for pi := 0; pi < ns.Store.Partitions(); pi++ {
+			// Capture the generation before dumping: an append landing in
+			// between makes the dump newer than the recorded generation, so
+			// the next incremental save conservatively rewrites.
+			srcGen := ns.Store.PartitionGen(pi)
+			if oldParts != nil {
+				if opm := oldParts[pi]; opm.SrcGen != 0 && opm.SrcGen == srcGen &&
+					segmentsIntact(dir, opm) {
+					sm.Partitions = append(sm.Partitions, opm)
+					continue
+				}
+			}
 			recs := encodePartition(ns.Store.DumpPartition(pi))
 			partDir := filepath.Join(storeDir, fmt.Sprintf("p%04d", pi))
+			if oldParts != nil {
+				if err := os.RemoveAll(partDir); err != nil {
+					return fmt.Errorf("durable: save %s/p%04d: %w", ns.Name, pi, err)
+				}
+			}
 			if err := os.MkdirAll(partDir, 0o755); err != nil {
 				return fmt.Errorf("durable: save %s/p%04d: %w", ns.Name, pi, err)
 			}
-			pm := partManifest{}
+			pm := partManifest{SrcGen: srcGen}
 			for si := 0; len(recs) > 0 || si == 0; si++ {
 				n := per
 				if n > len(recs) {
@@ -308,6 +369,11 @@ type LoadOptions struct {
 	Rebuild map[string]SnapshotRebuilder
 	// Metrics receives recovery counters; a fresh set is created when nil.
 	Metrics *Metrics
+	// PerFileReads restores the legacy loader — one os.ReadFile per segment
+	// and reflective encoding/json envelope decode — instead of the batched
+	// shared-buffer reader with the hand-rolled envelope scanner; kept for
+	// benchmarking the two load paths against each other.
+	PerFileReads bool
 }
 
 // Result is a recovered store directory.
@@ -332,6 +398,7 @@ type loader struct {
 	rebuild map[string]SnapshotRebuilder
 	report  *RecoveryReport
 	repairs []repairAction
+	perFile bool
 }
 
 // Load recovers the stores and checkpoint saved under dir, detecting and
@@ -385,6 +452,7 @@ func newLoader(dir string, opts LoadOptions) (*loader, error) {
 		metrics: m,
 		rebuild: opts.Rebuild,
 		report:  &RecoveryReport{Gen: man.Gen, Quarantined: make(map[string][]int)},
+		perFile: opts.PerFileReads,
 	}, nil
 }
 
@@ -413,8 +481,11 @@ func (l *loader) recoverPartition(store string, pi int, pm partManifest) (journa
 	}
 
 	var stream []frameRec
+	// One shared read for the whole chain; frames decoded below alias into
+	// the batch buffer (see batchread.go).
+	datas, readErrs := l.readSegments(pm.Segments)
 	for si, sm := range pm.Segments {
-		data, err := os.ReadFile(filepath.Join(l.dir, sm.File))
+		data, err := datas[si], readErrs[si]
 		if err != nil {
 			return quarantine(Finding{File: sm.File, Record: -1, Offset: -1,
 				Fault: FaultMissing, Detail: err.Error()})
@@ -519,7 +590,7 @@ func (l *loader) recoverPartition(store string, pi int, pm partManifest) (journa
 
 	// Decode the record stream, attempting CRC-proven snapshot repair at
 	// each corrupt record.
-	pd := &partitionDecoder{}
+	pd := &partitionDecoder{fastDecode: !l.perFile}
 	rebuild := l.rebuild[store]
 	for _, fr := range stream {
 		if !fr.ok {

@@ -1,0 +1,83 @@
+package journal
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestEntitiesCached verifies the sorted-entity cache: repeated calls with no
+// intervening mutation return the same backing slice (no re-sort), and any
+// content mutation invalidates it.
+func TestEntitiesCached(t *testing.T) {
+	s := NewPartitioned(4)
+	base := time.Date(2024, 8, 20, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 50; i++ {
+		id := fmt.Sprintf("host-%03d", i)
+		if _, err := s.Append(id, base.Add(time.Duration(i)*time.Minute), "k", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := s.Entities()
+	if !sort.StringsAreSorted(a) || len(a) != 50 {
+		t.Fatalf("bad entity list: len %d sorted %v", len(a), sort.StringsAreSorted(a))
+	}
+	b := s.Entities()
+	if &a[0] != &b[0] {
+		t.Fatal("unchanged store rebuilt the entity list")
+	}
+	if _, err := s.Append("host-zzz", base.Add(time.Hour), "k", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	c := s.Entities()
+	if len(c) != 51 || c[50] != "host-zzz" {
+		t.Fatalf("cache not invalidated after append: %d entries", len(c))
+	}
+	if len(a) != 50 {
+		t.Fatal("earlier snapshot mutated")
+	}
+}
+
+// TestEntitiesCacheRace hammers Entities while appenders add rows; run under
+// -race this proves the cache's locking, and the final call must observe
+// every appended entity in sorted order.
+func TestEntitiesCacheRace(t *testing.T) {
+	s := NewPartitioned(8)
+	base := time.Date(2024, 8, 20, 0, 0, 0, 0, time.UTC)
+	const writers, perWriter = 4, 200
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				id := fmt.Sprintf("w%d-host-%04d", w, i)
+				if _, err := s.Append(id, base, "k", []byte("x")); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			ents := s.Entities()
+			if !sort.StringsAreSorted(ents) {
+				t.Error("unsorted entity list during concurrent appends")
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	final := s.Entities()
+	if len(final) != writers*perWriter {
+		t.Fatalf("final entity list has %d entries, want %d", len(final), writers*perWriter)
+	}
+	if !sort.StringsAreSorted(final) {
+		t.Fatal("final entity list unsorted")
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"censysmap/internal/shard"
@@ -81,6 +82,13 @@ type partition struct {
 	ssdBytes, hddBytes int64
 	ssdReads, hddReads uint64
 	appends, snaps     uint64
+
+	// gen counts content mutations (appends, tier migrations, restores,
+	// replicated applies) — reads do not bump it. Incremental checkpointing
+	// uses it to skip partitions whose dump cannot have changed since the
+	// last save, and the Entities cache uses the cross-partition sum as its
+	// invalidation stamp. Written under mu; read lock-free via the atomic.
+	gen atomic.Uint64
 }
 
 // Store is an in-memory two-tier event journal, striped over one or more
@@ -88,6 +96,13 @@ type partition struct {
 // different partitions proceed in parallel.
 type Store struct {
 	parts []*partition
+
+	// Cached sorted entity list, stamped with the generation sum it was
+	// built against (see Entities).
+	entMu    sync.Mutex
+	entGen   uint64
+	entValid bool
+	entCache []string
 }
 
 // NewStore creates an empty single-partition journal.
@@ -144,6 +159,7 @@ func (s *Store) Append(entity string, t time.Time, kind string, payload []byte) 
 	}
 	p.ssdBytes += int64(len(payload))
 	p.appends++
+	p.gen.Add(1)
 	return seq, nil
 }
 
@@ -240,9 +256,24 @@ func (s *Store) Events(entity string) []Event {
 	return append(out, r.ssd...)
 }
 
-// Entities returns all row keys across partitions, sorted.
+// Entities returns all row keys across partitions, sorted. The result is
+// cached and shared between calls until some partition's content generation
+// moves, so callers must treat it as read-only; replay drivers calling this
+// once per reconstructed entity no longer pay an O(n log n) sort each time.
 func (s *Store) Entities() []string {
-	var out []string
+	s.entMu.Lock()
+	defer s.entMu.Unlock()
+	// Snapshot the generation sum before reading rows: a concurrent append
+	// can then only make the cached slice a superset of the stamped
+	// generation's rows, and the next call rebuilds (gens are monotonic).
+	var sum uint64
+	for _, p := range s.parts {
+		sum += p.gen.Load()
+	}
+	if s.entValid && sum == s.entGen {
+		return s.entCache
+	}
+	out := make([]string, 0, len(s.entCache))
 	for _, p := range s.parts {
 		p.mu.RLock()
 		for k := range p.rows {
@@ -251,7 +282,17 @@ func (s *Store) Entities() []string {
 		p.mu.RUnlock()
 	}
 	sort.Strings(out)
+	s.entCache, s.entGen, s.entValid = out, sum, true
 	return out
+}
+
+// PartitionGen reports partition i's content generation: it moves exactly
+// when the partition's dumpable content may have changed (appends,
+// snapshots, tier migrations, restores, replicated applies) and never on
+// reads. Incremental saves compare it against the generation recorded in
+// the last manifest.
+func (s *Store) PartitionGen(i int) uint64 {
+	return s.parts[i].gen.Load()
 }
 
 // Migrate moves events strictly older than each entity's latest snapshot
@@ -290,6 +331,9 @@ func (s *Store) MigratePartition(i int) int {
 		r.ssd = rest
 		r.lastSnap = 0
 		moved += len(old)
+	}
+	if moved > 0 {
+		p.gen.Add(1)
 	}
 	return moved
 }
@@ -356,6 +400,7 @@ func (s *Store) RestorePartition(i int, d PartitionDump) error {
 	p := s.parts[i]
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	p.gen.Add(1)
 	p.rows = make(map[string]*row, len(d.Rows))
 	p.ssdBytes, p.hddBytes = 0, 0
 	p.ssdReads, p.hddReads = d.SSDReads, d.HDDReads

@@ -43,6 +43,7 @@ func (s *Store) ApplyReplicated(ev Event) error {
 	}
 	p.ssdBytes += int64(len(ev.Payload))
 	p.appends++
+	p.gen.Add(1)
 	return nil
 }
 
@@ -70,6 +71,13 @@ func (s *Store) SyncTierSplit(i int, want map[string]int) (int, error) {
 	}
 	sort.Strings(ids)
 	moved := 0
+	// Bump the content generation even on a partial (error) move: anything
+	// that shifted tiers changed the dumpable content.
+	defer func() {
+		if moved > 0 {
+			p.gen.Add(1)
+		}
+	}()
 	for _, id := range ids {
 		r, ok := p.rows[id]
 		if !ok {

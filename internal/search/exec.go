@@ -172,10 +172,21 @@ func (p *indexPart) evalPlan(n planNode) []uint32 {
 	}
 }
 
-// evalAnd intersects include children in ascending estimated-selectivity
-// order with early exit on empty, then subtracts each exclude child — the
-// AND(x, NOT(y)) rewrite never materializes the partition's full doc set.
+// evalAnd evaluates a conjunction. The default is the fused streaming
+// evaluator (fused.go); the legacy pairwise-materializing evaluator below is
+// kept behind SetFusedAnd for differential testing and A/B benchmarks.
 func (p *indexPart) evalAnd(a planAnd) []uint32 {
+	if !legacyAnd.Load() {
+		return p.evalAndFused(a)
+	}
+	return p.evalAndLegacy(a)
+}
+
+// evalAndLegacy intersects include children in ascending estimated-
+// selectivity order with early exit on empty, then subtracts each exclude
+// child — the AND(x, NOT(y)) rewrite never materializes the partition's full
+// doc set, but each pairwise intersectU32/diffU32 allocates an intermediate.
+func (p *indexPart) evalAndLegacy(a planAnd) []uint32 {
 	acc := p.live // read-only alias; conjunction of only negations starts here
 	if len(a.include) == 1 {
 		acc = p.evalPlan(a.include[0])

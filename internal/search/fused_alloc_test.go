@@ -1,0 +1,42 @@
+//go:build !race
+
+package search
+
+import "testing"
+
+// TestFusedAndBoundedAllocs pins the allocation budget of the fused
+// conjunction evaluator: a 3-term AND over term postings must allocate only
+// its output slice — the include/exclude gathers, cursors, and ordering all
+// live on the stack. (Race instrumentation changes allocation counts, hence
+// the build tag; plain `make test` enforces this.)
+func TestFusedAndBoundedAllocs(t *testing.T) {
+	ix := populatePartitioned(20000, 1)
+	q, err := ParseQuery(`as.number: 64120 and services.protocol: HTTP and location.country: US`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qn, err := ParseQuery(`as.number: 64120 and services.protocol: HTTP and not location.country: CN`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := ix.parts[0]
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, tc := range []struct {
+		name string
+		q    *Query
+	}{
+		{"and3", q}, {"and2not1", qn},
+	} {
+		got := -1
+		allocs := testing.AllocsPerRun(50, func() {
+			got = len(p.evalPlan(tc.q.plan))
+		})
+		if got <= 0 {
+			t.Fatalf("%s: expected matches, got %d", tc.name, got)
+		}
+		if allocs > 1 {
+			t.Fatalf("%s: evalPlan allocated %.1f objects per run, budget is 1 (the output)", tc.name, allocs)
+		}
+	}
+}

@@ -1,0 +1,61 @@
+package search
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestFusedAndDifferential holds the fused AND/AND-NOT evaluator
+// bit-identical to the legacy pairwise evaluator over hand-picked conjunction
+// shapes and generated query trees, across partition counts. The cache is off
+// so both runs actually evaluate.
+func TestFusedAndDifferential(t *testing.T) {
+	defer SetFusedAnd(true)
+	shapes := []string{
+		`services.protocol: HTTP`,
+		`services.protocol: HTTP and location.country: US`,
+		`services.protocol: HTTP and location.country: US and services.tls: true`,
+		`services.protocol: HTTP and services.protocol: HTTP`,
+		`location.country: US and not services.protocol: HTTP`,
+		`not services.protocol: HTTP and not services.protocol: SSH`,
+		`not services.protocol: HTTP`,
+		`services.port: [1 TO 4000] and services.protocol: SSH and not services.tls: true`,
+		`nosuchfield: x and services.protocol: HTTP`,
+		`services.protocol: HTTP and nosuchfield: x`,
+		`(services.protocol: HTTP or services.protocol: SSH) and location.country: US`,
+		`services.protocol: HTTP and (not location.country: US) and services.port: [0 TO 65535]`,
+		`a and b and c and d and e and f and g and h and i and j`, // >8 conjuncts: spills the stack buffers
+	}
+	for _, cfg := range []struct{ seed, docs, parts int }{
+		{11, 60, 1}, {12, 250, 4}, {13, 400, 8},
+	} {
+		t.Run(fmt.Sprintf("seed%d_docs%d_parts%d", cfg.seed, cfg.docs, cfg.parts), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(cfg.seed)))
+			ix := NewPartitioned(cfg.parts)
+			for i := 0; i < cfg.docs; i++ {
+				ix.Upsert(genHost(rng, i))
+			}
+			ix.SetQueryCache(false)
+			queries := append([]string(nil), shapes...)
+			for i := 0; i < 200; i++ {
+				queries = append(queries, genQuery(rng, 3))
+			}
+			for _, qs := range queries {
+				q, err := ParseQuery(qs)
+				if err != nil {
+					t.Fatalf("ParseQuery(%q): %v", qs, err)
+				}
+				SetFusedAnd(true)
+				fused := ix.Execute(q)
+				SetFusedAnd(false)
+				legacy := ix.Execute(q)
+				if !reflect.DeepEqual(fused, legacy) {
+					t.Fatalf("query %q diverged:\n fused  %v\n legacy %v\n (plan %s)",
+						qs, fused, legacy, q.key)
+				}
+			}
+		})
+	}
+}
