@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race chaos chaos-disk cluster-diff fsck fuzz bench bench-search bench-json bench-delta serve-test loadgen check
+.PHONY: all vet lint build test race chaos chaos-disk cluster-diff fsck fuzz bench bench-search bench-json bench-delta serve-test loadgen predict-diff check
 
 all: check
 
@@ -70,6 +70,7 @@ fuzz:
 	$(GO) test ./internal/wire/ -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/durable/ -fuzz FuzzSegmentDecode -fuzztime 30s
 	$(GO) test ./internal/serve/ -fuzz FuzzDecodeCursor -fuzztime 30s
+	$(GO) test ./internal/predict/ -fuzz FuzzPrefixExclusion -fuzztime 30s
 
 # The serving-tier suite: HTTP conformance goldens over every /v2 route,
 # the export byte-stability differential (writes interleaved between pages),
@@ -104,6 +105,16 @@ bench-json:
 	$(GO) run ./cmd/loadgen -bench-dir .
 	$(GO) run ./cmd/loadgen -bench-dir . -cluster-nodes 3
 
+# The predictive-scanning suite: the GPS-style scheduler's determinism and
+# crash differentials (model, topology cursors, cooldown book, and budget
+# ledger must survive a kill at any tick bit-identically), the wire-level
+# exclusion invariant, and the equal-budget predictive-vs-exhaustive replay
+# that gates on strictly more services per probe on every profile.
+predict-diff:
+	$(GO) test -race ./internal/chaos/ -run 'Predictive'
+	$(GO) test ./internal/eval/ -run 'PredictDiff'
+	$(GO) test ./internal/predict/ ./internal/discovery/
+
 # Perf-regression gate: diff the newest working-tree BENCH_<date>.json
 # against the version committed at HEAD; fail on >15% ns/op or any allocs/op
 # regression. In `make check` the target is advisory (leading `-`): timing on
@@ -116,5 +127,5 @@ bench-delta:
 		echo "bench-delta: $$f not committed at HEAD; nothing to diff"; rm -f .bench_head.json; exit 0; fi; \
 	$(GO) run ./cmd/benchdelta -old .bench_head.json -new $$f; st=$$?; rm -f .bench_head.json; exit $$st
 
-check: lint build race chaos chaos-disk cluster-diff fsck serve-test
+check: lint build race chaos chaos-disk cluster-diff fsck serve-test predict-diff
 	-$(MAKE) bench-delta

@@ -59,6 +59,14 @@ type Options struct {
 	// Network overrides the synthetic Internet's full configuration; when
 	// set, Universe/Seed/HostDensity are ignored.
 	Network *simnet.Config
+	// DisablePrediction turns the GPS-style predictive scheduler off:
+	// no seed scan, no cross-port model, no predicted targets. Applied
+	// after Pipeline defaulting, so it works with a zero Pipeline too.
+	DisablePrediction bool
+	// PredictBudgetPerTick caps predictive probes per scheduling tick
+	// (0 keeps the pipeline default). Ignored when DisablePrediction is
+	// set. Applied after Pipeline defaulting.
+	PredictBudgetPerTick int
 	// DisableTelemetry leaves the pipeline uninstrumented. By default a
 	// System carries a telemetry registry and serves GET /v2/metrics.
 	DisableTelemetry bool
@@ -104,6 +112,12 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	if pcfg.Telemetry == nil && !opts.DisableTelemetry {
 		pcfg.Telemetry = telemetry.New()
+	}
+	if opts.DisablePrediction {
+		pcfg.DisablePrediction = true
+	}
+	if opts.PredictBudgetPerTick > 0 {
+		pcfg.PredictBudgetPerTick = opts.PredictBudgetPerTick
 	}
 	m, err := core.New(pcfg, net)
 	if err != nil {

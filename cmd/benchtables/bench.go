@@ -18,6 +18,7 @@ import (
 
 	"censysmap/internal/cluster"
 	"censysmap/internal/core"
+	"censysmap/internal/eval"
 	"censysmap/internal/simclock"
 	"censysmap/internal/simnet"
 	"censysmap/internal/telemetry"
@@ -154,6 +155,25 @@ func searchBench(m *core.Map, query string) func(b *testing.B) {
 	}
 }
 
+// predictBench replays one predict-diff profile under one scheduler. The
+// replay is deterministic, so the metrics are identical across iterations;
+// only the wall time is averaged.
+func predictBench(p eval.PredictProfile, predictive bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		var res eval.PredictRunResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = eval.RunPredictScheduler(p, predictive)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(res.PerTenKProbes(), "svc/10kprobes")
+		b.ReportMetric(float64(res.Services), "services")
+		b.ReportMetric(float64(res.ProbesSpent), "probes")
+	}
+}
+
 // runBenchJSON runs every workload and merges the rows into BENCH_<date>.json
 // in dir: regenerated rows replace same-named existing ones, and rows this
 // tool does not produce (loadgen's serve/* sweep) are preserved. It returns
@@ -204,6 +224,14 @@ func runBenchJSON(dir string) (string, error) {
 
 	recordHotPath(record)
 	record("pipeline/soak7day_incremental_save", soakBench())
+
+	// Probe-efficiency rows: each replays one eval profile end to end, so
+	// ns_per_op is the replay wall time and the metrics carry the scheduling
+	// outcome (services per 10k probe targets is what bench-delta gates).
+	for _, p := range eval.DefaultPredictProfiles() {
+		record("predict/"+p.Name+"_exhaustive", predictBench(p, false))
+		record("predict/"+p.Name+"_predictive", predictBench(p, true))
+	}
 
 	// Merge: regenerated rows win by name; everything else in an existing
 	// same-day document (the loadgen serve/* sweep) is carried over.

@@ -7,6 +7,7 @@
 //	benchtables -figure 3       # just Figure 3
 //	benchtables -quick          # small universe (seconds instead of minutes)
 //	benchtables -bench-json     # machine-readable benchmarks → BENCH_<date>.json
+//	benchtables -predict-diff   # predictive-vs-exhaustive scheduling comparison
 package main
 
 import (
@@ -27,7 +28,21 @@ func main() {
 	benchJSON := flag.Bool("bench-json", false,
 		"run the pipeline/search benchmarks and write BENCH_<date>.json instead of rendering tables")
 	benchDir := flag.String("bench-dir", ".", "directory BENCH_<date>.json is written into")
+	predictDiff := flag.Bool("predict-diff", false,
+		"replay the predictive-vs-exhaustive scheduling comparison and render its tables")
 	flag.Parse()
+
+	if *predictDiff {
+		for _, p := range eval.DefaultPredictProfiles() {
+			r, err := eval.PredictDiff(p)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "predict-diff:", err)
+				os.Exit(1)
+			}
+			fmt.Println(r.Render())
+		}
+		return
+	}
 
 	if *benchJSON {
 		path, err := runBenchJSON(*benchDir)

@@ -73,6 +73,10 @@ func main() {
 		"max concurrently admitted requests; load shedding starts at half this")
 	pprofAddr := flag.String("pprof", "",
 		"side listener exposing net/http/pprof (e.g. localhost:6060); empty disables")
+	predict := flag.Bool("predict", true,
+		"GPS-style predictive scanning: seed scan, cross-port model, predicted targets")
+	predictBudget := flag.Int("predict-budget", 0,
+		"predictive probes per scheduling tick (0 = pipeline default; requires -predict)")
 	flag.Parse()
 
 	// The profiler gets its own listener and mux so /debug/pprof/ never
@@ -98,7 +102,8 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bad -universe:", err)
 		os.Exit(2)
 	}
-	sys, err := censysmap.NewSystem(censysmap.Options{Universe: prefix, Seed: *seed})
+	sys, err := censysmap.NewSystem(censysmap.Options{Universe: prefix, Seed: *seed,
+		DisablePrediction: !*predict, PredictBudgetPerTick: *predictBudget})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)

@@ -82,6 +82,7 @@ func TestTelemetryDeterministicAcrossLayouts(t *testing.T) {
 		"censys_core_interrogations_total",
 		"censys_core_retries_scheduled_total",
 		"censys_core_pseudo_filtered_total",
+		"censys_predict_budget_probes_total",
 		"censys_cqrs_observations_total",
 		"censys_cqrs_nochange_total",
 		"censys_storage_records_verified_total",
@@ -104,6 +105,11 @@ func TestTelemetryDeterministicAcrossLayouts(t *testing.T) {
 			"censys_paper_coverage_ratio",
 			"censys_paper_dataset_services",
 			"censys_paper_truth_services",
+			"censys_predict_precision",
+			"censys_predict_reinject_queue",
+			"censys_predict_model_hosts",
+			"censys_predict_tracked_prefixes",
+			"censys_predict_suggested_resident",
 		} {
 			gv, _ := res.snap.Get(g, nil)
 			bv, _ := base.snap.Get(g, nil)

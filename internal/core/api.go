@@ -5,9 +5,11 @@ import (
 	"sort"
 	"time"
 
+	"censysmap/internal/discovery"
 	"censysmap/internal/entity"
 	"censysmap/internal/journal"
 	"censysmap/internal/lookup"
+	"censysmap/internal/predict"
 	"censysmap/internal/search"
 	"censysmap/internal/simclock"
 	"censysmap/internal/simnet"
@@ -34,6 +36,13 @@ func (m *Map) Stats() RunStats {
 		PseudoFiltered:   m.pseudoFiltered.Load(),
 	}
 }
+
+// Ledger exposes the probe-budget ledger: per-class spent / confirmed /
+// wasted probe targets (the evaluation harness's efficiency input).
+func (m *Map) Ledger() *discovery.Ledger { return m.ledger }
+
+// PredictorStats returns the predictive engine's model-size counters.
+func (m *Map) PredictorStats() predict.Stats { return m.predictor.ModelStats() }
 
 // Search runs a query against the interactive search index.
 func (m *Map) Search(query string) ([]*entity.Host, error) {

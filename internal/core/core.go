@@ -232,6 +232,7 @@ type Map struct {
 	clock *simclock.Sim
 
 	disc      *discovery.Engine
+	ledger    *discovery.Ledger
 	inter     map[string]*interro.Interrogator // per PoP
 	pops      []discovery.PoP
 	processor *cqrs.Processor
@@ -345,6 +346,36 @@ func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, 
 	if err != nil {
 		return nil, err
 	}
+	// Probe-budget ledger: the predictive engine's per-tick allocation is
+	// carved out of the background 65K class, so a prediction-on run keeps
+	// (about) the per-tick probe footprint of a prediction-off one —
+	// predictions displace exhaustive background probes and have to beat
+	// them on services found per probe, not ride on extra bandwidth.
+	if !cfg.DisablePrediction && cfg.PredictBudgetPerTick > 0 {
+		for i := range classes {
+			if classes[i].Name != "background65k" {
+				continue
+			}
+			carve := cfg.PredictBudgetPerTick
+			if most := classes[i].ProbesPerTick - 1; carve > most {
+				carve = most // tiny universes keep at least one background probe
+			}
+			if carve > 0 {
+				classes[i].ProbesPerTick -= carve
+			}
+		}
+	}
+	m.ledger = discovery.NewLedger()
+	for _, cc := range classes {
+		m.ledger.Register(cc.Name, cc.ProbesPerTick)
+	}
+	m.ledger.Register(discovery.ClassSeed, 0)
+	predictAlloc := 0
+	if !cfg.DisablePrediction {
+		predictAlloc = cfg.PredictBudgetPerTick
+	}
+	m.ledger.Register(discovery.ClassPredict, predictAlloc)
+
 	m.pops = discovery.DefaultPoPs()
 	m.disc, err = discovery.New(discovery.Config{
 		Scanner:     scanner,
@@ -352,6 +383,7 @@ func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, 
 		Classes:     classes,
 		Excluded:    cfg.Excluded,
 		Seed:        net.Config().Seed ^ 0xD15C,
+		Ledger:      m.ledger,
 		WirePackets: cfg.WirePackets,
 	}, net)
 	if err != nil {
@@ -445,8 +477,10 @@ func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, 
 		m.lookupSvc.SetDegraded(m.QuarantinedPartitions(), m.quarMod)
 	}
 
-	// Prediction & re-injection.
+	// Prediction & re-injection. The predictor's topology shares the
+	// engine's exclusion set so pruned subtrees never emit targets.
 	m.predictor = predict.New(predict.DefaultConfig())
+	m.syncExclusions()
 
 	// Web properties & certificates.
 	if d != nil {
@@ -576,9 +610,15 @@ func (m *Map) seedScan() {
 	base := prefix.Addr().As4()
 	baseVal := uint64(base[0])<<24 | uint64(base[1])<<16 | uint64(base[2])<<8 | uint64(base[3])
 	for off := uint64(0); off < count; off++ {
-		// Deterministic sampling keyed on the address.
-		h := (off*0x9E3779B97F4A7C15 + m.net.Config().Seed) >> 11
-		if float64(h&0xFFFF)/65536 >= m.cfg.SeedScanFraction {
+		// Deterministic sampling keyed on the address. The multiply alone
+		// leaves an arithmetic lattice mod 2^16 that aliases against the
+		// 256-aligned /24 structure, so finish with a full avalanche
+		// (splitmix64) before thresholding.
+		h := off*0x9E3779B97F4A7C15 + m.net.Config().Seed
+		h = (h ^ (h >> 30)) * 0xBF58476D1CE4E5B9
+		h = (h ^ (h >> 27)) * 0x94D049BB133111EB
+		h ^= h >> 31
+		if float64(h>>11)/float64(1<<53) >= m.cfg.SeedScanFraction {
 			continue
 		}
 		v := uint32(baseVal + off)
@@ -586,10 +626,15 @@ func (m *Map) seedScan() {
 		if m.excludedAddr(addr) {
 			continue
 		}
+		// The sample is fully scanned, so its port pairs carry uncensored
+		// co-occurrence evidence — mark before the observations stream in.
+		m.predictor.ObserveFull(addr)
 		for port := 1; port <= 65535; port++ {
+			m.ledger.Spend(discovery.ClassSeed)
 			if m.net.ProbeTCP(scanner, addr, uint16(port)) != simnet.Open {
 				continue
 			}
+			m.ledger.Confirm(discovery.ClassSeed)
 			c := discovery.Candidate{Addr: addr, Port: uint16(port),
 				Transport: entity.TCP, Method: entity.DetectBackgroundScan,
 				PoP: m.pops[0].Name, Time: now}
@@ -1092,9 +1137,15 @@ func (m *Map) refreshSlot(s *stateShard, key slotKey, udpProto string, attempt i
 }
 
 // runPrediction probes model-recommended locations (serially — the L4
-// probes are cheap) and enqueues responsive ones for interrogation.
+// probes are cheap) and enqueues responsive ones for interrogation. The
+// budget is the ledger's grant for the predict class: its own allocation,
+// capped by whatever the shared per-tick total has left after discovery.
 func (m *Map) runPrediction(now time.Time) {
-	targets := m.predictor.Recommend(now, m.cfg.PredictBudgetPerTick)
+	budget := m.cfg.PredictBudgetPerTick
+	if g := m.ledger.Grant(discovery.ClassPredict); g < budget {
+		budget = g
+	}
+	targets := m.predictor.Recommend(now, budget)
 	scanner := simnet.Scanner{ID: m.cfg.ScannerID, SourceIPs: m.cfg.SourceIPs,
 		Country: "US", BlockedFrac: 0.02}
 	for _, t := range targets {
@@ -1102,9 +1153,11 @@ func (m *Map) runPrediction(now time.Time) {
 			continue
 		}
 		m.predictiveProbes.Add(1)
+		m.ledger.Spend(discovery.ClassPredict)
 		if m.net.ProbeTCP(scanner, t.Addr, t.Port) != simnet.Open {
 			continue
 		}
+		m.ledger.Confirm(discovery.ClassPredict)
 		c := discovery.Candidate{Addr: t.Addr, Port: t.Port, Transport: t.Transport,
 			Method: entity.DetectPredicted, PoP: m.pops[0].Name, Time: now}
 		m.enqueue(pendingTask{cand: c, kind: taskCandidate})
@@ -1114,6 +1167,9 @@ func (m *Map) runPrediction(now time.Time) {
 // runReinjection retries recently evicted services.
 func (m *Map) runReinjection(now time.Time) {
 	for _, t := range m.predictor.Reinjections(now) {
+		if m.excludedAddr(t.Addr) {
+			continue
+		}
 		s := m.shardFor(t.Addr)
 		key := slotKey{t.Addr, t.Port, t.Transport}
 		s.mu.Lock()

@@ -124,13 +124,15 @@ func (m *Map) pruneExclusions(now time.Time) {
 }
 
 // syncExclusions pushes the active set (static config + dynamic opt-outs)
-// into the discovery engine.
+// into the discovery engine and the predictive engine's topology, which
+// prunes excluded subtrees so they can never emit a prediction target.
 func (m *Map) syncExclusions() {
 	prefixes := append([]netip.Prefix(nil), m.cfg.Excluded...)
 	for _, ex := range m.exclusions {
 		prefixes = append(prefixes, ex.Prefix)
 	}
 	m.disc.SetExcluded(prefixes)
+	m.predictor.SetExcluded(prefixes)
 }
 
 // excludedAddr reports whether addr is currently opted out (used by the

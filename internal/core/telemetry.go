@@ -145,6 +145,40 @@ func (m *Map) attachTelemetry() {
 		"scan-class coverage cycles completed", nil,
 		func() float64 { return float64(m.disc.Stats().CyclesComplete) })
 
+	// Predictive scanning: budget-ledger accounting per scan class, the
+	// predict class's precision, and the model's resident footprint. All
+	// bridges over the ledger and the predictor's own counters.
+	for _, class := range m.ledger.Classes() {
+		class := class
+		reg.CounterFunc("censys_predict_budget_probes_total",
+			"probe targets accounted by the budget ledger, by class and result",
+			map[string]string{"class": class, "result": "spent"},
+			func() float64 { return float64(m.ledger.ClassTotals(class).Spent) })
+		reg.CounterFunc("censys_predict_budget_probes_total",
+			"probe targets accounted by the budget ledger, by class and result",
+			map[string]string{"class": class, "result": "confirmed"},
+			func() float64 { return float64(m.ledger.ClassTotals(class).Confirmed) })
+		reg.GaugeFunc("censys_predict_budget_efficiency",
+			"confirmed/spent probe targets, by ledger class",
+			map[string]string{"class": class},
+			func() float64 { return m.ledger.ClassTotals(class).Efficiency() })
+	}
+	reg.GaugeFunc("censys_predict_precision",
+		"fraction of predictive probes that found an open service", nil,
+		func() float64 { return m.ledger.ClassTotals(discovery.ClassPredict).Efficiency() })
+	reg.GaugeFunc("censys_predict_reinject_queue",
+		"evicted services queued for re-injection", nil,
+		func() float64 { return float64(m.predictor.ModelStats().PendingReinjections) })
+	reg.GaugeFunc("censys_predict_model_hosts",
+		"hosts resident in the predictive model", nil,
+		func() float64 { return float64(m.predictor.ModelStats().KnownHosts) })
+	reg.GaugeFunc("censys_predict_tracked_prefixes",
+		"/24 leaves resident in the prefix-density topology", nil,
+		func() float64 { return float64(m.predictor.ModelStats().TrackedPrefixes) })
+	reg.GaugeFunc("censys_predict_suggested_resident",
+		"suggestions inside their cooldown window (bounded book)", nil,
+		func() float64 { return float64(m.predictor.ModelStats().SuggestedResident) })
+
 	// Per-PoP interrogation outcomes.
 	for _, pop := range m.pops {
 		in := m.inter[pop.Name]

@@ -1,0 +1,202 @@
+package discovery
+
+import (
+	"sort"
+	"sync"
+)
+
+// Ledger class names for probe classes that live outside the discovery
+// engine but share its per-tick budget.
+const (
+	// ClassSeed accounts the one-time GPS seed scan (spent before the first
+	// tick; it has no per-tick allocation).
+	ClassSeed = "seed"
+	// ClassPredict is the predictive engine's per-tick allocation. Core
+	// carves it out of the background class, so predictions displace
+	// exhaustive probes rather than adding to the footprint.
+	ClassPredict = "predict"
+)
+
+// Ledger is the explicit probe-budget ledger: every scan class — the
+// discovery classes, the predictive engine, the seed scan — registers a
+// per-tick allocation and accounts each probe target it spends and each L4
+// confirmation it gets back. The difference is the class's wasted probes,
+// and confirmed/spent is its budget efficiency — the number the
+// exhaustive-vs-predictive evaluation (make predict-diff) compares.
+//
+// Grants are how predictions compete with exhaustive scanning for a shared
+// total: a class may spend at most its own allocation per tick AND at most
+// what the shared per-tick total (the sum of all allocations) has left. The
+// tick phases run in a fixed order, so grant arithmetic is deterministic.
+//
+// Units are probe targets (one discovery target may emit a TCP SYN plus a
+// protocol UDP probe; it spends once), matching ClassConfig.ProbesPerTick.
+//
+// All methods lock: the scan path is serial, but telemetry collection may
+// read totals concurrently with a live run.
+type Ledger struct {
+	mu        sync.Mutex
+	order     []string
+	alloc     map[string]int
+	totalCap  int
+	tickSpent map[string]int
+	tickTotal int
+	spent     map[string]uint64
+	confirmed map[string]uint64
+}
+
+// NewLedger creates an empty ledger.
+func NewLedger() *Ledger {
+	return &Ledger{
+		alloc:     make(map[string]int),
+		tickSpent: make(map[string]int),
+		spent:     make(map[string]uint64),
+		confirmed: make(map[string]uint64),
+	}
+}
+
+// Register adds a class with its per-tick allocation. Classes must be
+// registered before the first tick; re-registering replaces the allocation.
+func (l *Ledger) Register(class string, perTick int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if old, ok := l.alloc[class]; ok {
+		l.totalCap += perTick - old
+		l.alloc[class] = perTick
+		return
+	}
+	l.order = append(l.order, class)
+	l.alloc[class] = perTick
+	l.totalCap += perTick
+}
+
+// Classes returns the registered class names in registration order.
+func (l *Ledger) Classes() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]string(nil), l.order...)
+}
+
+// BeginTick resets the per-tick spend; cumulative totals carry on.
+func (l *Ledger) BeginTick() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	clear(l.tickSpent)
+	l.tickTotal = 0
+}
+
+// Grant reports how many probe targets the class may still spend this tick:
+// its own remaining allocation, capped by what the shared per-tick total has
+// left. Unregistered classes get nothing.
+func (l *Ledger) Grant(class string) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	alloc, ok := l.alloc[class]
+	if !ok {
+		return 0
+	}
+	g := alloc - l.tickSpent[class]
+	if rem := l.totalCap - l.tickTotal; rem < g {
+		g = rem
+	}
+	if g < 0 {
+		return 0
+	}
+	return g
+}
+
+// Spend accounts one probe target against the class.
+func (l *Ledger) Spend(class string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.tickSpent[class]++
+	l.tickTotal++
+	l.spent[class]++
+}
+
+// Confirm accounts one L4-responsive answer for the class.
+func (l *Ledger) Confirm(class string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.confirmed[class]++
+}
+
+// ClassTotals is one class's cumulative accounting.
+type ClassTotals struct {
+	Class     string `json:"class"`
+	Spent     uint64 `json:"spent"`
+	Confirmed uint64 `json:"confirmed"`
+}
+
+// Wasted is the class's probes that bought nothing.
+func (ct ClassTotals) Wasted() uint64 {
+	if ct.Confirmed > ct.Spent {
+		return 0
+	}
+	return ct.Spent - ct.Confirmed
+}
+
+// Efficiency is confirmed/spent (0 when nothing was spent).
+func (ct ClassTotals) Efficiency() float64 {
+	if ct.Spent == 0 {
+		return 0
+	}
+	return float64(ct.Confirmed) / float64(ct.Spent)
+}
+
+// Totals returns every registered class's cumulative accounting, sorted by
+// class name.
+func (l *Ledger) Totals() []ClassTotals {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]ClassTotals, 0, len(l.order))
+	for _, c := range l.order {
+		out = append(out, ClassTotals{Class: c, Spent: l.spent[c], Confirmed: l.confirmed[c]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// ClassTotals returns one class's cumulative accounting.
+func (l *Ledger) ClassTotals(class string) ClassTotals {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return ClassTotals{Class: class, Spent: l.spent[class], Confirmed: l.confirmed[class]}
+}
+
+// TotalSpent sums cumulative spend across classes.
+func (l *Ledger) TotalSpent() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var n uint64
+	for _, c := range l.order {
+		n += l.spent[c]
+	}
+	return n
+}
+
+// LedgerState is the ledger's serializable cumulative accounting (per-tick
+// state is always empty at a tick-boundary checkpoint).
+type LedgerState struct {
+	Classes []ClassTotals `json:"classes,omitempty"`
+}
+
+// State captures cumulative totals for checkpointing.
+func (l *Ledger) State() LedgerState {
+	return LedgerState{Classes: l.Totals()}
+}
+
+// Restore replaces cumulative totals with a captured state. Allocations are
+// configuration, not state: classes must already be registered.
+func (l *Ledger) Restore(st LedgerState) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	clear(l.spent)
+	clear(l.confirmed)
+	for _, ct := range st.Classes {
+		l.spent[ct.Class] = ct.Spent
+		l.confirmed[ct.Class] = ct.Confirmed
+	}
+	clear(l.tickSpent)
+	l.tickTotal = 0
+}

@@ -1,0 +1,133 @@
+package discovery
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestLedgerGrantSplitsTickBudget(t *testing.T) {
+	l := NewLedger()
+	l.Register("priority", 10)
+	l.Register(ClassPredict, 4)
+
+	l.BeginTick()
+	if g := l.Grant("priority"); g != 10 {
+		t.Fatalf("priority grant = %d, want 10", g)
+	}
+	for i := 0; i < 10; i++ {
+		l.Spend("priority")
+	}
+	if g := l.Grant("priority"); g != 0 {
+		t.Fatalf("priority grant after full spend = %d, want 0", g)
+	}
+	// Predict's own allocation survives the other class spending its share.
+	if g := l.Grant(ClassPredict); g != 4 {
+		t.Fatalf("predict grant = %d, want 4", g)
+	}
+	l.Spend(ClassPredict)
+	if g := l.Grant(ClassPredict); g != 3 {
+		t.Fatalf("predict grant after one spend = %d, want 3", g)
+	}
+	// Next tick resets per-tick spend but keeps cumulative totals.
+	l.BeginTick()
+	if g := l.Grant("priority"); g != 10 {
+		t.Fatalf("priority grant next tick = %d, want 10", g)
+	}
+	if got := l.ClassTotals("priority").Spent; got != 10 {
+		t.Fatalf("cumulative priority spend = %d, want 10", got)
+	}
+}
+
+func TestLedgerSharedCapGatesOverspend(t *testing.T) {
+	l := NewLedger()
+	l.Register("a", 5)
+	l.Register("b", 5)
+	l.BeginTick()
+	// A class that overshoots its allocation eats into the shared total,
+	// shrinking everyone else's grant.
+	for i := 0; i < 8; i++ {
+		l.Spend("a")
+	}
+	if g := l.Grant("b"); g != 2 {
+		t.Fatalf("b grant with shared total nearly spent = %d, want 2", g)
+	}
+	l.Spend("b")
+	l.Spend("b")
+	if g := l.Grant("b"); g != 0 {
+		t.Fatalf("b grant at shared cap = %d, want 0", g)
+	}
+	if g := l.Grant("unregistered"); g != 0 {
+		t.Fatalf("unregistered class granted %d probes", g)
+	}
+}
+
+func TestLedgerAccountingAndEfficiency(t *testing.T) {
+	l := NewLedger()
+	l.Register(ClassSeed, 0)
+	l.Register(ClassPredict, 10)
+	l.BeginTick()
+	for i := 0; i < 4; i++ {
+		l.Spend(ClassPredict)
+	}
+	l.Confirm(ClassPredict)
+	l.Confirm(ClassPredict)
+	l.Confirm(ClassPredict)
+	// Seed has no per-tick allocation but still accounts its spend.
+	l.Spend(ClassSeed)
+
+	ct := l.ClassTotals(ClassPredict)
+	if ct.Spent != 4 || ct.Confirmed != 3 || ct.Wasted() != 1 {
+		t.Fatalf("predict totals = %+v (wasted %d)", ct, ct.Wasted())
+	}
+	if eff := ct.Efficiency(); eff != 0.75 {
+		t.Fatalf("predict efficiency = %v, want 0.75", eff)
+	}
+	if got := l.TotalSpent(); got != 5 {
+		t.Fatalf("total spent = %d, want 5", got)
+	}
+	if eff := l.ClassTotals("nope").Efficiency(); eff != 0 {
+		t.Fatalf("empty class efficiency = %v, want 0", eff)
+	}
+}
+
+func TestLedgerStateRoundTrip(t *testing.T) {
+	l := NewLedger()
+	l.Register("zz", 3)
+	l.Register("aa", 3)
+	l.BeginTick()
+	l.Spend("zz")
+	l.Spend("zz")
+	l.Confirm("zz")
+	l.Spend("aa")
+
+	st := l.State()
+	// Serialized totals are sorted by class for determinism.
+	if len(st.Classes) != 2 || st.Classes[0].Class != "aa" || st.Classes[1].Class != "zz" {
+		t.Fatalf("state classes not sorted: %+v", st.Classes)
+	}
+	blob, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded LedgerState
+	if err := json.Unmarshal(blob, &decoded); err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := NewLedger()
+	fresh.Register("zz", 3)
+	fresh.Register("aa", 3)
+	fresh.Restore(decoded)
+	if got := fresh.ClassTotals("zz"); got.Spent != 2 || got.Confirmed != 1 {
+		t.Fatalf("restored zz totals = %+v", got)
+	}
+	// Restore clears the tick window: full grants again.
+	fresh.BeginTick()
+	if g := fresh.Grant("aa"); g != 3 {
+		t.Fatalf("restored aa grant = %d, want 3", g)
+	}
+	ba, _ := json.Marshal(fresh.State())
+	if string(ba) != string(blob) {
+		t.Fatalf("re-serialized state differs:\n%s\n%s", ba, blob)
+	}
+}

@@ -90,6 +90,11 @@ type Config struct {
 	Excluded []netip.Prefix
 	// Seed drives iteration order.
 	Seed uint64
+	// Ledger, when set, accounts every probe target spent and every
+	// L4-responsive answer per scan class, and caps each class's per-tick
+	// spend at its registered grant. Nil leaves budgets implicit in
+	// ProbesPerTick exactly as before.
+	Ledger *Ledger
 	// WirePackets routes probes through full packet encode/decode (the
 	// userspace network stack) instead of the fast path. Identical
 	// semantics, ~5x the CPU; used where wire fidelity matters.
@@ -195,8 +200,17 @@ func (e *Engine) excluded(addr netip.Addr) bool {
 // responsive targets are passed to emit. Probes rotate over PoPs so traffic
 // is spread across vantage points.
 func (e *Engine) Tick(now time.Time, emit func(Candidate)) {
+	if e.cfg.Ledger != nil {
+		e.cfg.Ledger.BeginTick()
+	}
 	for _, cs := range e.classes {
-		for i := 0; i < cs.cfg.ProbesPerTick; i++ {
+		budget := cs.cfg.ProbesPerTick
+		if e.cfg.Ledger != nil {
+			if g := e.cfg.Ledger.Grant(cs.cfg.Name); g < budget {
+				budget = g
+			}
+		}
+		for i := 0; i < budget; i++ {
 			addr, port, ok := cs.iter.Next()
 			if !ok {
 				e.stats.CyclesComplete++
@@ -218,18 +232,31 @@ func (e *Engine) Tick(now time.Time, emit func(Candidate)) {
 				e.stats.Excluded++
 				continue
 			}
-			e.probe(now, cs.cfg.Method, addr, port, emit)
+			e.probe(now, cs.cfg.Name, cs.cfg.Method, addr, port, emit)
 		}
 	}
 }
 
 // probe sends one TCP SYN (plus a protocol-specific UDP probe when the port
-// conventionally carries a UDP protocol) from the next PoP in rotation.
-func (e *Engine) probe(now time.Time, method entity.DetectionMethod, addr netip.Addr, port uint16, emit func(Candidate)) {
+// conventionally carries a UDP protocol) from the next PoP in rotation. The
+// ledger accounts the target once regardless of how many wire probes it
+// takes, and confirms it at most once.
+func (e *Engine) probe(now time.Time, class string, method entity.DetectionMethod, addr netip.Addr, port uint16, emit func(Candidate)) {
 	pop := e.cfg.PoPs[e.popIdx%len(e.cfg.PoPs)]
 	e.popIdx++
 	sc := e.cfg.Scanner
 	sc.Country = pop.Country
+
+	if e.cfg.Ledger != nil {
+		e.cfg.Ledger.Spend(class)
+	}
+	confirmed := false
+	confirm := func() {
+		if !confirmed && e.cfg.Ledger != nil {
+			e.cfg.Ledger.Confirm(class)
+		}
+		confirmed = true
+	}
 
 	e.stats.ProbesSent++
 	var outcome simnet.Outcome
@@ -241,6 +268,7 @@ func (e *Engine) probe(now time.Time, method entity.DetectionMethod, addr netip.
 	switch outcome {
 	case simnet.Open:
 		e.stats.OpenResponses++
+		confirm()
 		emit(Candidate{Addr: addr, Port: port, Transport: entity.TCP,
 			Method: method, PoP: pop.Name, Time: now})
 	case simnet.Closed:
@@ -260,6 +288,7 @@ func (e *Engine) probe(now time.Time, method entity.DetectionMethod, addr netip.
 		}
 		if uout == simnet.Open && len(resp) > 0 {
 			e.stats.OpenResponses++
+			confirm()
 			emit(Candidate{Addr: addr, Port: port, Transport: entity.UDP,
 				Method: method, PoP: pop.Name, Time: now, UDPProtocol: up.protocol})
 		} else {
@@ -327,6 +356,7 @@ type State struct {
 	PopIdx  int             `json:"pop_idx"`
 	Stats   Stats           `json:"stats"`
 	Classes []ClassPosition `json:"classes"`
+	Ledger  LedgerState     `json:"ledger,omitzero"`
 }
 
 // State captures the engine's position for checkpointing.
@@ -335,6 +365,9 @@ func (e *Engine) State() State {
 	for _, cs := range e.classes {
 		st.Classes = append(st.Classes, ClassPosition{
 			Name: cs.cfg.Name, Gen: cs.gen, Cycle: cs.iter.State()})
+	}
+	if e.cfg.Ledger != nil {
+		st.Ledger = e.cfg.Ledger.State()
 	}
 	return st
 }
@@ -361,6 +394,9 @@ func (e *Engine) Restore(st State) error {
 			}
 			cs.iter.Restore(cp.Cycle)
 		}
+	}
+	if e.cfg.Ledger != nil {
+		e.cfg.Ledger.Restore(st.Ledger)
 	}
 	return nil
 }

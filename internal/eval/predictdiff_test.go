@@ -1,0 +1,73 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPredictDiffProfiles is the acceptance gate for the predictive
+// scheduler: on every default profile the predictive run must find strictly
+// more services per probe than the exhaustive run at (approximately) equal
+// footprint, and neither run may place a single wire operation inside an
+// excluded prefix.
+func TestPredictDiffProfiles(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays multi-day universes")
+	}
+	for _, p := range DefaultPredictProfiles() {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			t.Parallel()
+			r, err := PredictDiff(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, run := range []PredictRunResult{r.Exhaustive, r.Predictive} {
+				if run.ExcludedProbes != 0 || run.ExcludedConnects != 0 {
+					t.Errorf("%s: %d probes / %d connects into excluded prefixes, want 0/0",
+						run.Scheduler, run.ExcludedProbes, run.ExcludedConnects)
+				}
+				if run.Services == 0 || run.ProbesSpent == 0 {
+					t.Fatalf("%s: degenerate run (services=%d probes=%d)",
+						run.Scheduler, run.Services, run.ProbesSpent)
+				}
+			}
+			if r.Predictive.Predict.Spent == 0 {
+				t.Fatal("predictive run spent no predict-class budget")
+			}
+			if r.Exhaustive.Predict.Spent != 0 {
+				t.Fatalf("exhaustive run spent %d predict probes, want 0",
+					r.Exhaustive.Predict.Spent)
+			}
+			ep, pp := r.Exhaustive.PerTenKProbes(), r.Predictive.PerTenKProbes()
+			if pp <= ep {
+				t.Errorf("services per 10k probes: predictive %.2f <= exhaustive %.2f\n%s",
+					pp, ep, r.Render())
+			}
+			if r.Predictive.Services < r.Exhaustive.Services {
+				t.Logf("note: predictive found fewer total services (%d < %d) but more per probe",
+					r.Predictive.Services, r.Exhaustive.Services)
+			}
+		})
+	}
+}
+
+// TestPredictDiffRender sanity-checks the table output so EXPERIMENTS.md
+// regeneration cannot silently emit empty sections.
+func TestPredictDiffRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays multi-day universes")
+	}
+	p := DefaultPredictProfiles()[0]
+	p.Days = 3
+	r, err := PredictDiff(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"exhaustive", "predictive", "Svc/10k probes", "Coverage vs footprint", "Day"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package predict
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"censysmap/internal/entity"
+)
+
+// FuzzPrefixExclusion drives the engine with a fuzzer-chosen mix of
+// observations, evictions, and exclusion prefixes, then asserts the hard
+// invariant: no emitted target — refined, expanded, or reinjected — ever
+// lands inside an excluded prefix. Input bytes decode as 4-byte ops over
+// 10.x.y.z so the fuzzer explores overlapping prefixes of every width.
+func FuzzPrefixExclusion(f *testing.F) {
+	f.Add([]byte{1, 2, 3, 0, 1, 2, 4, 0, 1, 2, 0, 2})
+	f.Add([]byte{9, 9, 1, 1, 9, 9, 2, 1, 9, 0, 16, 2, 9, 9, 3, 3})
+	f.Add([]byte{0, 0, 1, 0, 0, 0, 2, 0, 0, 0, 3, 0, 0, 0, 24, 2, 0, 0, 1, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		e := New(DefaultConfig())
+		start := time.Date(2024, 8, 20, 0, 0, 0, 0, time.UTC)
+		var excluded []netip.Prefix
+		for i := 0; i+4 <= len(data); i += 4 {
+			b := data[i : i+4]
+			addr := netip.AddrFrom4([4]byte{10, b[0], b[1], b[2]})
+			port := uint16(b[0])<<8 | uint16(b[3])
+			if port == 0 {
+				port = 80
+			}
+			switch b[3] % 4 {
+			case 0, 1:
+				e.Observe(addr, port, entity.TCP)
+				e.Observe(addr, 80, entity.TCP)
+			case 2:
+				bits := 8 + int(b[2])%25 // /8../32
+				if p, err := addr.Prefix(bits); err == nil {
+					excluded = append(excluded, p)
+				}
+			case 3:
+				e.Observe(addr, port, entity.TCP)
+				e.RecordEvicted(addr, port, entity.TCP, start)
+			}
+		}
+		e.SetExcluded(excluded)
+		for day := 0; day < 3; day++ {
+			now := start.Add(time.Duration(day) * 25 * time.Hour)
+			for _, r := range e.Recommend(now, 2000) {
+				for _, p := range excluded {
+					if p.Contains(r.Addr) {
+						t.Fatalf("recommendation %v inside excluded %v", r, p)
+					}
+				}
+			}
+			for _, r := range e.Reinjections(now) {
+				for _, p := range excluded {
+					if p.Contains(r.Addr) {
+						t.Fatalf("reinjection %v inside excluded %v", r, p)
+					}
+				}
+			}
+		}
+	})
+}

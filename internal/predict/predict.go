@@ -1,19 +1,36 @@
-// Package predict implements the predictive scan engine (paper §4.1):
-// probabilistic models that learn service deployment patterns from
-// interrogation results and recommend probable (address, port) locations to
-// probe, in the spirit of GPS (Izhikevich et al., SIGCOMM 2022). It also
-// implements the eviction re-injection queue of §4.6: services pruned from
-// the dataset are retried for 60 days so hard-to-find services that return
-// are recovered quickly.
+// Package predict implements the predictive scan engine (paper §4.1): a
+// GPS-style two-stage model (Izhikevich et al., SIGCOMM 2022) that learns
+// service deployment patterns from interrogation results and recommends
+// probable (address, port) locations to probe, plus the eviction
+// re-injection queue of §4.6: services pruned from the dataset are retried
+// for 60 days so hard-to-find services that return are recovered quickly.
 //
-// Two signals are learned online, continuously — the paper stresses that
+// The model is two-stage, continuously trained — the paper stresses that
 // operating over months on an evolving dataset is a different problem from
 // one-shot prediction:
 //
-//   - network locality: ports that appear within a /24 tend to appear on
-//     its other hosts (shared operator, shared images);
-//   - port co-occurrence: a host offering port q often offers port p
-//     (e.g. 80 & 443, ICS pairs, management consoles).
+//   - Stage 1, priors: per-port popularity across all known hosts
+//     (portHosts / hosts). Priors rank candidates of equal conditional
+//     likelihood; a port never seen anywhere has prior zero and is never
+//     proposed.
+//   - Stage 2, conditional refinement: the prior is replaced by the
+//     strongest conditional likelihood available for the specific host —
+//     cross-/24 network locality P(p | host's /24) = net24Ports[/24][p] /
+//     hosts-in-/24 (shared operator, shared images), or cross-port
+//     co-occurrence P(p | host runs q) = cooc[q][p] / portHosts[q]
+//     (80 & 443, ICS pairs, management consoles). Candidates below
+//     Config.MinScore are discarded, bounding wasted probes.
+//
+// Candidate order comes from the topology selector (see Topology): budget is
+// spent over /24s in service-density rank, and a share of it
+// (Config.ExpandFraction) goes to "expansion" — unobserved addresses inside
+// dense /24s probed on the /24's dominant ports, which is how the model
+// grows past the hosts exhaustive scanning happened to find first.
+//
+// All model state is commutative counts, so the concurrent Observe calls
+// from interrogation workers produce identical state in any arrival order;
+// Recommend runs serially on the tick coordinator. State/Restore round-trip
+// the whole model through the core checkpoint for crash recovery.
 package predict
 
 import (
@@ -30,7 +47,8 @@ type Target struct {
 	Addr      netip.Addr
 	Port      uint16
 	Transport entity.Transport
-	// Reason tags the model that produced the recommendation.
+	// Reason tags the signal that produced the recommendation: "net24",
+	// "cooc", "expand", or "reinject".
 	Reason string
 }
 
@@ -43,41 +61,77 @@ type Config struct {
 	ReinjectFor time.Duration
 	// ReinjectEvery is the retry cadence for evicted services.
 	ReinjectEvery time.Duration
-	// TopK bounds how many co-occurring ports are considered per signal.
+	// TopK bounds how many candidate ports are considered per signal.
 	TopK int
+	// MinScore is the stage-2 conditional-likelihood floor a candidate must
+	// clear to be recommended. Raising it trades recall for precision.
+	MinScore float64
+	// ExpandFraction is the share of each Recommend budget reserved for
+	// topology expansion: probing unobserved addresses inside dense /24s on
+	// the prefix's dominant ports. 0 disables expansion.
+	ExpandFraction float64
+	// MinExpandHosts is the observed-host floor before a /24 qualifies for
+	// expansion (one lone host says nothing about its neighbors).
+	MinExpandHosts int
 }
 
 // DefaultConfig matches the paper's parameters.
 func DefaultConfig() Config {
 	return Config{
-		Cooldown:      24 * time.Hour,
-		ReinjectFor:   60 * 24 * time.Hour,
-		ReinjectEvery: 24 * time.Hour,
-		TopK:          8,
+		Cooldown:       24 * time.Hour,
+		ReinjectFor:    60 * 24 * time.Hour,
+		ReinjectEvery:  24 * time.Hour,
+		TopK:           8,
+		MinScore:       0.2,
+		ExpandFraction: 0.25,
+		MinExpandHosts: 2,
 	}
 }
 
 // Engine is the predictive model state. It is fed concurrently by the
 // interrogation workers, so all methods lock; hosts are kept address-sorted
-// so the Recommend rotation order never depends on observation arrival
-// order.
+// so the Recommend order never depends on observation arrival order.
 type Engine struct {
 	mu  sync.Mutex
 	cfg Config
 
-	// net24Ports counts confirmed services per (/24, port).
+	// net24Ports counts hosts per (/24, port) currently known to run the
+	// port (the cross-/24 conditional's numerator).
 	net24Ports map[netip.Addr]map[uint16]int
-	// cooc counts hosts where ports q and p are both confirmed.
+	// cooc counts host-pair events where ports q and p were both confirmed
+	// (cumulative co-occurrence evidence; never decremented).
 	cooc map[uint16]map[uint16]int
+	// fullHosts marks hosts whose complete 65K port state has been observed
+	// (the seed sample). Conditional likelihoods are estimated on this sample:
+	// on a partially scanned host a missing port is censored data, not a
+	// negative, so dividing by all hosts running q would bury every
+	// tail-port association under hosts whose tail was never probed.
+	fullHosts map[netip.Addr]bool
+	// fullCooc / fullPortHosts restrict the co-occurrence counts to the
+	// fully scanned sample: P(p|q) = fullCooc[q][p] / fullPortHosts[q].
+	// Cumulative, like cooc — eviction is churn, not counter-evidence.
+	fullCooc      map[uint16]map[uint16]int
+	fullPortHosts map[uint16]int
 	// hostPorts tracks confirmed ports per host (model input).
 	hostPorts map[netip.Addr]map[uint16]entity.Transport
-	// suggested is the per-target cooldown clock.
+	// portHosts counts hosts currently running each port (the stage-1
+	// prior's numerator and both conditionals' denominator).
+	portHosts map[uint16]int
+	// topo is the density-ranked prefix tree driving candidate order and
+	// holding the exclusion subtrees.
+	topo *Topology
+	// suggested is the per-target cooldown clock. Recommend sweeps expired
+	// entries, so residency is bounded by the targets suggested within one
+	// Cooldown window.
 	suggested map[Target]time.Time
 	// evicted is the re-injection queue.
 	evicted map[Target]evictedEntry
 
-	cursor int // round-robin position over hosts for Recommend
-	hosts  []netip.Addr
+	cursor       int // rotation over ranked /24s (conditional refinement)
+	expandCursor int // rotation over ranked /24s (topology expansion)
+	hosts        []netip.Addr
+	// hosts24 lists each populated /24's member hosts, address-sorted.
+	hosts24 map[netip.Addr][]netip.Addr
 }
 
 type evictedEntry struct {
@@ -91,38 +145,64 @@ func New(cfg Config) *Engine {
 		cfg.TopK = 8
 	}
 	return &Engine{
-		cfg:        cfg,
-		net24Ports: make(map[netip.Addr]map[uint16]int),
-		cooc:       make(map[uint16]map[uint16]int),
-		hostPorts:  make(map[netip.Addr]map[uint16]entity.Transport),
-		suggested:  make(map[Target]time.Time),
-		evicted:    make(map[Target]evictedEntry),
+		cfg:           cfg,
+		net24Ports:    make(map[netip.Addr]map[uint16]int),
+		cooc:          make(map[uint16]map[uint16]int),
+		fullHosts:     make(map[netip.Addr]bool),
+		fullCooc:      make(map[uint16]map[uint16]int),
+		fullPortHosts: make(map[uint16]int),
+		hostPorts:     make(map[netip.Addr]map[uint16]entity.Transport),
+		portHosts:     make(map[uint16]int),
+		hosts24:       make(map[netip.Addr][]netip.Addr),
+		topo:          NewTopology(),
+		suggested:     make(map[Target]time.Time),
+		evicted:       make(map[Target]evictedEntry),
 	}
 }
 
+// net24 returns the /24 base of an IPv4 (or IPv4-mapped) address via prefix
+// masking. The bool is false for IPv6 and zone-carrying addresses — the map
+// scans IPv4 space only, and Addr.As4 (the old implementation) panics on
+// them.
+func net24(a netip.Addr) (netip.Addr, bool) {
+	a = a.Unmap()
+	if !a.Is4() {
+		return netip.Addr{}, false
+	}
+	p, err := a.Prefix(24)
+	if err != nil {
+		return netip.Addr{}, false
+	}
+	return p.Addr(), true
+}
+
 // Observe feeds one confirmed service into the models. Call it for every
-// interrogation that verified a service (from any scan class).
+// interrogation that verified a service (from any scan class). Non-IPv4
+// addresses are ignored: the scan universe is IPv4, and the /24 locality
+// signal has no meaning for them.
 func (e *Engine) Observe(addr netip.Addr, port uint16, transport entity.Transport) {
+	n24, ok := net24(addr)
+	if !ok {
+		return
+	}
+	addr = addr.Unmap()
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	n24 := net24(addr)
-	m := e.net24Ports[n24]
-	if m == nil {
-		m = make(map[uint16]int)
-		e.net24Ports[n24] = m
-	}
-	m[port]++
-
 	hp := e.hostPorts[addr]
 	if hp == nil {
 		hp = make(map[uint16]entity.Transport)
 		e.hostPorts[addr] = hp
 		// Sorted insert: the rotation order over hosts must be a function of
 		// which hosts are known, not of the order observations arrived in.
-		i := sort.Search(len(e.hosts), func(i int) bool { return !e.hosts[i].Less(addr) })
-		e.hosts = append(e.hosts, netip.Addr{})
-		copy(e.hosts[i+1:], e.hosts[i:])
-		e.hosts[i] = addr
+		insertSortedAddr(&e.hosts, addr)
+		members := e.hosts24[n24]
+		if members == nil {
+			e.hosts24[n24] = []netip.Addr{addr}
+		} else {
+			insertSortedAddr(&members, addr)
+			e.hosts24[n24] = members
+		}
+		e.topo.ObserveHost(n24)
 	}
 	if _, known := hp[port]; !known {
 		for q := range hp {
@@ -132,8 +212,33 @@ func (e *Engine) Observe(addr netip.Addr, port uint16, transport entity.Transpor
 			e.bump(q, port)
 			e.bump(port, q)
 		}
+		if e.fullHosts[addr] {
+			e.fullPortHosts[port]++
+			for q := range hp {
+				if q == port {
+					continue
+				}
+				e.bumpFull(q, port)
+				e.bumpFull(port, q)
+			}
+		}
+		m := e.net24Ports[n24]
+		if m == nil {
+			m = make(map[uint16]int)
+			e.net24Ports[n24] = m
+		}
+		m[port]++
+		e.portHosts[port]++
+		e.topo.ObserveService(n24)
 	}
 	hp[port] = transport
+}
+
+func insertSortedAddr(s *[]netip.Addr, addr netip.Addr) {
+	i := sort.Search(len(*s), func(i int) bool { return !(*s)[i].Less(addr) })
+	*s = append(*s, netip.Addr{})
+	copy((*s)[i+1:], (*s)[i:])
+	(*s)[i] = addr
 }
 
 func (e *Engine) bump(q, p uint16) {
@@ -145,6 +250,45 @@ func (e *Engine) bump(q, p uint16) {
 	m[p]++
 }
 
+func (e *Engine) bumpFull(q, p uint16) {
+	m := e.fullCooc[q]
+	if m == nil {
+		m = make(map[uint16]int)
+		e.fullCooc[q] = m
+	}
+	m[p]++
+}
+
+// ObserveFull marks a host as fully scanned (all 65K ports probed, e.g. by
+// the one-time seed scan): its subsequent Observe stream is a complete
+// picture, so its port pairs enter the sample-conditioned co-occurrence
+// estimate. Call it before feeding the host's observations. Ports already
+// known for the host are incorporated immediately.
+func (e *Engine) ObserveFull(addr netip.Addr) {
+	a := addr.Unmap()
+	if !a.Is4() {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.fullHosts[a] {
+		return
+	}
+	e.fullHosts[a] = true
+	ports := make([]uint16, 0, len(e.hostPorts[a]))
+	for p := range e.hostPorts[a] {
+		ports = append(ports, p)
+	}
+	sort.Slice(ports, func(i, j int) bool { return ports[i] < ports[j] })
+	for i, p := range ports {
+		e.fullPortHosts[p]++
+		for _, q := range ports[:i] {
+			e.bumpFull(q, p)
+			e.bumpFull(p, q)
+		}
+	}
+}
+
 // KnownHosts reports how many hosts the model has seen.
 func (e *Engine) KnownHosts() int {
 	e.mu.Lock()
@@ -152,84 +296,268 @@ func (e *Engine) KnownHosts() int {
 	return len(e.hosts)
 }
 
+// SetExcluded replaces the exclusion subtrees: no recommendation — refined
+// or expanded — is ever emitted inside an excluded prefix, and covered /24s
+// drop out of the topology ranking entirely.
+func (e *Engine) SetExcluded(prefixes []netip.Prefix) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.topo.SetExcluded(prefixes)
+}
+
+// Stats is a point-in-time model summary (telemetry input).
+type Stats struct {
+	// KnownHosts is the model's training-set size.
+	KnownHosts int
+	// TrackedPrefixes counts populated /24 leaves in the topology tree.
+	TrackedPrefixes int
+	// SuggestedResident is the cooldown book's current size (bounded: one
+	// Cooldown window of suggestions).
+	SuggestedResident int
+	// PendingReinjections is the eviction retry queue depth.
+	PendingReinjections int
+}
+
+// ModelStats reports the engine's current size counters.
+func (e *Engine) ModelStats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		KnownHosts:          len(e.hosts),
+		TrackedPrefixes:     e.topo.Tracked24s(),
+		SuggestedResident:   len(e.suggested),
+		PendingReinjections: len(e.evicted),
+	}
+}
+
 // Recommend returns up to budget probable service locations not currently
-// known, rotating across learned hosts. Recommendations honour the cooldown.
+// known, visiting /24s in topology density rank. The budget splits between
+// conditional refinement on known hosts and topology expansion into
+// unobserved neighbor addresses; both honour the cooldown and the exclusion
+// subtrees. Expired cooldown entries are swept first, so the suggestion book
+// stays bounded by one Cooldown window.
 func (e *Engine) Recommend(now time.Time, budget int) []Target {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	var out []Target
-	if len(e.hosts) == 0 || budget <= 0 {
+	for tgt, at := range e.suggested {
+		if now.Sub(at) >= e.cfg.Cooldown {
+			delete(e.suggested, tgt)
+		}
+	}
+	if budget <= 0 || len(e.hosts) == 0 {
 		return nil
 	}
-	scanned := 0
-	for scanned < len(e.hosts) && len(out) < budget {
-		addr := e.hosts[e.cursor%len(e.hosts)]
-		e.cursor++
-		scanned++
-		known := e.hostPorts[addr]
+	ranked := e.topo.Ranked()
+	if len(ranked) == 0 {
+		return nil
+	}
 
-		for _, cand := range e.candidatesFor(addr, known) {
-			if len(out) >= budget {
+	expandBudget := int(float64(budget) * e.cfg.ExpandFraction)
+	refineBudget := budget - expandBudget
+	var out []Target
+
+	// Phase 1 — conditional refinement: known hosts inside ranked /24s get
+	// their strongest-likelihood missing ports, rotating the starting prefix
+	// so every dense /24 gets a turn across ticks.
+	visited := 0
+	for visited < len(ranked) && len(out) < refineBudget {
+		base := ranked[(e.cursor+visited)%len(ranked)]
+		visited++
+		for _, addr := range e.hosts24[base] {
+			if len(out) >= refineBudget {
 				break
 			}
-			tgt := Target{Addr: addr, Port: cand.port, Transport: entity.TCP, Reason: cand.reason}
-			if _, dup := known[cand.port]; dup {
-				continue
+			known := e.hostPorts[addr]
+			for _, cand := range e.candidatesFor(addr, base, known) {
+				if len(out) >= refineBudget {
+					break
+				}
+				e.emit(&out, Target{Addr: addr, Port: cand.port,
+					Transport: entity.TCP, Reason: cand.reason}, known, now)
 			}
-			if last, ok := e.suggested[tgt]; ok && now.Sub(last) < e.cfg.Cooldown {
-				continue
-			}
-			e.suggested[tgt] = now
-			out = append(out, tgt)
 		}
+	}
+	e.cursor = (e.cursor + visited) % len(ranked)
+
+	// Phase 2 — topology expansion: unobserved addresses inside dense /24s,
+	// probed on the prefix's dominant ports, in ascending address order. Any
+	// refinement budget left over flows into expansion (len(out) gates on
+	// the full budget).
+	if expandBudget > 0 {
+		scanned := 0
+		for scanned < len(ranked) && len(out) < budget {
+			base := ranked[(e.expandCursor+scanned)%len(ranked)]
+			scanned++
+			members := e.hosts24[base]
+			if len(members) < e.cfg.MinExpandHosts {
+				continue
+			}
+			ports := e.densePorts(base, len(members))
+			if len(ports) == 0 {
+				continue
+			}
+			for off := 1; off <= 254 && len(out) < budget; off++ {
+				addr := addrAt(base, uint8(off))
+				if _, seen := e.hostPorts[addr]; seen {
+					continue
+				}
+				for _, p := range ports {
+					if len(out) >= budget {
+						break
+					}
+					e.emit(&out, Target{Addr: addr, Port: p,
+						Transport: entity.TCP, Reason: "expand"}, nil, now)
+				}
+			}
+		}
+		e.expandCursor = (e.expandCursor + scanned) % len(ranked)
 	}
 	return out
 }
 
+// emit appends tgt if it passes the gates every recommendation must clear:
+// the port is not already known on the host, the address is outside every
+// exclusion subtree, and the target is not cooling down.
+func (e *Engine) emit(out *[]Target, tgt Target, known map[uint16]entity.Transport, now time.Time) {
+	if _, dup := known[tgt.Port]; dup {
+		return
+	}
+	if !e.topo.Allowed(tgt.Addr) {
+		return
+	}
+	if _, cooling := e.suggested[tgt]; cooling {
+		return
+	}
+	e.suggested[tgt] = now
+	*out = append(*out, tgt)
+}
+
+// addrAt returns base's /24 member at the given final octet.
+func addrAt(base netip.Addr, off uint8) netip.Addr {
+	b := base.As4()
+	b[3] = off
+	return netip.AddrFrom4(b)
+}
+
+// densePorts returns the /24's dominant ports for expansion: conditional
+// frequency at least max(MinScore, 0.5) — expansion probes addresses with no
+// evidence of a host, so only strong prefix-wide patterns justify it — best
+// two by (frequency, port).
+func (e *Engine) densePorts(base netip.Addr, members int) []uint16 {
+	m := e.net24Ports[base]
+	if m == nil || members == 0 {
+		return nil
+	}
+	floor := e.cfg.MinScore
+	if floor < 0.5 {
+		floor = 0.5
+	}
+	var out []portCount
+	for p, c := range m {
+		if float64(c)/float64(members) >= floor {
+			out = append(out, portCount{p, c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].count != out[j].count {
+			return out[i].count > out[j].count
+		}
+		return out[i].port < out[j].port
+	})
+	if len(out) > 2 {
+		out = out[:2]
+	}
+	ports := make([]uint16, len(out))
+	for i, pc := range out {
+		ports[i] = pc.port
+	}
+	return ports
+}
+
 type scored struct {
 	port   uint16
-	score  float64
+	score  float64 // strongest stage-2 conditional likelihood
+	prior  float64 // stage-1 popularity (tiebreak)
 	reason string
 }
 
-// candidatesFor merges the network-locality and co-occurrence signals for
-// one host.
-func (e *Engine) candidatesFor(addr netip.Addr, known map[uint16]entity.Transport) []scored {
+// candidatesFor runs the two-stage model for one host: every candidate port
+// gets its strongest conditional likelihood (cross-/24 locality or cross-port
+// co-occurrence), candidates below MinScore are dropped, and survivors rank
+// by likelihood with the stage-1 prior as tiebreak.
+func (e *Engine) candidatesFor(addr, n24 netip.Addr, known map[uint16]entity.Transport) []scored {
 	agg := map[uint16]*scored{}
-
-	// Network locality: popular ports within this /24.
-	if m := e.net24Ports[net24(addr)]; m != nil {
-		for _, pc := range topPorts(m, e.cfg.TopK) {
-			s := agg[pc.port]
-			if s == nil {
-				s = &scored{port: pc.port, reason: "net24"}
-				agg[pc.port] = s
-			}
-			s.score += float64(pc.count)
+	upsert := func(p uint16, score float64, reason string) {
+		if score > 1 {
+			score = 1 // eviction keeps cooc cumulative; clamp the estimate
+		}
+		s := agg[p]
+		if s == nil {
+			agg[p] = &scored{port: p, score: score, reason: reason}
+			return
+		}
+		if score > s.score {
+			s.score, s.reason = score, reason
 		}
 	}
 
-	// Co-occurrence: ports that tend to accompany this host's known ports.
+	// Cross-/24 locality: P(p | host's /24).
+	if m := e.net24Ports[n24]; m != nil {
+		if members := len(e.hosts24[n24]); members > 0 {
+			for _, pc := range topPorts(m, e.cfg.TopK) {
+				upsert(pc.port, float64(pc.count)/float64(members), "net24")
+			}
+		}
+	}
+
+	// Cross-port co-occurrence: P(p | host runs q), strongest q wins. The
+	// estimate conditions on the fully scanned sample when it covers q —
+	// partially scanned hosts censor their tail ports, so dividing by every
+	// host running q would drown real tail-port associations. When no
+	// fully scanned host runs q, fall back to the live counts. Known ports
+	// iterate sorted so equal-likelihood reasons are deterministic.
+	qs := make([]uint16, 0, len(known))
 	for q := range known {
+		qs = append(qs, q)
+	}
+	sort.Slice(qs, func(i, j int) bool { return qs[i] < qs[j] })
+	for _, q := range qs {
+		if fn := e.fullPortHosts[q]; fn > 0 {
+			if m := e.fullCooc[q]; m != nil {
+				for _, pc := range topPorts(m, e.cfg.TopK) {
+					upsert(pc.port, float64(pc.count)/float64(fn), "cooc")
+				}
+			}
+			continue
+		}
+		qn := e.portHosts[q]
+		if qn == 0 {
+			continue
+		}
 		if m := e.cooc[q]; m != nil {
 			for _, pc := range topPorts(m, e.cfg.TopK) {
-				s := agg[pc.port]
-				if s == nil {
-					s = &scored{port: pc.port, reason: "cooc"}
-					agg[pc.port] = s
-				}
-				s.score += float64(pc.count) * 2 // co-occurrence is the stronger signal
+				upsert(pc.port, float64(pc.count)/float64(qn), "cooc")
 			}
 		}
 	}
 
+	total := len(e.hosts)
 	out := make([]scored, 0, len(agg))
 	for _, s := range agg {
+		if s.score < e.cfg.MinScore {
+			continue
+		}
+		if total > 0 {
+			s.prior = float64(e.portHosts[s.port]) / float64(total)
+		}
 		out = append(out, *s)
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].score != out[j].score {
 			return out[i].score > out[j].score
+		}
+		if out[i].prior != out[j].prior {
+			return out[i].prior > out[j].prior
 		}
 		return out[i].port < out[j].port
 	})
@@ -261,20 +589,48 @@ func topPorts(m map[uint16]int, k int) []portCount {
 	return out
 }
 
-// RecordEvicted queues an evicted service for re-injection.
+// RecordEvicted queues an evicted service for re-injection and removes it
+// from the live model: the prior, the /24 density, and the topology tree all
+// stop counting it (co-occurrence history stays — it is evidence, not
+// state).
 func (e *Engine) RecordEvicted(addr netip.Addr, port uint16, transport entity.Transport, now time.Time) {
+	addr = addr.Unmap()
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	tgt := Target{Addr: addr, Port: port, Transport: transport, Reason: "reinject"}
 	e.evicted[tgt] = evictedEntry{at: now}
-	// The service is no longer known on the host model.
-	if hp := e.hostPorts[addr]; hp != nil {
-		delete(hp, port)
+	hp := e.hostPorts[addr]
+	if hp == nil {
+		return
+	}
+	if _, had := hp[port]; !had {
+		return
+	}
+	delete(hp, port)
+	if e.portHosts[port] > 1 {
+		e.portHosts[port]--
+	} else {
+		delete(e.portHosts, port)
+	}
+	if n24, ok := net24(addr); ok {
+		if m := e.net24Ports[n24]; m != nil {
+			if m[port] > 1 {
+				m[port]--
+			} else {
+				delete(m, port)
+				if len(m) == 0 {
+					delete(e.net24Ports, n24)
+				}
+			}
+		}
+		e.topo.EvictService(n24)
 	}
 }
 
 // Reinjections returns evicted services due for a retry: each is retried on
 // the ReinjectEvery cadence until ReinjectFor has elapsed since eviction.
+// Targets inside exclusion subtrees are withheld (they stay queued: an
+// exclusion can be rescinded before the retry window closes).
 func (e *Engine) Reinjections(now time.Time) []Target {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -285,6 +641,9 @@ func (e *Engine) Reinjections(now time.Time) []Target {
 			continue
 		}
 		if !entry.lastRetry.IsZero() && now.Sub(entry.lastRetry) < e.cfg.ReinjectEvery {
+			continue
+		}
+		if !e.topo.Allowed(tgt.Addr) {
 			continue
 		}
 		entry.lastRetry = now
@@ -304,7 +663,7 @@ func (e *Engine) Reinjections(now time.Time) []Target {
 func (e *Engine) Resolve(addr netip.Addr, port uint16, transport entity.Transport) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	delete(e.evicted, Target{Addr: addr, Port: port, Transport: transport, Reason: "reinject"})
+	delete(e.evicted, Target{Addr: addr.Unmap(), Port: port, Transport: transport, Reason: "reinject"})
 }
 
 // PendingReinjections reports the queue size.
@@ -314,10 +673,11 @@ func (e *Engine) PendingReinjections() int {
 	return len(e.evicted)
 }
 
-func net24(a netip.Addr) netip.Addr {
-	b := a.As4()
-	b[3] = 0
-	return netip.AddrFrom4(b)
+// SuggestedResident reports the cooldown book's size (bound assertion hook).
+func (e *Engine) SuggestedResident() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.suggested)
 }
 
 // SuggestedEntry is one cooldown-clock entry, exported for checkpointing.
@@ -336,14 +696,24 @@ type EvictedState struct {
 // State is the engine's full serializable model state. Map-shaped signals
 // stay maps (their iteration order never reaches output); the cooldown and
 // re-injection books become canonically sorted slices because their struct
-// keys cannot be JSON map keys.
+// keys cannot be JSON map keys. The stage-1 priors and the per-/24 host
+// lists are derived views of HostPorts and are rebuilt on Restore.
 type State struct {
 	Net24Ports map[netip.Addr]map[uint16]int              `json:"net24_ports,omitempty"`
 	Cooc       map[uint16]map[uint16]int                  `json:"cooc,omitempty"`
 	HostPorts  map[netip.Addr]map[uint16]entity.Transport `json:"host_ports,omitempty"`
+	// FullHosts is the fully scanned sample (sorted); FullCooc/FullPortHosts
+	// are the sample-conditioned co-occurrence counts.
+	FullHosts     []netip.Addr              `json:"full_hosts,omitempty"`
+	FullCooc      map[uint16]map[uint16]int `json:"full_cooc,omitempty"`
+	FullPortHosts map[uint16]int            `json:"full_port_hosts,omitempty"`
 	Suggested  []SuggestedEntry                           `json:"suggested,omitempty"`
 	Evicted    []EvictedState                             `json:"evicted,omitempty"`
 	Cursor     int                                        `json:"cursor"`
+	// ExpandCursor is the expansion phase's rotation position.
+	ExpandCursor int `json:"expand_cursor"`
+	// Topology is the density-ranked prefix tree.
+	Topology TopologyState `json:"topology"`
 }
 
 func lessTarget(a, b Target) bool {
@@ -364,10 +734,12 @@ func (e *Engine) State() State {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	st := State{
-		Net24Ports: make(map[netip.Addr]map[uint16]int, len(e.net24Ports)),
-		Cooc:       make(map[uint16]map[uint16]int, len(e.cooc)),
-		HostPorts:  make(map[netip.Addr]map[uint16]entity.Transport, len(e.hostPorts)),
-		Cursor:     e.cursor,
+		Net24Ports:   make(map[netip.Addr]map[uint16]int, len(e.net24Ports)),
+		Cooc:         make(map[uint16]map[uint16]int, len(e.cooc)),
+		HostPorts:    make(map[netip.Addr]map[uint16]entity.Transport, len(e.hostPorts)),
+		Cursor:       e.cursor,
+		ExpandCursor: e.expandCursor,
+		Topology:     e.topo.State(),
 	}
 	for k, m := range e.net24Ports {
 		c := make(map[uint16]int, len(m))
@@ -382,6 +754,25 @@ func (e *Engine) State() State {
 			c[p] = n
 		}
 		st.Cooc[k] = c
+	}
+	if len(e.fullHosts) > 0 {
+		st.FullHosts = make([]netip.Addr, 0, len(e.fullHosts))
+		for a := range e.fullHosts {
+			st.FullHosts = append(st.FullHosts, a)
+		}
+		sort.Slice(st.FullHosts, func(i, j int) bool { return st.FullHosts[i].Less(st.FullHosts[j]) })
+		st.FullCooc = make(map[uint16]map[uint16]int, len(e.fullCooc))
+		for k, m := range e.fullCooc {
+			c := make(map[uint16]int, len(m))
+			for p, n := range m {
+				c[p] = n
+			}
+			st.FullCooc[k] = c
+		}
+		st.FullPortHosts = make(map[uint16]int, len(e.fullPortHosts))
+		for p, n := range e.fullPortHosts {
+			st.FullPortHosts[p] = n
+		}
 	}
 	for k, m := range e.hostPorts {
 		c := make(map[uint16]entity.Transport, len(m))
@@ -402,8 +793,8 @@ func (e *Engine) State() State {
 }
 
 // Restore replaces the engine's model with a captured state. The sorted host
-// rotation list is rebuilt from the host-port map, so the Recommend order
-// matches the engine that produced the state.
+// rotation lists and the stage-1 priors are rebuilt from the host-port map,
+// so the Recommend order matches the engine that produced the state.
 func (e *Engine) Restore(st State) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -423,17 +814,43 @@ func (e *Engine) Restore(st State) {
 		}
 		e.cooc[k] = c
 	}
+	e.fullHosts = make(map[netip.Addr]bool, len(st.FullHosts))
+	for _, a := range st.FullHosts {
+		e.fullHosts[a] = true
+	}
+	e.fullCooc = make(map[uint16]map[uint16]int, len(st.FullCooc))
+	for k, m := range st.FullCooc {
+		c := make(map[uint16]int, len(m))
+		for p, n := range m {
+			c[p] = n
+		}
+		e.fullCooc[k] = c
+	}
+	e.fullPortHosts = make(map[uint16]int, len(st.FullPortHosts))
+	for p, n := range st.FullPortHosts {
+		e.fullPortHosts[p] = n
+	}
 	e.hostPorts = make(map[netip.Addr]map[uint16]entity.Transport, len(st.HostPorts))
+	e.portHosts = make(map[uint16]int)
 	e.hosts = e.hosts[:0]
+	e.hosts24 = make(map[netip.Addr][]netip.Addr)
 	for k, m := range st.HostPorts {
 		c := make(map[uint16]entity.Transport, len(m))
 		for p, t := range m {
 			c[p] = t
+			e.portHosts[p]++
 		}
 		e.hostPorts[k] = c
 		e.hosts = append(e.hosts, k)
+		if n24, ok := net24(k); ok {
+			e.hosts24[n24] = append(e.hosts24[n24], k)
+		}
 	}
 	sort.Slice(e.hosts, func(i, j int) bool { return e.hosts[i].Less(e.hosts[j]) })
+	for _, members := range e.hosts24 {
+		sort.Slice(members, func(i, j int) bool { return members[i].Less(members[j]) })
+	}
+	e.topo.Restore(st.Topology)
 	e.suggested = make(map[Target]time.Time, len(st.Suggested))
 	for _, s := range st.Suggested {
 		e.suggested[s.Target] = s.At
@@ -443,4 +860,5 @@ func (e *Engine) Restore(st State) {
 		e.evicted[ev.Target] = evictedEntry{at: ev.At, lastRetry: ev.LastRetry}
 	}
 	e.cursor = st.Cursor
+	e.expandCursor = st.ExpandCursor
 }

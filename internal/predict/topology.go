@@ -1,0 +1,242 @@
+package predict
+
+import (
+	"net/netip"
+	"sort"
+)
+
+// Topology is the topology-aware prefix selector: a density-ranked prefix
+// tree over the hosts the model has confirmed, in the spirit of Klick et
+// al.'s population-aware scanning. Observed hosts populate /16 nodes that
+// drill down into /24 leaves; Ranked returns the populated /24s ordered by
+// observed service density, which is the order Recommend spends its budget
+// in — probes concentrate where services demonstrably cluster.
+//
+// The tree also carries the hard exclusion subtrees (operator opt-outs and
+// static config): a /24 covered by an excluded prefix never appears in
+// Ranked, and Allowed gates every emitted target individually so exclusions
+// narrower than a /24 hold too. The invariant — no recommendation inside an
+// excluded prefix, ever — is asserted by TestPredictDiff's wire-level
+// recorder and fuzzed by FuzzPrefixExclusion.
+//
+// Topology is not safe for concurrent use; the Engine serializes access
+// under its own lock. All state is commutative counts, so concurrent
+// observation order never changes the tree.
+type Topology struct {
+	roots map[netip.Addr]*prefixNode16
+	// excluded holds masked, sorted opt-out prefixes (the exclusion
+	// subtrees).
+	excluded []netip.Prefix
+}
+
+type prefixNode16 struct {
+	hosts    int
+	services int
+	children map[netip.Addr]*prefixNode24
+}
+
+type prefixNode24 struct {
+	hosts    int
+	services int
+}
+
+// NewTopology creates an empty tree.
+func NewTopology() *Topology {
+	return &Topology{roots: make(map[netip.Addr]*prefixNode16)}
+}
+
+// net16of returns the /16 base for a /24 base address.
+func net16of(n24 netip.Addr) netip.Addr {
+	p, _ := n24.Prefix(16)
+	return p.Addr()
+}
+
+func (t *Topology) node24(n24 netip.Addr) *prefixNode24 {
+	n16 := net16of(n24)
+	root := t.roots[n16]
+	if root == nil {
+		root = &prefixNode16{children: make(map[netip.Addr]*prefixNode24)}
+		t.roots[n16] = root
+	}
+	leaf := root.children[n24]
+	if leaf == nil {
+		leaf = &prefixNode24{}
+		root.children[n24] = leaf
+	}
+	return leaf
+}
+
+// ObserveHost records a newly seen host inside the /24 rooted at n24.
+func (t *Topology) ObserveHost(n24 netip.Addr) {
+	leaf := t.node24(n24)
+	leaf.hosts++
+	t.roots[net16of(n24)].hosts++
+}
+
+// ObserveService records a newly confirmed service inside the /24.
+func (t *Topology) ObserveService(n24 netip.Addr) {
+	leaf := t.node24(n24)
+	leaf.services++
+	t.roots[net16of(n24)].services++
+}
+
+// EvictService removes one confirmed service from the /24's density.
+func (t *Topology) EvictService(n24 netip.Addr) {
+	root := t.roots[net16of(n24)]
+	if root == nil {
+		return
+	}
+	if leaf := root.children[n24]; leaf != nil && leaf.services > 0 {
+		leaf.services--
+		root.services--
+	}
+}
+
+// SetExcluded replaces the exclusion subtrees. Prefixes are masked and
+// canonically sorted so the pruning below is order-independent.
+func (t *Topology) SetExcluded(prefixes []netip.Prefix) {
+	out := make([]netip.Prefix, 0, len(prefixes))
+	for _, p := range prefixes {
+		out = append(out, p.Masked())
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Addr() != out[j].Addr() {
+			return out[i].Addr().Less(out[j].Addr())
+		}
+		return out[i].Bits() < out[j].Bits()
+	})
+	t.excluded = out
+}
+
+// Allowed reports whether addr is outside every exclusion subtree.
+func (t *Topology) Allowed(addr netip.Addr) bool {
+	for _, p := range t.excluded {
+		if p.Contains(addr) {
+			return false
+		}
+	}
+	return true
+}
+
+// excluded24 reports whether the whole /24 at base sits inside an exclusion
+// subtree (prefixes wider than /24 prune the leaf entirely; narrower ones
+// are handled per-address by Allowed).
+func (t *Topology) excluded24(base netip.Addr) bool {
+	for _, p := range t.excluded {
+		if p.Bits() <= 24 && p.Contains(base) {
+			return true
+		}
+	}
+	return false
+}
+
+// Ranked returns the populated /24 bases in probe-priority order: /16
+// subtrees by (services, hosts) descending, then each subtree's /24s the
+// same way, base address as the tiebreak. Leaves inside exclusion subtrees
+// never appear.
+func (t *Topology) Ranked() []netip.Addr {
+	type n16 struct {
+		base     netip.Addr
+		hosts    int
+		services int
+	}
+	tops := make([]n16, 0, len(t.roots))
+	for base, root := range t.roots {
+		tops = append(tops, n16{base: base, hosts: root.hosts, services: root.services})
+	}
+	sort.Slice(tops, func(i, j int) bool {
+		a, b := tops[i], tops[j]
+		if a.services != b.services {
+			return a.services > b.services
+		}
+		if a.hosts != b.hosts {
+			return a.hosts > b.hosts
+		}
+		return a.base.Less(b.base)
+	})
+	var out []netip.Addr
+	for _, top := range tops {
+		root := t.roots[top.base]
+		type n24 struct {
+			base     netip.Addr
+			hosts    int
+			services int
+		}
+		leaves := make([]n24, 0, len(root.children))
+		for base, leaf := range root.children {
+			if t.excluded24(base) {
+				continue
+			}
+			leaves = append(leaves, n24{base: base, hosts: leaf.hosts, services: leaf.services})
+		}
+		sort.Slice(leaves, func(i, j int) bool {
+			a, b := leaves[i], leaves[j]
+			if a.services != b.services {
+				return a.services > b.services
+			}
+			if a.hosts != b.hosts {
+				return a.hosts > b.hosts
+			}
+			return a.base.Less(b.base)
+		})
+		for _, leaf := range leaves {
+			out = append(out, leaf.base)
+		}
+	}
+	return out
+}
+
+// Tracked24s reports how many populated /24 leaves the tree holds.
+func (t *Topology) Tracked24s() int {
+	n := 0
+	for _, root := range t.roots {
+		n += len(root.children)
+	}
+	return n
+}
+
+// PrefixDensity is one /24 leaf's serialized density.
+type PrefixDensity struct {
+	Base     netip.Addr `json:"base"`
+	Hosts    int        `json:"hosts"`
+	Services int        `json:"services"`
+}
+
+// TopologyState is the tree's serializable form: /24 leaves only (the /16
+// level is an aggregation and is rebuilt on restore), canonically sorted.
+type TopologyState struct {
+	Prefixes []PrefixDensity `json:"prefixes,omitempty"`
+	Excluded []netip.Prefix  `json:"excluded,omitempty"`
+}
+
+// State captures the tree for checkpointing.
+func (t *Topology) State() TopologyState {
+	st := TopologyState{Excluded: append([]netip.Prefix(nil), t.excluded...)}
+	for _, root := range t.roots {
+		for base, leaf := range root.children {
+			st.Prefixes = append(st.Prefixes, PrefixDensity{
+				Base: base, Hosts: leaf.hosts, Services: leaf.services})
+		}
+	}
+	sort.Slice(st.Prefixes, func(i, j int) bool {
+		return st.Prefixes[i].Base.Less(st.Prefixes[j].Base)
+	})
+	return st
+}
+
+// Restore replaces the tree with a captured state.
+func (t *Topology) Restore(st TopologyState) {
+	t.roots = make(map[netip.Addr]*prefixNode16)
+	for _, pd := range st.Prefixes {
+		n16 := net16of(pd.Base)
+		root := t.roots[n16]
+		if root == nil {
+			root = &prefixNode16{children: make(map[netip.Addr]*prefixNode24)}
+			t.roots[n16] = root
+		}
+		root.children[pd.Base] = &prefixNode24{hosts: pd.Hosts, services: pd.Services}
+		root.hosts += pd.Hosts
+		root.services += pd.Services
+	}
+	t.excluded = append([]netip.Prefix(nil), st.Excluded...)
+}

@@ -120,6 +120,47 @@ func pickProtocol(r uint64, port uint16, onDefault bool) string {
 	return protocolWeights[i].name
 }
 
+// deployTemplate is a shared operator deployment: hosts in a patterned /24
+// carry each service independently with probability p. Every template
+// anchors on at least one port the priority scan covers daily (80, 7547,
+// 502, 3306, 8443) and adds companion services on tail ports no fixed port
+// list reaches — the cross-port structure predictive scanning exists to
+// exploit (a 100-ports/IP/day background sweep needs months to stumble on
+// them).
+type deployTemplate struct {
+	name  string
+	ports []templatePort
+}
+
+type templatePort struct {
+	port  uint16
+	proto string
+	p     float64
+}
+
+var deployTemplates = []deployTemplate{
+	{"web-stack", []templatePort{
+		{80, "HTTP", 0.95}, {443, "HTTP", 0.80}, {22, "SSH", 0.60},
+		{8006, "HTTP", 0.55}, {30005, "HTTP", 0.50},
+	}},
+	{"iot-fleet", []templatePort{
+		{7547, "HTTP", 0.90}, {23, "TELNET", 0.40},
+		{37215, "HTTP", 0.55}, {4567, "HTTP", 0.50},
+	}},
+	{"ics-cell", []templatePort{
+		{502, "MODBUS", 0.85}, {80, "HTTP", 0.50},
+		{20034, "HTTP", 0.50}, {8087, "HTTP", 0.45},
+	}},
+	{"db-tier", []templatePort{
+		{3306, "MYSQL", 0.80}, {22, "SSH", 0.75},
+		{9201, "HTTP", 0.55}, {18083, "HTTP", 0.50},
+	}},
+	{"mgmt-plane", []templatePort{
+		{8443, "HTTP", 0.85}, {443, "HTTP", 0.50},
+		{37777, "HTTP", 0.50}, {60443, "HTTP", 0.45},
+	}},
+}
+
 // countries with rough weights; the per-/24 assignment gives geographic
 // network structure.
 var countries = []struct {

@@ -60,6 +60,14 @@ type Config struct {
 	// GeoblockRate is the fraction of /24 networks that drop probes from
 	// out-of-country vantage points.
 	GeoblockRate float64
+	// DeploymentPatterns is the fraction of non-cloud /24 networks whose
+	// hosts draw services from a shared operator template (web stack, IoT
+	// fleet, ICS cell, ...) instead of independent per-service draws. This is
+	// the correlated deployment structure of §2.2 that predictive scanning
+	// learns from: each template anchors on a commonly scanned port and adds
+	// companion services on tail ports. 0 (the default) disables patterning
+	// and leaves universe generation byte-identical to previous builds.
+	DeploymentPatterns float64
 	// BlockThreshold is the number of probes per source IP per /24 per day
 	// beyond which the network blocks that scanner (aggressive scanning ->
 	// blocking, Wan et al.).
@@ -278,13 +286,38 @@ func (n *Internet) makeHost(a netip.Addr, off uint32) *Host {
 		return h // pseudo-hosts answer everywhere; no real slots needed
 	}
 
+	used := map[uint16]bool{}
+	if tmpl := n.patternFor(block24, cloud); tmpl != nil {
+		// Patterned /24: the operator template decides the port set; each
+		// host carries each template service independently, plus an
+		// occasional off-template service so the tail stays realistic.
+		for i, tp := range tmpl.ports {
+			if frac(mix(n.cfg.Seed, 0xDE9, uint64(off)*16+uint64(i))) >= tp.p {
+				continue
+			}
+			slot := n.finishSlot(off, i, cloud, h.Country, tp.port, tp.proto)
+			if used[slot.Port] {
+				continue
+			}
+			used[slot.Port] = true
+			h.Slots = append(h.Slots, slot)
+		}
+		if frac(mix(n.cfg.Seed, 0xDEA, uint64(off))) < 0.25 {
+			slot := n.makeSlot(off, len(tmpl.ports), cloud, h.Country)
+			if !used[slot.Port] {
+				used[slot.Port] = true
+				h.Slots = append(h.Slots, slot)
+			}
+		}
+		return h
+	}
+
 	// Number of service slots: 1 + geometric-ish; cloud hosts run more.
 	mean := n.cfg.MeanServices
 	if cloud {
 		mean *= 1.6
 	}
 	slots := 1 + int(float64(mix(n.cfg.Seed, 0x51, uint64(off))%1000)/1000*2*(mean-1)+0.5)
-	used := map[uint16]bool{}
 	for i := 0; i < slots; i++ {
 		slot := n.makeSlot(off, i, cloud, h.Country)
 		if used[slot.Port] {
@@ -318,11 +351,30 @@ func (n *Internet) makeHost(a netip.Addr, off uint32) *Host {
 	return h
 }
 
+// patternFor returns the operator template a /24 is patterned on, or nil.
+// Cloud blocks keep their own identity (wide port sets, fast churn).
+func (n *Internet) patternFor(block24 uint32, cloud bool) *deployTemplate {
+	if cloud || n.cfg.DeploymentPatterns <= 0 {
+		return nil
+	}
+	if frac(mix(n.cfg.Seed, 0xDEB1, uint64(block24))) >= n.cfg.DeploymentPatterns {
+		return nil
+	}
+	return &deployTemplates[mix(n.cfg.Seed, 0xDEB2, uint64(block24))%uint64(len(deployTemplates))]
+}
+
 func (n *Internet) makeSlot(off uint32, i int, cloud bool, country string) *Slot {
 	r := func(purpose uint64) uint64 { return mix(n.cfg.Seed, purpose, uint64(off)*16+uint64(i)) }
-
 	port, onDefault := pickPort(r(0x01))
 	proto := pickProtocol(r(0x02), port, onDefault)
+	return n.finishSlot(off, i, cloud, country, port, proto)
+}
+
+// finishSlot builds a slot for a decided (port, protocol): spec, birth, and
+// churn schedule. The draw sequence matches the old inline implementation,
+// so unpatterned universes generate byte-identically.
+func (n *Internet) finishSlot(off uint32, i int, cloud bool, country string, port uint16, proto string) *Slot {
+	r := func(purpose uint64) uint64 { return mix(n.cfg.Seed, purpose, uint64(off)*16+uint64(i)) }
 	p := protocols.Lookup(proto)
 	transport := p.Transport
 
