@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all vet lint build test race chaos chaos-disk cluster-diff fsck fuzz bench bench-search bench-json bench-delta serve-test loadgen predict-diff check
+.PHONY: all vet lint build test race chaos chaos-disk cluster-diff fsck fuzz bench bench-search bench-json bench-delta serve-test loadgen predict-diff adversarial check
 
 all: check
 
@@ -71,6 +71,7 @@ fuzz:
 	$(GO) test ./internal/durable/ -fuzz FuzzSegmentDecode -fuzztime 30s
 	$(GO) test ./internal/serve/ -fuzz FuzzDecodeCursor -fuzztime 30s
 	$(GO) test ./internal/predict/ -fuzz FuzzPrefixExclusion -fuzztime 30s
+	$(GO) test ./internal/simnet/ -fuzz FuzzScenarioDecode -fuzztime 30s
 
 # The serving-tier suite: HTTP conformance goldens over every /v2 route,
 # the export byte-stability differential (writes interleaved between pages),
@@ -115,6 +116,18 @@ predict-diff:
 	$(GO) test ./internal/eval/ -run 'PredictDiff'
 	$(GO) test ./internal/predict/ ./internal/discovery/
 
+# The adversarial scenario suite: hostile-substrate generation and scenario
+# codec under the race detector, interrogation deadline budgets against
+# tarpits (including pool liveness at 100% tarpit density), honeypot-farm
+# uniformity flagging, adaptive backoff + scanner rotation, the chaos
+# differentials over a hostile seed (same-seed, layout invariance,
+# kill/resume), and the per-engine mislabel/blocking/freshness replay.
+adversarial:
+	$(GO) test -race ./internal/simnet/ ./internal/interro/ ./internal/protocols/ ./internal/discovery/
+	$(GO) test -race ./internal/core/ -run 'Tarpit|Honeypot|Pseudo'
+	$(GO) test -race ./internal/chaos/ -run 'Adversarial'
+	$(GO) test ./internal/eval/ -run 'Adversarial'
+
 # Perf-regression gate: diff the newest working-tree BENCH_<date>.json
 # against the version committed at HEAD; fail on >15% ns/op or any allocs/op
 # regression. In `make check` the target is advisory (leading `-`): timing on
@@ -127,5 +140,5 @@ bench-delta:
 		echo "bench-delta: $$f not committed at HEAD; nothing to diff"; rm -f .bench_head.json; exit 0; fi; \
 	$(GO) run ./cmd/benchdelta -old .bench_head.json -new $$f; st=$$?; rm -f .bench_head.json; exit $$st
 
-check: lint build race chaos chaos-disk cluster-diff fsck serve-test predict-diff
+check: lint build race chaos chaos-disk cluster-diff fsck serve-test predict-diff adversarial
 	-$(MAKE) bench-delta

@@ -22,7 +22,9 @@ import (
 	"time"
 
 	"censysmap/internal/core"
+	"censysmap/internal/discovery"
 	"censysmap/internal/entity"
+	"censysmap/internal/interro"
 	"censysmap/internal/journal"
 	"censysmap/internal/serve"
 	"censysmap/internal/simclock"
@@ -59,6 +61,14 @@ type Options struct {
 	// Network overrides the synthetic Internet's full configuration; when
 	// set, Universe/Seed/HostDensity are ignored.
 	Network *simnet.Config
+	// Scenario turns on the adversarial scenario pack: a preset name from
+	// simnet.Scenarios() ("honeyfarm", "tarpit", "detector", "churn",
+	// "full") or a scenario string accepted by simnet.ParseScenario
+	// ("honeypot_farms=2,tarpit_rate=0.1"). The hostile overlay applies on
+	// top of Network/Universe generation, and the pipeline's countermeasures
+	// (interrogation deadline budgets, adaptive scan backoff, honeypot
+	// uniformity detection) default on unless Pipeline sets them explicitly.
+	Scenario string
 	// DisablePrediction turns the GPS-style predictive scheduler off:
 	// no seed scan, no cross-port model, no predicted targets. Applied
 	// after Pipeline defaulting, so it works with a zero Pipeline too.
@@ -99,6 +109,16 @@ func NewSystem(opts Options) (*System, error) {
 			ncfg.HostDensity = opts.HostDensity
 		}
 	}
+	if opts.Scenario != "" {
+		adv, ok := simnet.Scenarios()[opts.Scenario]
+		if !ok {
+			var err error
+			if adv, err = simnet.ParseScenario(opts.Scenario); err != nil {
+				return nil, fmt.Errorf("censysmap: %w", err)
+			}
+		}
+		ncfg.Adversary = adv
+	}
 	clk := simclock.New()
 	net := simnet.New(ncfg, clk)
 
@@ -115,6 +135,26 @@ func NewSystem(opts Options) (*System, error) {
 	}
 	if opts.DisablePrediction {
 		pcfg.DisablePrediction = true
+	}
+	if ncfg.Adversary.Enabled() {
+		// A hostile substrate without countermeasures wedges the worker pool
+		// on the first tarpit: default the defenses unless the caller chose
+		// their own (see DESIGN.md, "Adversarial scenarios").
+		if !pcfg.InterroBudget.Enabled() {
+			pcfg.InterroBudget = interro.Budget{
+				ReadTimeout: 2 * time.Second,
+				Handshake:   8 * time.Second,
+				Total:       30 * time.Second,
+			}
+		}
+		if !pcfg.ScanBackoff.Enabled() {
+			pcfg.ScanBackoff = discovery.BackoffPolicy{
+				StreakThreshold: 24, BaseTicks: 4, RotateAfter: 6,
+			}
+		}
+		if pcfg.HoneypotUniformityThreshold == 0 {
+			pcfg.HoneypotUniformityThreshold = 8
+		}
 	}
 	if opts.PredictBudgetPerTick > 0 {
 		pcfg.PredictBudgetPerTick = opts.PredictBudgetPerTick

@@ -111,3 +111,39 @@ func TestDefaultUniverse(t *testing.T) {
 		t.Fatal("clock mismatch")
 	}
 }
+
+func TestSystemScenarioOption(t *testing.T) {
+	// A preset name turns on the hostile overlay and the countermeasures.
+	sys, err := NewSystem(Options{
+		Universe: netip.MustParsePrefix("10.0.0.0/22"),
+		Seed:     7,
+		Scenario: "full",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := sys.Internet().AdversaryStats()
+	if st.Farms == 0 || st.TarpitHosts == 0 || st.ChurnHosts == 0 {
+		t.Fatalf("scenario \"full\" built a benign universe: %+v", st)
+	}
+	sys.Run(6 * time.Hour)
+	if sys.Map().InterroDeadlineStats().VirtualMillis == 0 {
+		t.Fatal("deadline budgets not defaulted on under a hostile scenario")
+	}
+
+	// A compact scenario string works too.
+	if _, err := NewSystem(Options{
+		Universe: netip.MustParsePrefix("10.0.0.0/22"),
+		Scenario: "honeypot_farms=1,banner_churn_rate=0.2",
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A bad scenario surfaces the parse error instead of a benign run.
+	if _, err := NewSystem(Options{
+		Universe: netip.MustParsePrefix("10.0.0.0/22"),
+		Scenario: "tarpit_rate=3",
+	}); err == nil {
+		t.Fatal("bad scenario accepted")
+	}
+}

@@ -174,6 +174,33 @@ func predictBench(p eval.PredictProfile, predictive bool) func(b *testing.B) {
 	}
 }
 
+// adversarialBench replays the hostile-universe profile end to end. The
+// replay is deterministic, so the metrics are identical across iterations;
+// only the wall time is averaged.
+func adversarialBench(p eval.AdversarialProfile) func(b *testing.B) {
+	return func(b *testing.B) {
+		var res eval.AdversarialResult
+		for i := 0; i < b.N; i++ {
+			var err error
+			res, err = eval.RunAdversarial(p)
+			if err != nil {
+				b.Fatal(err)
+			}
+		}
+		var censys eval.AdversarialEngineRow
+		for _, row := range res.Rows {
+			if row.Engine == "censysmap" {
+				censys = row
+			}
+		}
+		b.ReportMetric(100*censys.Coverage(), "coverage_pct")
+		b.ReportMetric(float64(censys.HoneypotRecords), "honeypot_records")
+		b.ReportMetric(float64(res.Pipeline.HoneypotsFlagged), "honeypots_flagged")
+		b.ReportMetric(float64(res.Pipeline.Deadline.TotalExhausted), "budget_exhausted")
+		b.ReportMetric(float64(censys.DetectorBlocks), "detector_blocks")
+	}
+}
+
 // runBenchJSON runs every workload and merges the rows into BENCH_<date>.json
 // in dir: regenerated rows replace same-named existing ones, and rows this
 // tool does not produce (loadgen's serve/* sweep) are preserved. It returns
@@ -232,6 +259,13 @@ func runBenchJSON(dir string) (string, error) {
 		record("predict/"+p.Name+"_exhaustive", predictBench(p, false))
 		record("predict/"+p.Name+"_predictive", predictBench(p, true))
 	}
+
+	// Adversarial row: the full hostile-universe replay (honeypot farms,
+	// tarpits, detectors, banner churn) with every countermeasure on. The
+	// metrics carry the survival outcome — coverage under attack, honeypots
+	// kept out of the dataset, budget exhaustions absorbed, blocks drawn.
+	advp := eval.DefaultAdversarialProfile()
+	record("adversarial/"+advp.Name, adversarialBench(advp))
 
 	// Merge: regenerated rows win by name; everything else in an existing
 	// same-day document (the loadgen serve/* sweep) is carried over.

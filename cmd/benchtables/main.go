@@ -8,6 +8,7 @@
 //	benchtables -quick          # small universe (seconds instead of minutes)
 //	benchtables -bench-json     # machine-readable benchmarks → BENCH_<date>.json
 //	benchtables -predict-diff   # predictive-vs-exhaustive scheduling comparison
+//	benchtables -adversarial    # hostile-universe per-engine scorecard
 package main
 
 import (
@@ -30,7 +31,19 @@ func main() {
 	benchDir := flag.String("bench-dir", ".", "directory BENCH_<date>.json is written into")
 	predictDiff := flag.Bool("predict-diff", false,
 		"replay the predictive-vs-exhaustive scheduling comparison and render its tables")
+	adversarial := flag.Bool("adversarial", false,
+		"replay the adversarial scenario pack and render the per-engine scorecard")
 	flag.Parse()
+
+	if *adversarial {
+		r, err := eval.RunAdversarial(eval.DefaultAdversarialProfile())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "adversarial:", err)
+			os.Exit(1)
+		}
+		fmt.Println(r.Render())
+		return
+	}
 
 	if *predictDiff {
 		for _, p := range eval.DefaultPredictProfiles() {

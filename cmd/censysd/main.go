@@ -18,6 +18,13 @@
 // requests are served under -anonymous-tier (default free); set it empty to
 // require a key.
 //
+// With -scenario the synthetic Internet turns hostile: a named preset
+// (honeyfarm, tarpit, detector, churn, full) or key=value pairs
+// (honeypot_farms=2,tarpit_rate=0.1) overlay honeypot farms, tarpits, scan
+// detectors, and banner churn on the universe, and the pipeline's
+// countermeasures (deadline budgets, adaptive backoff, honeypot uniformity
+// detection) default on.
+//
 // With -cluster-nodes N the process simulates an N-node serving cluster:
 // journal partitions replicate to per-node replica journals, point lookups
 // route to the partition's lease holder (X-Censys-Serving-Node names it),
@@ -38,6 +45,7 @@ import (
 	"censysmap"
 	"censysmap/internal/cluster"
 	"censysmap/internal/serve"
+	"censysmap/internal/simnet"
 )
 
 // parseTenants parses the -api-keys flag: comma-separated name:key:tier
@@ -77,6 +85,9 @@ func main() {
 		"GPS-style predictive scanning: seed scan, cross-port model, predicted targets")
 	predictBudget := flag.Int("predict-budget", 0,
 		"predictive probes per scheduling tick (0 = pipeline default; requires -predict)")
+	scenario := flag.String("scenario", "",
+		"adversarial scenario: a preset ("+strings.Join(simnet.ScenarioNames(), ", ")+
+			") or key=value pairs like honeypot_farms=2,tarpit_rate=0.1 (empty = benign)")
 	flag.Parse()
 
 	// The profiler gets its own listener and mux so /debug/pprof/ never
@@ -103,10 +114,17 @@ func main() {
 		os.Exit(2)
 	}
 	sys, err := censysmap.NewSystem(censysmap.Options{Universe: prefix, Seed: *seed,
-		DisablePrediction: !*predict, PredictBudgetPerTick: *predictBudget})
+		DisablePrediction: !*predict, PredictBudgetPerTick: *predictBudget,
+		Scenario: *scenario})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *scenario != "" {
+		st := sys.Internet().AdversaryStats()
+		fmt.Printf("scenario %q: %d farms (%d honeypots), %d tarpits (%d drip), %d detector /24s, %d churn hosts\n",
+			*scenario, st.Farms, st.HoneypotHosts, st.TarpitHosts, st.DripTarpits,
+			st.DetectorNets, st.ChurnHosts)
 	}
 
 	var cl *cluster.Cluster

@@ -78,6 +78,12 @@ func TestTelemetryDeterministicAcrossLayouts(t *testing.T) {
 		"censys_journal_snapshots_total",
 		"censys_chaos_faults_total",
 		"censys_interro_outcomes_total",
+		"censys_interro_deadline_exhausted_total",
+		"censys_interro_deadline_virtual_ms_total",
+		"censys_adversarial_deferred_probes_total",
+		"censys_adversarial_backoff_total",
+		"censys_adversarial_rotations_total",
+		"censys_adversarial_honeypots_flagged_total",
 		"censys_discovery_probes_total",
 		"censys_core_interrogations_total",
 		"censys_core_retries_scheduled_total",

@@ -7,6 +7,7 @@ import (
 
 	"censysmap/internal/discovery"
 	"censysmap/internal/entity"
+	"censysmap/internal/interro"
 	"censysmap/internal/journal"
 	"censysmap/internal/lookup"
 	"censysmap/internal/predict"
@@ -34,6 +35,7 @@ func (m *Map) Stats() RunStats {
 		PredictiveProbes: m.predictiveProbes.Load(),
 		Reinjected:       m.reinjected.Load(),
 		PseudoFiltered:   m.pseudoFiltered.Load(),
+		HoneypotsFlagged: m.honeypotsFlagged.Load(),
 	}
 }
 
@@ -93,7 +95,7 @@ func (m *Map) Host(addr netip.Addr, at time.Time) (*entity.Host, bool) {
 // cached-current-state path of the lookup API.
 func (m *Map) HostCurrent(addr netip.Addr) (*entity.Host, bool) {
 	h := m.processor.CurrentState(addr.String())
-	if h == nil || len(h.Services) == 0 || m.isPseudo(addr) {
+	if h == nil || len(h.Services) == 0 || m.isSuppressed(addr) {
 		return nil, false
 	}
 	m.enricher.Enrich(h)
@@ -142,7 +144,7 @@ func (m *Map) CurrentServices(includePending bool) []ServiceRecord {
 	var out []ServiceRecord
 	for _, id := range m.processor.EntityIDs() {
 		addr, err := netip.ParseAddr(id)
-		if err != nil || m.isPseudo(addr) {
+		if err != nil || m.isSuppressed(addr) {
 			continue
 		}
 		h := m.processor.CurrentState(id)
@@ -182,6 +184,43 @@ func (m *Map) JournalStats() journal.Stats { return m.processor.Journal().Stats(
 // WriteStats exposes (observations, unchanged-refresh) counters: the
 // fraction of refreshes that journal nothing is the delta-encoding win.
 func (m *Map) WriteStats() (observations, noChange uint64) { return m.processor.Stats() }
+
+// DiscoveryStats exposes the discovery engine's counters, including the
+// adaptive-backoff accounting (deferred probes, backoffs, rotations).
+func (m *Map) DiscoveryStats() discovery.Stats { return m.disc.Stats() }
+
+// ActiveBackoffs reports how many /24s discovery is currently backing off.
+func (m *Map) ActiveBackoffs() int { return m.disc.ActiveBackoffs() }
+
+// ScannerRotations reports how many identity rotations discovery performed.
+func (m *Map) ScannerRotations() int { return m.disc.Rotations() }
+
+// InterroDeadlineStats sums the deadline-budget exhaustion counters across
+// every PoP's interrogator.
+func (m *Map) InterroDeadlineStats() interro.DeadlineStats {
+	var total interro.DeadlineStats
+	for _, pop := range m.pops {
+		ds := m.inter[pop.Name].DeadlineStats()
+		total.ReadCapExhausted += ds.ReadCapExhausted
+		total.HandshakeExhausted += ds.HandshakeExhausted
+		total.TotalExhausted += ds.TotalExhausted
+		total.VirtualMillis += ds.VirtualMillis
+	}
+	return total
+}
+
+// InterroStats sums interrogation outcome counters across every PoP.
+func (m *Map) InterroStats() interro.Stats {
+	var total interro.Stats
+	for _, pop := range m.pops {
+		s := m.inter[pop.Name].Stats()
+		total.Attempts += s.Attempts
+		total.NoContact += s.NoContact
+		total.Identified += s.Identified
+		total.Unknown += s.Unknown
+	}
+	return total
+}
 
 // PseudoHosts reports how many hosts the pseudo filter has flagged.
 func (m *Map) PseudoHosts() int {

@@ -138,11 +138,13 @@ type Checkpoint struct {
 
 	Processor cqrs.Ephemeral `json:"processor"`
 
-	Known        []KnownSlot  `json:"known,omitempty"`
-	PseudoHosts  []netip.Addr `json:"pseudo_hosts,omitempty"`
-	FoundPerHost []HostCount  `json:"found_per_host,omitempty"`
-	Retries      []RetryState `json:"retries,omitempty"`
-	Exclusions   []Exclusion  `json:"exclusions,omitempty"`
+	Known         []KnownSlot     `json:"known,omitempty"`
+	PseudoHosts   []netip.Addr    `json:"pseudo_hosts,omitempty"`
+	FoundPerHost  []HostCount     `json:"found_per_host,omitempty"`
+	HoneypotHosts []netip.Addr    `json:"honeypot_hosts,omitempty"`
+	FarmSeen      []FarmSeenEntry `json:"farm_seen,omitempty"`
+	Retries       []RetryState    `json:"retries,omitempty"`
+	Exclusions    []Exclusion     `json:"exclusions,omitempty"`
 
 	Discovery discovery.State `json:"discovery"`
 	Predictor predict.State   `json:"predictor"`
@@ -173,6 +175,9 @@ func (m *Map) Checkpoint() Checkpoint {
 		for a := range s.pseudoHosts {
 			cp.PseudoHosts = append(cp.PseudoHosts, a)
 		}
+		for a := range s.honeypots {
+			cp.HoneypotHosts = append(cp.HoneypotHosts, a)
+		}
 		for a, c := range s.foundPerHost {
 			cp.FoundPerHost = append(cp.FoundPerHost, HostCount{Addr: a, Count: c})
 		}
@@ -193,6 +198,8 @@ func (m *Map) Checkpoint() Checkpoint {
 		return a.Transport < b.Transport
 	})
 	sort.Slice(cp.PseudoHosts, func(i, j int) bool { return cp.PseudoHosts[i].Less(cp.PseudoHosts[j]) })
+	sort.Slice(cp.HoneypotHosts, func(i, j int) bool { return cp.HoneypotHosts[i].Less(cp.HoneypotHosts[j]) })
+	cp.FarmSeen = m.farmSeenState()
 	sort.Slice(cp.FoundPerHost, func(i, j int) bool { return cp.FoundPerHost[i].Addr.Less(cp.FoundPerHost[j].Addr) })
 	sort.Slice(cp.Retries, func(i, j int) bool {
 		return lessRetry(retryEntry{due: cp.Retries[i].Due, task: pendingTask{cand: cp.Retries[i].Cand,
@@ -225,6 +232,7 @@ func (m *Map) restore(cp *Checkpoint) error {
 	m.predictiveProbes.Store(cp.Stats.PredictiveProbes)
 	m.reinjected.Store(cp.Stats.Reinjected)
 	m.pseudoFiltered.Store(cp.Stats.PseudoFiltered)
+	m.honeypotsFlagged.Store(cp.Stats.HoneypotsFlagged)
 
 	for _, ks := range cp.Known {
 		if m.quarantinedAddr(ks.Addr) {
@@ -249,6 +257,13 @@ func (m *Map) restore(cp *Checkpoint) error {
 		}
 		m.shardFor(hc.Addr).foundPerHost[hc.Addr] = hc.Count
 	}
+	for _, a := range cp.HoneypotHosts {
+		if m.quarantinedAddr(a) {
+			continue
+		}
+		m.shardFor(a).honeypots[a] = true
+	}
+	m.restoreFarmSeen(cp.FarmSeen)
 	for _, r := range cp.Retries {
 		if m.quarantinedAddr(r.Cand.Addr) {
 			continue

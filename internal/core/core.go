@@ -100,6 +100,18 @@ type Config struct {
 	// before a failure enters the eviction state machine. The zero value
 	// disables retries (the pre-retry pipeline, bit for bit).
 	RetryPolicy RetryPolicy
+	// InterroBudget bounds the virtual time one interrogation candidate may
+	// consume (tarpit defense; see internal/interro/budget.go). The zero
+	// value keeps unlimited legacy behavior modulo the hard read cap.
+	InterroBudget interro.Budget
+	// ScanBackoff configures discovery's adaptive per-/24 backoff and scanner
+	// rotation against networks running scan detection. Zero value disables.
+	ScanBackoff discovery.BackoffPolicy
+	// HoneypotUniformityThreshold flags honeypot farms: when this many
+	// distinct hosts in one /24 present a verified ICS service with an
+	// identical fingerprint on the same port, the whole group is flagged and
+	// suppressed from the dataset. <= 0 disables detection.
+	HoneypotUniformityThreshold int
 	// Telemetry, when non-nil, receives every pipeline metric family and
 	// enables trace-span sampling. Nil disables instrumentation entirely;
 	// the instrument sites reduce to nil-pointer checks.
@@ -210,6 +222,9 @@ type stateShard struct {
 	pseudoHosts map[netip.Addr]bool
 	// foundPerHost counts found services, for pseudo detection.
 	foundPerHost map[netip.Addr]int
+	// honeypots are hosts flagged by the farm-uniformity detector; like
+	// pseudo hosts they are suppressed from interrogation and the dataset.
+	honeypots map[netip.Addr]bool
 
 	// pending is the shard's FIFO task queue for the current batch, filled
 	// serially between batches.
@@ -223,6 +238,10 @@ type stateShard struct {
 	// they are flushed to the web-property pipeline serially after the
 	// batch, in shard order, so its scan queue stays deterministic.
 	redirects []string
+	// fpObs buffers verified-ICS fingerprint observations for the honeypot
+	// uniformity detector; merged serially after the batch, in shard order
+	// (see mergeFarmObservations), so flagging is layout-invariant.
+	fpObs []fpObservation
 }
 
 // Map is the running system.
@@ -265,6 +284,12 @@ type Map struct {
 	predictiveProbes atomic.Uint64
 	reinjected       atomic.Uint64
 	pseudoFiltered   atomic.Uint64
+	honeypotsFlagged atomic.Uint64
+
+	// farmSeen accumulates the honeypot uniformity evidence: distinct hosts
+	// per (net24, port, fingerprint). Touched only serially (post-batch
+	// fan-in and checkpoint/restore).
+	farmSeen map[farmKey]map[netip.Addr]bool
 
 	// Degraded-mode state: quarParts marks journal partitions the storage
 	// engine could not recover (indices modulo quarMod, the journal's
@@ -291,6 +316,7 @@ type RunStats struct {
 	PredictiveProbes uint64
 	Reinjected       uint64
 	PseudoFiltered   uint64
+	HoneypotsFlagged uint64
 }
 
 // New builds a Map over a shared synthetic Internet. The Internet's clock
@@ -331,7 +357,11 @@ func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, 
 			udpProto:     make(map[slotKey]string),
 			pseudoHosts:  make(map[netip.Addr]bool),
 			foundPerHost: make(map[netip.Addr]int),
+			honeypots:    make(map[netip.Addr]bool),
 		}
+	}
+	if cfg.HoneypotUniformityThreshold > 0 {
+		m.farmSeen = make(map[farmKey]map[netip.Addr]bool)
 	}
 
 	// A small fraction of networks blocklist even polite scanners (the
@@ -385,6 +415,7 @@ func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, 
 		Seed:        net.Config().Seed ^ 0xD15C,
 		Ledger:      m.ledger,
 		WirePackets: cfg.WirePackets,
+		Backoff:     cfg.ScanBackoff,
 	}, net)
 	if err != nil {
 		return nil, err
@@ -396,7 +427,9 @@ func build(cfg Config, net *simnet.Internet, d *Durable, cp *Checkpoint) (*Map, 
 	for _, pop := range m.pops {
 		sc := scanner
 		sc.Country = pop.Country
-		m.inter[pop.Name] = interro.New(net, sc)
+		in := interro.New(net, sc)
+		in.Budget = cfg.InterroBudget
+		m.inter[pop.Name] = in
 	}
 
 	// Storage pipeline: journal, processor, and index all partition by the
@@ -842,6 +875,8 @@ func (m *Map) runBatch(now time.Time, phase string) {
 		}
 		s.redirects = s.redirects[:0]
 	}
+	// Honeypot uniformity fan-in, same serial shard order.
+	m.mergeFarmObservations(now)
 }
 
 // drainShard processes one shard's queued tasks in FIFO order.
@@ -863,7 +898,7 @@ func (m *Map) processTask(s *stateShard, t pendingTask, now time.Time) {
 	switch t.kind {
 	case taskCandidate:
 		s.mu.Lock()
-		if s.pseudoHosts[c.Addr] {
+		if s.pseudoHosts[c.Addr] || s.honeypots[c.Addr] {
 			s.mu.Unlock()
 			m.pseudoFiltered.Add(1)
 			return
@@ -877,7 +912,7 @@ func (m *Map) processTask(s *stateShard, t pendingTask, now time.Time) {
 
 	case taskRefresh:
 		s.mu.Lock()
-		pseudo := s.pseudoHosts[c.Addr]
+		pseudo := s.pseudoHosts[c.Addr] || s.honeypots[c.Addr]
 		_, stillKnown := s.known[key]
 		s.mu.Unlock()
 		if pseudo || !stillKnown {
@@ -918,7 +953,7 @@ func (m *Map) snapshotDaily(now time.Time) {
 	var hosts []*entity.Host
 	for _, id := range m.processor.EntityIDs() {
 		addr, err := netip.ParseAddr(id)
-		if err != nil || m.isPseudo(addr) {
+		if err != nil || m.isSuppressed(addr) {
 			continue
 		}
 		if h := m.processor.CurrentState(id); h != nil && len(h.Services) > 0 {
@@ -943,6 +978,15 @@ func (m *Map) isPseudo(addr netip.Addr) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.pseudoHosts[addr]
+}
+
+// isSuppressed reports whether addr is excluded from the dataset by any
+// host-level filter (pseudo-service or honeypot).
+func (m *Map) isSuppressed(addr netip.Addr) bool {
+	s := m.shardFor(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pseudoHosts[addr] || s.honeypots[addr]
 }
 
 // interrogate runs one candidate end to end on the caller's goroutine (the
@@ -1005,6 +1049,9 @@ func (m *Map) apply(s *stateShard, obs cqrs.Observation, c discovery.Candidate, 
 				s.redirects = append(s.redirects, loc)
 			}
 		}
+		// Verified ICS fingerprints feed the honeypot uniformity detector;
+		// buffered shard-locally, merged serially after the batch.
+		m.observeFingerprint(s, c.Addr, c.Port, obs.Service)
 	}
 	_ = m.processor.Apply(obs)
 
@@ -1197,7 +1244,7 @@ func (m *Map) consumeEvent(ev cqrs.OutEvent) {
 	if ev.Kind == cqrs.KindServiceFound {
 		m.observeFound(addr, slotKey{addr, ev.Key.Port, ev.Key.Transport}, ev.Time)
 	}
-	if m.isPseudo(addr) {
+	if m.isSuppressed(addr) {
 		return
 	}
 	h := m.processor.CurrentState(ev.Entity)

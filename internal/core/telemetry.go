@@ -198,7 +198,47 @@ func (m *Map) attachTelemetry() {
 				map[string]string{"pop": popName, "outcome": b.outcome},
 				func() float64 { return float64(read(in.Stats())) })
 		}
+		// Deadline-budget exhaustion per PoP and scope (tarpit defense).
+		for _, b := range []struct {
+			scope string
+			read  func(interro.DeadlineStats) uint64
+		}{
+			{"read_cap", func(s interro.DeadlineStats) uint64 { return s.ReadCapExhausted }},
+			{"handshake", func(s interro.DeadlineStats) uint64 { return s.HandshakeExhausted }},
+			{"total", func(s interro.DeadlineStats) uint64 { return s.TotalExhausted }},
+		} {
+			read := b.read
+			reg.CounterFunc("censys_interro_deadline_exhausted_total",
+				"interrogation deadline budgets exhausted, by PoP and scope",
+				map[string]string{"pop": popName, "scope": b.scope},
+				func() float64 { return float64(read(in.DeadlineStats())) })
+		}
+		reg.CounterFunc("censys_interro_deadline_virtual_ms_total",
+			"virtual milliseconds charged against interrogation budgets, by PoP",
+			map[string]string{"pop": popName},
+			func() float64 { return float64(in.DeadlineStats().VirtualMillis) })
 	}
+
+	// Adversarial-substrate defenses: adaptive discovery backoff and the
+	// honeypot uniformity filter.
+	reg.CounterFunc("censys_adversarial_deferred_probes_total",
+		"discovery probes deferred by adaptive per-/24 backoff", nil,
+		func() float64 { return float64(m.disc.Stats().Deferred) })
+	reg.CounterFunc("censys_adversarial_backoff_total",
+		"adaptive backoff events (a /24 crossed the drop-streak threshold)", nil,
+		func() float64 { return float64(m.disc.Stats().Backoffs) })
+	reg.CounterFunc("censys_adversarial_rotations_total",
+		"scanner identity rotations triggered by accumulated backoffs", nil,
+		func() float64 { return float64(m.disc.Stats().Rotations) })
+	reg.GaugeFunc("censys_adversarial_backoff_networks",
+		"/24 networks currently backed off", nil,
+		func() float64 { return float64(m.disc.ActiveBackoffs()) })
+	reg.CounterFunc("censys_adversarial_honeypots_flagged_total",
+		"hosts flagged by the honeypot-farm uniformity detector", nil,
+		func() float64 { return float64(m.honeypotsFlagged.Load()) })
+	reg.GaugeFunc("censys_adversarial_honeypot_hosts",
+		"hosts currently flagged as honeypots", nil,
+		func() float64 { return float64(len(m.HoneypotHosts())) })
 
 	// Search: result-cache and plan-cache effectiveness, postings footprint.
 	reg.CounterFunc("censys_search_result_cache_total", "query result-cache probes, by outcome",

@@ -99,6 +99,9 @@ type Config struct {
 	// userspace network stack) instead of the fast path. Identical
 	// semantics, ~5x the CPU; used where wire fidelity matters.
 	WirePackets bool
+	// Backoff configures adaptive backoff and scanner rotation against
+	// networks that block scanners (see adaptive.go). Zero value disables.
+	Backoff BackoffPolicy
 }
 
 // Stats counts engine activity.
@@ -109,6 +112,10 @@ type Stats struct {
 	Dropped        uint64
 	Excluded       uint64
 	CyclesComplete uint64
+	// Adaptive-backoff accounting (zero unless Config.Backoff is enabled).
+	Deferred  uint64 // probes skipped because their /24 was backed off
+	Backoffs  uint64 // backoff events triggered
+	Rotations uint64 // scanner identity rotations
 }
 
 // Engine drives discovery scanning over the synthetic Internet.
@@ -121,6 +128,14 @@ type Engine struct {
 	stats   Stats
 	// udpProbes caches protocol-specific UDP payloads by port.
 	udpProbes map[uint16]udpProbe
+
+	// Adaptive-backoff state (see adaptive.go); empty unless cfg.Backoff
+	// is enabled.
+	tickNo        uint64
+	backoff       map[netip.Addr]*netBackoff
+	answered      map[netip.Addr]bool // addresses that have ever answered
+	offensesTotal uint64
+	rotations     int
 }
 
 type udpProbe struct {
@@ -200,6 +215,9 @@ func (e *Engine) excluded(addr netip.Addr) bool {
 // responsive targets are passed to emit. Probes rotate over PoPs so traffic
 // is spread across vantage points.
 func (e *Engine) Tick(now time.Time, emit func(Candidate)) {
+	if e.cfg.Backoff.Enabled() {
+		e.tickNo++
+	}
 	if e.cfg.Ledger != nil {
 		e.cfg.Ledger.BeginTick()
 	}
@@ -210,7 +228,15 @@ func (e *Engine) Tick(now time.Time, emit func(Candidate)) {
 				budget = g
 			}
 		}
-		for i := 0; i < budget; i++ {
+		// Deferred draws (backed-off /24s) do not consume the budget: the
+		// slot is re-spent on the next target in the cycle, so backing off
+		// from hostile networks degrades coverage only there instead of
+		// starving the whole class. Draws are capped at 4x the budget so a
+		// tick stays bounded even when most of the space is backed off.
+		// With backoff disabled nothing is ever deferred and the loop is
+		// byte-identical to the legacy schedule.
+		maxDraws := budget * 4
+		for spent, draws := 0, 0; spent < budget && draws < maxDraws; draws++ {
 			addr, port, ok := cs.iter.Next()
 			if !ok {
 				e.stats.CyclesComplete++
@@ -230,9 +256,15 @@ func (e *Engine) Tick(now time.Time, emit func(Candidate)) {
 			}
 			if e.excluded(addr) {
 				e.stats.Excluded++
+				spent++
+				continue
+			}
+			if e.deferred(addr) {
+				e.stats.Deferred++
 				continue
 			}
 			e.probe(now, cs.cfg.Name, cs.cfg.Method, addr, port, emit)
+			spent++
 		}
 	}
 }
@@ -245,6 +277,7 @@ func (e *Engine) probe(now time.Time, class string, method entity.DetectionMetho
 	pop := e.cfg.PoPs[e.popIdx%len(e.cfg.PoPs)]
 	e.popIdx++
 	sc := e.cfg.Scanner
+	sc.ID = e.scannerID()
 	sc.Country = pop.Country
 
 	if e.cfg.Ledger != nil {
@@ -276,6 +309,7 @@ func (e *Engine) probe(now time.Time, class string, method entity.DetectionMetho
 	default:
 		e.stats.Dropped++
 	}
+	e.noteOutcome(addr, outcome == simnet.Dropped)
 
 	if up, ok := e.udpProbes[port]; ok {
 		e.stats.ProbesSent++
@@ -357,11 +391,19 @@ type State struct {
 	Stats   Stats           `json:"stats"`
 	Classes []ClassPosition `json:"classes"`
 	Ledger  LedgerState     `json:"ledger,omitzero"`
+	// Adaptive-backoff position (empty unless Config.Backoff is enabled).
+	TickNo    uint64            `json:"tick_no,omitempty"`
+	Offenses  uint64            `json:"offenses,omitempty"`
+	Rotations int               `json:"rotations,omitempty"`
+	Backoff   []NetBackoffState `json:"backoff,omitempty"`
+	Answered  []netip.Addr      `json:"answered,omitempty"`
 }
 
 // State captures the engine's position for checkpointing.
 func (e *Engine) State() State {
-	st := State{PopIdx: e.popIdx, Stats: e.stats}
+	st := State{PopIdx: e.popIdx, Stats: e.stats,
+		TickNo: e.tickNo, Offenses: e.offensesTotal, Rotations: e.rotations,
+		Backoff: e.backoffState(), Answered: e.answeredState()}
 	for _, cs := range e.classes {
 		st.Classes = append(st.Classes, ClassPosition{
 			Name: cs.cfg.Name, Gen: cs.gen, Cycle: cs.iter.State()})
@@ -377,6 +419,11 @@ func (e *Engine) State() State {
 func (e *Engine) Restore(st State) error {
 	e.popIdx = st.PopIdx
 	e.stats = st.Stats
+	e.tickNo = st.TickNo
+	e.offensesTotal = st.Offenses
+	e.rotations = st.Rotations
+	e.restoreBackoff(st.Backoff)
+	e.restoreAnswered(st.Answered)
 	for _, cp := range st.Classes {
 		for _, cs := range e.classes {
 			if cs.cfg.Name != cp.Name {

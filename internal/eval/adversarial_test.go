@@ -1,0 +1,120 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAdversarialReplay is the acceptance gate for the adversarial scenario
+// pack: on the default hostile profile the core pipeline must flag the farms
+// and export zero honeypot records while every keyword baseline mislabels
+// honeypots as ICS; the deadline budgets and the adaptive backoff must
+// demonstrably engage; and the pipeline must still beat every baseline on
+// coverage of the legitimate universe.
+func TestAdversarialReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a multi-day hostile universe")
+	}
+	r, err := RunAdversarial(DefaultAdversarialProfile())
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("\n%s", r.Render())
+
+	if r.Substrate.Farms == 0 || r.Substrate.TarpitHosts == 0 ||
+		r.Substrate.DetectorNets == 0 || r.Substrate.ChurnHosts == 0 {
+		t.Fatalf("hostile substrate degenerate: %+v", r.Substrate)
+	}
+
+	var censys AdversarialEngineRow
+	baselines := map[string]AdversarialEngineRow{}
+	for _, row := range r.Rows {
+		if row.Engine == "censysmap" {
+			censys = row
+		} else {
+			baselines[row.Engine] = row
+		}
+	}
+	if censys.Engine == "" || len(baselines) != 4 {
+		t.Fatalf("expected censysmap + 4 baselines, got %d rows", len(r.Rows))
+	}
+
+	// Honeypot farms: the uniformity detector flags them and keeps them out
+	// of the dataset; keyword baselines swallow the bait as ICS.
+	if r.Pipeline.HoneypotsFlagged == 0 || r.Pipeline.FarmsFlagged == 0 {
+		t.Errorf("pipeline flagged %d honeypots across %d farms, want > 0",
+			r.Pipeline.HoneypotsFlagged, r.Pipeline.FarmsFlagged)
+	}
+	if censys.HoneypotRecords != 0 {
+		t.Errorf("censysmap still exports %d honeypot records (%d as ICS)",
+			censys.HoneypotRecords, censys.HoneypotICS)
+	}
+	for name, row := range baselines {
+		if row.HoneypotICS == 0 {
+			t.Errorf("%s: expected honeypot-farm records mislabeled as ICS, got none (honeypot records: %d)",
+				name, row.HoneypotRecords)
+		}
+	}
+
+	// Tarpits: the deadline budgets were exhausted (the pool survived — the
+	// run completed), the pipeline holds no tarpit record, and the baselines
+	// swallowed the fake open ports wholesale.
+	if r.Pipeline.Deadline.TotalExhausted == 0 {
+		t.Error("no interrogation total budget exhausted against tarpits")
+	}
+	if censys.TarpitRecords != 0 {
+		t.Errorf("censysmap still exports %d tarpit records", censys.TarpitRecords)
+	}
+	for name, row := range baselines {
+		if row.TarpitRecords == 0 {
+			t.Errorf("%s: expected tarpit records in the dataset, got none", name)
+		}
+	}
+
+	// Detectors: they fired on the scanner, and discovery reacted by
+	// deferring and backing off instead of burning probes into blocks.
+	if censys.DetectorBlocks == 0 {
+		t.Error("no detector block ever fired against censysmap")
+	}
+	if r.Pipeline.Deferred == 0 || r.Pipeline.Backoffs == 0 {
+		t.Errorf("adaptive backoff never engaged: deferred=%d backoffs=%d",
+			r.Pipeline.Deferred, r.Pipeline.Backoffs)
+	}
+
+	// Despite all of it: coverage of the legitimate universe still beats
+	// every baseline.
+	if censys.Services == 0 {
+		t.Fatal("censysmap found no legitimate services")
+	}
+	for name, row := range baselines {
+		if censys.Coverage() <= row.Coverage() {
+			t.Errorf("coverage: censysmap %.1f%% <= %s %.1f%%",
+				100*censys.Coverage(), name, 100*row.Coverage())
+		}
+		if censys.MeanAgeHours >= row.MeanAgeHours {
+			t.Errorf("freshness: censysmap mean age %.1fh >= %s %.1fh",
+				censys.MeanAgeHours, name, row.MeanAgeHours)
+		}
+	}
+}
+
+// TestAdversarialRender sanity-checks the table output so EXPERIMENTS.md
+// regeneration cannot silently emit empty sections.
+func TestAdversarialRender(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a multi-day hostile universe")
+	}
+	p := DefaultAdversarialProfile()
+	p.Days = 3
+	r, err := RunAdversarial(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.Render()
+	for _, want := range []string{"censysmap", "HP as ICS", "Churn fresh",
+		"Pipeline countermeasure ledger", "Backoffs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -32,11 +32,16 @@ type Interrogator struct {
 	net *simnet.Internet
 	// Scanner identifies the engine to the network.
 	Scanner simnet.Scanner
+	// Budget bounds the virtual time one candidate may consume (see
+	// budget.go). Set before the first Interrogate call; the zero value
+	// keeps legacy unlimited behavior (modulo the hard read cap).
+	Budget Budget
 
 	attempts   atomic.Uint64
 	noContact  atomic.Uint64
 	identified atomic.Uint64
 	unknown    atomic.Uint64
+	deadline   deadlineCounters
 }
 
 // Stats counts interrogation outcomes.
@@ -72,12 +77,14 @@ func (i *Interrogator) Interrogate(cand discovery.Candidate, now time.Time) cqrs
 		Time: now, PoP: cand.PoP, Method: cand.Method,
 	}
 	sc := i.Scanner
+	bs := i.newBudgetState()
+	defer bs.release()
 
 	var res *protocols.Result
 	if cand.Transport == entity.UDP {
-		res = i.interrogateUDP(sc, cand)
+		res = i.interrogateUDP(sc, cand, bs)
 	} else {
-		res = i.interrogateTCP(sc, cand)
+		res = i.interrogateTCP(sc, cand, bs)
 	}
 	if res == nil {
 		i.noContact.Add(1)
@@ -95,7 +102,7 @@ func (i *Interrogator) Interrogate(cand discovery.Candidate, now time.Time) cqrs
 
 // interrogateUDP re-runs the known protocol's full handshake; the discovery
 // probe already identified the protocol by eliciting a reply.
-func (i *Interrogator) interrogateUDP(sc simnet.Scanner, cand discovery.Candidate) *protocols.Result {
+func (i *Interrogator) interrogateUDP(sc simnet.Scanner, cand discovery.Candidate, bs *budgetState) *protocols.Result {
 	p := protocols.Lookup(cand.UDPProtocol)
 	if p == nil {
 		return nil
@@ -104,21 +111,30 @@ func (i *Interrogator) interrogateUDP(sc simnet.Scanner, cand discovery.Candidat
 	if !ok {
 		return nil
 	}
-	res, err := p.Scan(conn)
+	res, err := p.Scan(bs.wrap(conn))
 	if err != nil && res == nil {
 		return nil
 	}
 	return res
 }
 
-// connect opens a fresh L7 connection to the candidate.
-func (i *Interrogator) connect(sc simnet.Scanner, cand discovery.Candidate) (io.ReadWriter, bool) {
-	return i.net.Connect(sc, cand.Addr, cand.Port, entity.TCP)
+// connect opens a fresh L7 connection to the candidate with a fresh
+// per-connection budget. Once the candidate's total budget is exhausted it
+// refuses, which is what short-circuits the remaining ladder steps.
+func (i *Interrogator) connect(sc simnet.Scanner, cand discovery.Candidate, bs *budgetState) (io.ReadWriter, bool) {
+	if bs.totalExhausted {
+		return nil, false
+	}
+	conn, ok := i.net.Connect(sc, cand.Addr, cand.Port, entity.TCP)
+	if !ok {
+		return nil, false
+	}
+	return bs.wrap(conn), true
 }
 
 // interrogateTCP runs the LZR-style detection ladder.
-func (i *Interrogator) interrogateTCP(sc simnet.Scanner, cand discovery.Candidate) *protocols.Result {
-	conn, ok := i.connect(sc, cand)
+func (i *Interrogator) interrogateTCP(sc simnet.Scanner, cand discovery.Candidate, bs *budgetState) *protocols.Result {
+	conn, ok := i.connect(sc, cand, bs)
 	if !ok {
 		return nil
 	}
@@ -127,7 +143,7 @@ func (i *Interrogator) interrogateTCP(sc simnet.Scanner, cand discovery.Candidat
 	banner := readBanner(conn)
 	if len(banner) > 0 {
 		if name := protocols.Identify(banner); name != "" {
-			if res := i.fullScan(sc, cand, name, nil); res != nil {
+			if res := i.fullScan(sc, cand, name, nil, bs); res != nil {
 				return res
 			}
 		}
@@ -138,20 +154,20 @@ func (i *Interrogator) interrogateTCP(sc simnet.Scanner, cand discovery.Candidat
 	// Step 2: try the IANA-assigned protocol for the port (client-first
 	// protocols never greet, so silence is expected here).
 	for _, p := range protocols.ForPort(cand.Port, entity.TCP) {
-		if res := i.fullScan(sc, cand, p.Name, nil); res != nil {
+		if res := i.fullScan(sc, cand, p.Name, nil, bs); res != nil {
 			return res
 		}
 	}
 
 	// Step 3: try TLS; if it succeeds, repeat identification inside the
 	// session.
-	if res := i.tryTLS(sc, cand); res != nil {
+	if res := i.tryTLS(sc, cand, bs); res != nil {
 		return res
 	}
 
 	// Step 4: common trigger — an HTTP GET — and fingerprint the response
 	// (e.g. an SMTP error identifies SMTP).
-	conn, ok = i.connect(sc, cand)
+	conn, ok = i.connect(sc, cand, bs)
 	if !ok {
 		return nil
 	}
@@ -161,7 +177,7 @@ func (i *Interrogator) interrogateTCP(sc simnet.Scanner, cand discovery.Candidat
 	}
 	if httpRes != nil && httpRes.Banner != "" {
 		if name := protocols.Identify([]byte(httpRes.Banner)); name != "" && name != "HTTP" {
-			if res := i.fullScan(sc, cand, name, nil); res != nil {
+			if res := i.fullScan(sc, cand, name, nil, bs); res != nil {
 				return res
 			}
 		}
@@ -180,7 +196,7 @@ func (i *Interrogator) interrogateTCP(sc simnet.Scanner, cand discovery.Candidat
 		if p.Transport != entity.TCP || tried[p.Name] {
 			continue
 		}
-		if res := i.fullScan(sc, cand, p.Name, nil); res != nil {
+		if res := i.fullScan(sc, cand, p.Name, nil, bs); res != nil {
 			return res
 		}
 	}
@@ -192,8 +208,8 @@ func (i *Interrogator) interrogateTCP(sc simnet.Scanner, cand discovery.Candidat
 
 // tryTLS attempts a TLS-lite handshake and, on success, runs the detection
 // ladder on the inner stream, tagging results with session info.
-func (i *Interrogator) tryTLS(sc simnet.Scanner, cand discovery.Candidate) *protocols.Result {
-	conn, ok := i.connect(sc, cand)
+func (i *Interrogator) tryTLS(sc simnet.Scanner, cand discovery.Candidate, bs *budgetState) *protocols.Result {
+	conn, ok := i.connect(sc, cand, bs)
 	if !ok {
 		return nil
 	}
@@ -206,7 +222,7 @@ func (i *Interrogator) tryTLS(sc simnet.Scanner, cand discovery.Candidate) *prot
 	banner := readBanner(inner)
 	if len(banner) > 0 {
 		if name := protocols.Identify(banner); name != "" {
-			if res := i.fullScan(sc, cand, name, info); res != nil {
+			if res := i.fullScan(sc, cand, name, info, bs); res != nil {
 				return res
 			}
 		}
@@ -222,7 +238,7 @@ func (i *Interrogator) tryTLS(sc simnet.Scanner, cand discovery.Candidate) *prot
 		names = append(names, "HTTP")
 	}
 	for _, name := range names {
-		if res := i.fullScan(sc, cand, name, info); res != nil {
+		if res := i.fullScan(sc, cand, name, info, bs); res != nil {
 			return res
 		}
 	}
@@ -232,12 +248,12 @@ func (i *Interrogator) tryTLS(sc simnet.Scanner, cand discovery.Candidate) *prot
 // fullScan reconnects and drives the named protocol's complete handshake,
 // inside TLS when tlsInfo is non-nil. It returns nil unless the handshake
 // verifies.
-func (i *Interrogator) fullScan(sc simnet.Scanner, cand discovery.Candidate, name string, tlsInfo *protocols.TLSInfo) *protocols.Result {
+func (i *Interrogator) fullScan(sc simnet.Scanner, cand discovery.Candidate, name string, tlsInfo *protocols.TLSInfo, bs *budgetState) *protocols.Result {
 	p := protocols.Lookup(name)
 	if p == nil || p.Transport != entity.TCP {
 		return nil
 	}
-	conn, ok := i.connect(sc, cand)
+	conn, ok := i.connect(sc, cand, bs)
 	if !ok {
 		return nil
 	}

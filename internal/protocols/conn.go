@@ -68,15 +68,19 @@ func (c *SessionConn) Write(p []byte) (int, error) {
 // Closed reports whether the server side has closed the connection.
 func (c *SessionConn) Closed() bool { return c.closed }
 
-// deadlineConn adapts a real net.Conn to the scanner contract: reads use a
-// short deadline and surface silence as ErrTimeout.
+// deadlineConn adapts a real net.Conn to the scanner contract: reads and
+// writes use a short deadline and surface a stalled peer as ErrTimeout. The
+// write deadline matters against tarpits — a peer that accepts the
+// connection and then never drains its receive window stalls writers just as
+// effectively as silent readers.
 type deadlineConn struct {
 	conn    net.Conn
 	timeout time.Duration
 }
 
 // NewNetConn wraps a real network connection for use with Scan functions.
-// Reads that see no data within timeout return ErrTimeout.
+// Reads that see no data — and writes that cannot make progress — within
+// timeout return ErrTimeout.
 func NewNetConn(conn net.Conn, timeout time.Duration) io.ReadWriter {
 	if timeout <= 0 {
 		timeout = 2 * time.Second
@@ -100,7 +104,18 @@ func (d *deadlineConn) Read(p []byte) (int, error) {
 	return n, err
 }
 
-func (d *deadlineConn) Write(p []byte) (int, error) { return d.conn.Write(p) }
+func (d *deadlineConn) Write(p []byte) (int, error) {
+	if err := d.conn.SetWriteDeadline(time.Now().Add(d.timeout)); err != nil {
+		return 0, err
+	}
+	n, err := d.conn.Write(p)
+	if err != nil {
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return n, ErrTimeout
+		}
+	}
+	return n, err
+}
 
 // ServeConn runs a server Session over a real network connection until the
 // session closes it or the client disconnects. It lets the simulated

@@ -33,6 +33,31 @@ func TestNetConnSurfacesTimeoutAsErrTimeout(t *testing.T) {
 	}
 }
 
+func TestNetConnSurfacesWriteStallAsErrTimeout(t *testing.T) {
+	// A write-stalled peer: net.Pipe is fully synchronous, so a Write with
+	// no reader on the other end blocks forever unless the write deadline
+	// fires. The scanner contract demands ErrTimeout here too — a tarpit
+	// that accepts and never drains must not wedge a worker.
+	client, server := net.Pipe()
+	defer client.Close()
+	defer server.Close()
+
+	rw := NewNetConn(client, 50*time.Millisecond)
+	done := make(chan error, 1)
+	go func() {
+		_, err := rw.Write([]byte("GET / HTTP/1.0\r\n\r\n"))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != ErrTimeout {
+			t.Fatalf("err = %v, want ErrTimeout", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("write to a stalled peer never returned; write deadline not armed")
+	}
+}
+
 func TestListenerServesFreshSessionsPerConnection(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

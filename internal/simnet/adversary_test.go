@@ -1,0 +1,316 @@
+package simnet
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"censysmap/internal/entity"
+	"censysmap/internal/protocols"
+	"censysmap/internal/simclock"
+)
+
+func hostileConfig() Config {
+	cfg := smallConfig()
+	cfg.Adversary = AdversaryConfig{
+		Seed:              3,
+		HoneypotFarms:     2,
+		TarpitRate:        0.15,
+		TarpitDripRate:    0.5,
+		DetectorRate:      0.4,
+		DetectorThreshold: 20,
+		DetectorBaseBlock: 2 * time.Hour,
+		BannerChurnRate:   0.25,
+		BannerChurnPeriod: 6 * time.Hour,
+	}
+	return cfg
+}
+
+func TestAdversaryZeroValueIsBenign(t *testing.T) {
+	benign := New(smallConfig(), simclock.New())
+	alsoBenign := New(smallConfig(), simclock.New())
+	if benign.Hosts() != alsoBenign.Hosts() {
+		t.Fatalf("benign generation not deterministic")
+	}
+	st := benign.AdversaryStats()
+	if st != (AdversaryStats{}) {
+		t.Fatalf("benign universe has adversary stats: %+v", st)
+	}
+}
+
+func TestAdversaryDeterministic(t *testing.T) {
+	a := New(hostileConfig(), simclock.New())
+	b := New(hostileConfig(), simclock.New())
+	if a.Hosts() != b.Hosts() {
+		t.Fatalf("host counts differ: %d vs %d", a.Hosts(), b.Hosts())
+	}
+	sa, sb := a.AdversaryStats(), b.AdversaryStats()
+	if sa != sb {
+		t.Fatalf("adversary stats differ: %+v vs %+v", sa, sb)
+	}
+	if sa.Farms != 2 || sa.HoneypotHosts < 200 {
+		t.Fatalf("expected 2 dense farms, got %+v", sa)
+	}
+	if sa.TarpitHosts == 0 || sa.DripTarpits == 0 || sa.ChurnHosts == 0 || sa.DetectorNets == 0 {
+		t.Fatalf("expected every adversarial dimension populated: %+v", sa)
+	}
+	for _, addr := range a.Addrs() {
+		ha, hb := a.HostAt(addr), b.HostAt(addr)
+		if hb == nil ||
+			ha.Honeypot != hb.Honeypot || ha.Tarpit != hb.Tarpit ||
+			ha.TarpitDrip != hb.TarpitDrip || ha.BannerChurn != hb.BannerChurn {
+			t.Fatalf("adversarial flags differ at %v", addr)
+		}
+	}
+}
+
+func TestHoneypotFarmUniformity(t *testing.T) {
+	n := New(hostileConfig(), simclock.New())
+	specs := map[int]map[string]int{} // farm -> banner identity -> count
+	ports := map[int]map[uint16]int{}
+	for _, addr := range n.Addrs() {
+		h := n.HostAt(addr)
+		if !h.Honeypot {
+			continue
+		}
+		if len(h.Slots) != 1 {
+			t.Fatalf("honeypot %v has %d slots, want 1", addr, len(h.Slots))
+		}
+		s := h.Slots[0]
+		p := protocols.Lookup(s.Spec.Protocol)
+		if p == nil || !p.ICS {
+			t.Fatalf("honeypot %v mimics %q, want an ICS protocol", addr, s.Spec.Protocol)
+		}
+		if specs[h.Farm] == nil {
+			specs[h.Farm] = map[string]int{}
+			ports[h.Farm] = map[uint16]int{}
+		}
+		specs[h.Farm][s.Spec.Protocol+"/"+s.Spec.Product+"/"+s.Spec.Version]++
+		ports[h.Farm][s.Port]++
+	}
+	for farm, ids := range specs {
+		if len(ids) != 1 || len(ports[farm]) != 1 {
+			t.Fatalf("farm %d not uniform: %v %v", farm, ids, ports[farm])
+		}
+	}
+
+	// Honeypots complete real handshakes: Connect must yield a session that
+	// identifies as the mimicked protocol.
+	for _, addr := range n.Addrs() {
+		h := n.HostAt(addr)
+		if !h.Honeypot {
+			continue
+		}
+		s := h.Slots[0]
+		conn, ok := n.Connect(censysScanner, addr, s.Port, entity.TCP)
+		if !ok {
+			continue // path loss etc.
+		}
+		res, err := protocols.Lookup(s.Spec.Protocol).Scan(conn)
+		if err != nil || res == nil || !res.Complete || res.Protocol != s.Spec.Protocol {
+			t.Fatalf("honeypot %v handshake failed: res=%+v err=%v", addr, res, err)
+		}
+		return
+	}
+	t.Fatal("no honeypot handshake succeeded")
+}
+
+func TestTarpitConnBehavior(t *testing.T) {
+	stall := &TarpitConn{seed: 7}
+	buf := make([]byte, 64)
+	for i := 0; i < 5; i++ {
+		if _, err := stall.Read(buf); err != protocols.ErrTimeout {
+			t.Fatalf("stall tarpit read %d: got err %v, want ErrTimeout", i, err)
+		}
+	}
+	if stall.ReadDelay() != 0 {
+		t.Fatalf("stall tarpit should charge via timeouts, not ReadDelay")
+	}
+
+	drip1 := &TarpitConn{drip: true, seed: 7}
+	drip2 := &TarpitConn{drip: true, seed: 7}
+	var got1, got2 []byte
+	for i := 0; i < 8; i++ {
+		n1, err1 := drip1.Read(buf)
+		if n1 != 1 || err1 != nil {
+			t.Fatalf("drip read %d: n=%d err=%v", i, n1, err1)
+		}
+		got1 = append(got1, buf[0])
+		n2, _ := drip2.Read(buf)
+		if n2 != 1 {
+			t.Fatal("second drip conn stopped")
+		}
+		got2 = append(got2, buf[0])
+	}
+	if string(got1) != string(got2) {
+		t.Fatalf("drip bytes not deterministic: %q vs %q", got1, got2)
+	}
+	if drip1.ReadDelay() <= 0 {
+		t.Fatal("drip tarpit must charge virtual read time")
+	}
+	if n, err := drip1.Write([]byte("hello")); n != 5 || err != nil {
+		t.Fatalf("tarpit write: n=%d err=%v", n, err)
+	}
+}
+
+func TestTarpitMasksHostServices(t *testing.T) {
+	n := New(hostileConfig(), simclock.New())
+	var tar *Host
+	for _, addr := range n.Addrs() {
+		if h := n.HostAt(addr); h.Tarpit {
+			tar = h
+			break
+		}
+	}
+	if tar == nil {
+		t.Fatal("no tarpit host generated")
+	}
+	// L4: every port looks open (modulo path effects — retry a few ports).
+	opened := false
+	for port := uint16(10000); port < 10020; port++ {
+		if n.ProbeTCP(censysScanner, tar.Addr, port) == Open {
+			opened = true
+			break
+		}
+	}
+	if !opened {
+		t.Fatalf("tarpit %v never answered Open on arbitrary ports", tar.Addr)
+	}
+	// L7: Connect yields a TarpitConn, not the host's real services.
+	for i := 0; i < 20; i++ {
+		conn, ok := n.Connect(censysScanner, tar.Addr, 80, entity.TCP)
+		if !ok {
+			continue
+		}
+		if _, isTarpit := conn.(*TarpitConn); !isTarpit {
+			t.Fatalf("tarpit Connect returned %T", conn)
+		}
+		return
+	}
+	t.Fatalf("tarpit %v never accepted a connection", tar.Addr)
+}
+
+func TestBannerChurnRotatesFingerprint(t *testing.T) {
+	cfg := hostileConfig()
+	cfg.BaseLoss = 0
+	cfg.OutageRate = 0
+	cfg.GeoblockRate = 0
+	clk := simclock.New()
+	n := New(cfg, clk)
+	period := cfg.Adversary.BannerChurnPeriod
+
+	var churn *Host
+	var slot *Slot
+	for _, addr := range n.Addrs() {
+		h := n.HostAt(addr)
+		if !h.BannerChurn {
+			continue
+		}
+		for _, s := range h.Slots {
+			if s.Transport == entity.TCP && s.Period == 0 && protocols.Lookup(s.Spec.Protocol) != nil {
+				churn, slot = h, s
+				break
+			}
+		}
+		if churn != nil {
+			break
+		}
+	}
+	if churn == nil {
+		t.Skip("no always-on TCP churn slot in this universe")
+	}
+
+	identity := func() string {
+		sp := n.churnSpec(churn, slot, clk.Now())
+		if sp.Protocol != slot.Spec.Protocol {
+			t.Fatalf("churn changed protocol: %q -> %q", slot.Spec.Protocol, sp.Protocol)
+		}
+		return sp.Product + "/" + sp.Version + "/" + sp.Title
+	}
+	first := identity()
+	if identity() != first {
+		t.Fatal("churn spec not stable within a generation")
+	}
+	seen := map[string]bool{first: true}
+	for i := 0; i < 12; i++ {
+		clk.Advance(period)
+		seen[identity()] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("fingerprint never rotated across %d periods", 12)
+	}
+}
+
+func TestDetectorEscalatingBlocks(t *testing.T) {
+	cfg := smallConfig()
+	cfg.BaseLoss = 0
+	cfg.OutageRate = 0
+	cfg.GeoblockRate = 0
+	cfg.Adversary = AdversaryConfig{
+		Seed: 3, DetectorRate: 1.0, DetectorThreshold: 10,
+		DetectorBaseBlock: time.Hour, DetectorMaxBlock: 4 * time.Hour,
+	}
+	clk := simclock.New()
+	n := New(cfg, clk)
+	sc := Scanner{ID: "noisy", SourceIPs: 1, Country: "US"}
+	// Pick a live host (dead space skips the path model, so it never feeds
+	// detector counters).
+	var addr netip.Addr
+	for _, a := range n.Addrs() {
+		addr = a
+	}
+	if !addr.IsValid() {
+		t.Fatal("no hosts generated")
+	}
+
+	trigger := func() {
+		for i := 0; i < 100; i++ {
+			n.ProbeTCP(sc, addr, 80) // outcome irrelevant; blocked state is what matters
+			if n.BlockedNetworks("noisy") > 0 {
+				return
+			}
+		}
+		t.Fatal("detector never triggered")
+	}
+
+	trigger()
+	if got := n.DetectorBlockEvents("noisy"); got != 1 {
+		t.Fatalf("block events = %d, want 1", got)
+	}
+	// First block: 1h. After expiry the second offense blocks for 2h.
+	clk.Advance(time.Hour + time.Minute)
+	if n.BlockedNetworks("noisy") != 0 {
+		t.Fatal("block did not expire")
+	}
+	trigger()
+	if got := n.DetectorBlockEvents("noisy"); got != 2 {
+		t.Fatalf("block events = %d, want 2", got)
+	}
+	clk.Advance(time.Hour + time.Minute) // 2h block: still active after ~1h
+	if n.BlockedNetworks("noisy") == 0 {
+		t.Fatal("second block should escalate past 1h")
+	}
+	clk.Advance(time.Hour)
+	if n.BlockedNetworks("noisy") != 0 {
+		t.Fatal("second block should expire after 2h")
+	}
+
+	// Connect traffic must not advance detector counters.
+	fresh := Scanner{ID: "quiet", SourceIPs: 1, Country: "US"}
+	for i := 0; i < 50; i++ {
+		n.Connect(fresh, addr, 80, entity.TCP)
+	}
+	if got := n.DetectorBlockEvents("quiet"); got != 0 {
+		t.Fatalf("Connect traffic triggered detector: %d events", got)
+	}
+}
+
+func TestLiveServicesExcludesAdversarialHosts(t *testing.T) {
+	n := New(hostileConfig(), simclock.New())
+	for _, ref := range n.LiveServices(n.Epoch(), true) {
+		h := n.HostAt(ref.Addr)
+		if h.Honeypot || h.Tarpit {
+			t.Fatalf("ground truth includes adversarial host %v", ref.Addr)
+		}
+	}
+}

@@ -74,6 +74,10 @@ type Config struct {
 	BlockThreshold int
 	// BlockDuration is how long a triggered block lasts.
 	BlockDuration time.Duration
+	// Adversary configures the hostile-substrate scenario pack (honeypot
+	// farms, tarpits, scan detectors, banner churn). The zero value is
+	// fully benign; see AdversaryConfig.
+	Adversary AdversaryConfig
 }
 
 // DefaultConfig returns the universe used by the experiment harness: a /16
@@ -130,6 +134,13 @@ type Internet struct {
 	// (see FaultInjector). Written only between runs; read per probe.
 	fault FaultInjector
 
+	// Adversary state (see adversary.go). advSeed is fixed at generation;
+	// the detector maps are guarded by pathMu like the blocking state.
+	advSeed    uint64
+	detCounts  map[blockKey]int    // per (scanner, /24, day) detector-visible probes
+	detOffense map[scanNetKey]int  // repeat-offense count per (scanner, /24)
+	detEvents  map[string]int      // cumulative detector blocks per scanner ID
+
 	// Stats counters.
 	probesSeen atomic.Uint64
 }
@@ -159,6 +170,14 @@ type Host struct {
 	Cloud   bool
 	Pseudo  bool
 	Slots   []*Slot
+
+	// Adversarial roles (see AdversaryConfig). At most one of Honeypot,
+	// Tarpit, BannerChurn is set per host.
+	Honeypot    bool
+	Farm        int // farm index when Honeypot
+	Tarpit      bool
+	TarpitDrip  bool
+	BannerChurn bool
 }
 
 // Slot is one service slot on a host: a (port, transport) location with a
@@ -215,6 +234,7 @@ func New(cfg Config, clock simclock.Clock) *Internet {
 	}
 	n.buildPKI()
 	n.generateHosts()
+	n.generateAdversary()
 	n.generateWebProperties()
 	return n
 }

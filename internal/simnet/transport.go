@@ -51,8 +51,8 @@ func (n *Internet) ProbeTCP(sc Scanner, addr netip.Addr, port uint16) Outcome {
 	if !n.pathOK(sc, addr, OpProbe) {
 		return Dropped
 	}
-	if h.Pseudo {
-		return Open // pseudo-hosts accept on every port
+	if h.Pseudo || h.Tarpit {
+		return Open // pseudo-hosts and tarpits accept on every port
 	}
 	now := n.clock.Now()
 	for _, s := range h.Slots {
@@ -68,9 +68,9 @@ func (n *Internet) ProbeTCP(sc Scanner, addr netip.Addr, port uint16) Outcome {
 // failure mode, exactly the ambiguity real UDP scanning faces.
 func (n *Internet) ProbeUDP(sc Scanner, addr netip.Addr, port uint16, payload []byte) ([]byte, Outcome) {
 	h := n.hosts[addr]
-	if h == nil || h.Pseudo {
+	if h == nil || h.Pseudo || h.Tarpit {
 		n.probesSeen.Add(1)
-		return nil, Dropped // dead space / pseudo-hosts (a TCP phenomenon)
+		return nil, Dropped // dead space / pseudo-hosts / tarpits (TCP phenomena)
 	}
 	if !n.pathOK(sc, addr, OpProbe) {
 		return nil, Dropped
@@ -114,9 +114,23 @@ func (n *Internet) Connect(sc Scanner, addr netip.Addr, port uint16, transport e
 		spec := protocols.Spec{Protocol: "HTTP", Product: "pseudo", Title: "OK"}
 		return protocols.NewSessionConn(protocols.NewSession(spec)), true
 	}
+	if h.Tarpit {
+		// Tarpits accept the TCP connection on any port, then stall or drip.
+		if transport != entity.TCP {
+			return nil, false
+		}
+		return &TarpitConn{
+			drip: h.TarpitDrip,
+			seed: mix(n.advSeed, 0x7A9B, uint64(addrU32(addr)), uint64(port)),
+		}, true
+	}
 	for _, s := range h.Slots {
 		if s.Port == port && s.Transport == transport && s.AliveAt(n.epoch, now) {
-			sess := protocols.NewSession(s.Spec)
+			spec := s.Spec
+			if h.BannerChurn {
+				spec = n.churnSpec(h, s, now)
+			}
+			sess := protocols.NewSession(spec)
 			if sess == nil {
 				return nil, false
 			}
@@ -232,6 +246,34 @@ func (n *Internet) pathOK(sc Scanner, addr netip.Addr, op Op) bool {
 		n.pathMu.Unlock()
 		return false
 	}
+	// Scan detectors: networks that watch discovery traffic and block with
+	// escalating durations. Only OpProbe feeds the counters — discovery
+	// probing is serial in the pipeline, so detector triggering (and hence
+	// the resulting blocks, which affect every op) is a pure function of the
+	// probe schedule, independent of worker/shard layout. Connect traffic
+	// from parallel interrogation workers never advances a detector.
+	if adv := n.cfg.Adversary; adv.DetectorRate > 0 && adv.DetectorThreshold > 0 &&
+		op == OpProbe && n.detectorAt(uint64(addrU32(net))) {
+		n.detCounts[bk]++
+		if n.detCounts[bk] > adv.DetectorThreshold {
+			snk := scanNetKey{sc.ID, net}
+			off := n.detOffense[snk] + 1
+			n.detOffense[snk] = off
+			dur := adv.baseBlock()
+			for i := 1; i < off; i++ {
+				dur *= 2
+				if dur >= adv.maxBlock() {
+					dur = adv.maxBlock()
+					break
+				}
+			}
+			n.blockedTill[snk] = now.Add(dur)
+			n.detEvents[sc.ID]++
+			n.detCounts[bk] = 0 // fresh window after the block expires
+			n.pathMu.Unlock()
+			return false
+		}
+	}
 	// Per-(scanner, addr) probe ordinal for the loss draw below.
 	pk := pathKey{sc.ID, addr}
 	seq := n.pathSeq[pk]
@@ -323,6 +365,11 @@ func (n *Internet) LiveServices(t time.Time, includePseudo bool) []ServiceRef {
 			if includePseudo {
 				out = append(out, ServiceRef{Addr: a, Pseudo: true})
 			}
+			continue
+		}
+		if h.Honeypot || h.Tarpit {
+			// Honeypot "services" are bait, and a tarpit masks the host's
+			// real slots — neither belongs in legitimate ground truth.
 			continue
 		}
 		for _, s := range h.Slots {
